@@ -1,0 +1,32 @@
+//! Attrition attack strategies (§6.2, §7).
+//!
+//! All adversaries share the paper's conservative capabilities (§3.1):
+//! total information awareness (free, instantaneous coordination), insider
+//! information (they know victims' parameters and admission state),
+//! unconstrained identities, and — for the effortful attacker — unlimited
+//! compute, charged to the adversary ledger but never rate-limiting him.
+//! Minions sit outside the loyal population: loyal peers never solicit
+//! votes from them (§6.2).
+//!
+//! - [`PipeStoppage`]: the effortless network-level DoS (§7.2) —
+//!   suppresses all communication for a coverage-sized random subset for a
+//!   duration, repeating after a 30-day recuperation with a fresh subset.
+//! - [`AdmissionFlood`]: the admission-control attack (§7.3) — cheap
+//!   garbage invitations from unknown identities keep victims' refractory
+//!   periods permanently triggered.
+//! - [`BruteForce`]: the effortful attack on the effort-verification
+//!   filters (§7.4) — valid introductory efforts from in-debt identities,
+//!   then defection at INTRO, REMAINING, or not at all (NONE).
+
+//! - [`VoteFlood`]: the unsolicited bogus-vote flood (§5.1) — defeated for
+//!   free because votes can only be supplied in response to an invitation.
+
+pub mod admission_flood;
+pub mod brute_force;
+pub mod pipe_stoppage;
+pub mod vote_flood;
+
+pub use admission_flood::AdmissionFlood;
+pub use brute_force::{BruteForce, Defection};
+pub use pipe_stoppage::PipeStoppage;
+pub use vote_flood::VoteFlood;

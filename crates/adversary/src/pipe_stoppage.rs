@@ -1,0 +1,105 @@
+//! The pipe-stoppage (network-level DoS) adversary (§7.2).
+//!
+//! "Each attack consists of a period of pipe stoppage, which lasts between
+//! 1 and 180 days, followed by a 30-day recuperation period during which
+//! all communication is restored; this pattern is repeated for the entire
+//! experiment, affecting a different random subset of the population in
+//! each iteration."
+//!
+//! The attack is *effortless*: it costs the adversary no measurable
+//! computational effort (§3.1), so the cost-ratio metric is undefined for
+//! it and the paper reports none.
+
+use lockss_core::adversary::schedule_adversary_timer;
+use lockss_core::{Adversary, World};
+use lockss_net::NodeId;
+use lockss_sim::{Duration, Engine};
+
+const TAG_START: u64 = 0;
+const TAG_END: u64 = 1;
+
+/// Repeated pipe-stoppage attack.
+pub struct PipeStoppage {
+    /// Fraction of the loyal population suppressed each cycle (0.1–1.0).
+    pub coverage: f64,
+    /// Stoppage length per cycle.
+    pub attack_len: Duration,
+    /// Recuperation between cycles (paper: 30 days).
+    pub recuperation: Duration,
+    current_victims: Vec<NodeId>,
+}
+
+impl PipeStoppage {
+    /// Creates the attack with the paper's 30-day recuperation.
+    pub fn new(coverage: f64, attack_days: u64) -> PipeStoppage {
+        PipeStoppage {
+            coverage: coverage.clamp(0.0, 1.0),
+            attack_len: Duration::from_days(attack_days),
+            recuperation: Duration::from_days(30),
+            current_victims: Vec::new(),
+        }
+    }
+
+    /// Victims suppressed per cycle.
+    pub fn victims_per_cycle(&self, n_loyal: usize) -> usize {
+        ((n_loyal as f64) * self.coverage).round() as usize
+    }
+
+    fn start_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        let n = world.n_loyal();
+        let k = self.victims_per_cycle(n);
+        let all: Vec<usize> = (0..n).collect();
+        let chosen = world.rng.sample(&all, k);
+        self.current_victims = chosen.iter().map(|&i| world.peers[i].node).collect();
+        for node in &self.current_victims {
+            world.net.set_stopped(*node, true);
+        }
+        schedule_adversary_timer(eng, self.attack_len, TAG_END);
+    }
+
+    fn end_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        for node in self.current_victims.drain(..) {
+            world.net.set_stopped(node, false);
+        }
+        schedule_adversary_timer(eng, self.recuperation, TAG_START);
+    }
+}
+
+impl Adversary for PipeStoppage {
+    fn name(&self) -> &'static str {
+        "pipe-stoppage"
+    }
+
+    fn begin(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        self.start_cycle(world, eng);
+    }
+
+    fn on_timer(&mut self, world: &mut World, eng: &mut Engine<World>, tag: u64) {
+        match tag {
+            TAG_START => self.start_cycle(world, eng),
+            TAG_END => self.end_cycle(world, eng),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_count_rounds() {
+        let a = PipeStoppage::new(0.4, 10);
+        assert_eq!(a.victims_per_cycle(100), 40);
+        let b = PipeStoppage::new(1.0, 10);
+        assert_eq!(b.victims_per_cycle(100), 100);
+        let c = PipeStoppage::new(0.0, 10);
+        assert_eq!(c.victims_per_cycle(100), 0);
+    }
+
+    #[test]
+    fn coverage_is_clamped() {
+        let a = PipeStoppage::new(7.0, 10);
+        assert!((a.coverage - 1.0).abs() < 1e-12);
+    }
+}

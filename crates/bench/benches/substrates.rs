@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the simulation substrates: event queue, RNG,
+//! network delay computation, schedule reservation, damage sets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use lockss_core::schedule::TaskSchedule;
+use lockss_net::{LinkSpec, Network};
+use lockss_sim::{Duration, Engine, SimRng, SimTime};
+use lockss_storage::Replica;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule+run 10k events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..10_000u64 {
+                eng.schedule_at(SimTime(i % 997), |w: &mut u64, _| *w += 1);
+            }
+            let mut w = 0u64;
+            eng.run_until(&mut w, SimTime(1_000));
+            black_box(w)
+        });
+    });
+
+    c.bench_function("engine/self-rescheduling chain 10k", |b| {
+        fn tick(w: &mut u64, e: &mut Engine<u64>) {
+            *w += 1;
+            if *w < 10_000 {
+                e.schedule_in(Duration(1), tick);
+            }
+        }
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            eng.schedule_at(SimTime(0), tick);
+            let mut w = 0u64;
+            eng.run_until(&mut w, SimTime(u64::MAX - 1));
+            black_box(w)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exponential", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mean = Duration::from_days(100);
+        b.iter(|| black_box(rng.exponential(mean)));
+    });
+    c.bench_function("rng/sample 20 of 100", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        let items: Vec<u32> = (0..100).collect();
+        b.iter(|| black_box(rng.sample(&items, 20)));
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(3);
+    let mut net = Network::new();
+    let nodes = net.add_sampled_nodes(100, &mut rng);
+    c.bench_function("net/transfer_delay", |b| {
+        b.iter(|| black_box(net.transfer_delay(nodes[3], nodes[77], 10_256)));
+    });
+    c.bench_function("net/send (counted)", |b| {
+        let mut net = Network::new();
+        let a = net.add_node(LinkSpec {
+            bandwidth_bps: 10_000_000,
+            latency: Duration::from_millis(5),
+        });
+        let z = net.add_node(LinkSpec {
+            bandwidth_bps: 1_500_000,
+            latency: Duration::from_millis(20),
+        });
+        b.iter(|| black_box(net.send(a, z, 4_096)));
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    c.bench_function("schedule/reserve under load", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TaskSchedule::new();
+                for k in 0..50u64 {
+                    let _ = s.try_reserve(
+                        SimTime(0),
+                        SimTime(k * 100_000),
+                        SimTime(k * 100_000 + 60_000),
+                        Duration::from_secs(30),
+                    );
+                }
+                s
+            },
+            |mut s| {
+                black_box(s.try_reserve(
+                    SimTime(0),
+                    SimTime(0),
+                    SimTime(10_000_000),
+                    Duration::from_secs(40),
+                ))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_replica(c: &mut Criterion) {
+    c.bench_function("replica/disagreements sparse", |b| {
+        let mut a = Replica::pristine();
+        a.damage(17);
+        a.damage(401);
+        let other: Vec<u64> = vec![17, 350];
+        b.iter(|| black_box(a.disagreeing_blocks(&other)));
+    });
+    c.bench_function("replica/snapshot 16 damaged", |b| {
+        let mut a = Replica::pristine();
+        for i in 0..16 {
+            a.damage(i * 31);
+        }
+        b.iter(|| black_box(a.snapshot()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_rng,
+    bench_network,
+    bench_schedule,
+    bench_replica
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark crate: see `benches/` for the Criterion harnesses.
+//!
+//! - `substrates`: event queue, RNG, network delay, schedule, damage sets;
+//! - `protocol`: SHA-256, MBF prove/verify, sessions, the real-mode
+//!   exchange, and whole-world simulation steps;
+//! - `figures`: one smoke-scale benchmark per paper table/figure (the full
+//!   sweeps are the `lockss-experiments` binaries).

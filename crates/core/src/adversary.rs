@@ -1,0 +1,70 @@
+//! The adversary interface.
+//!
+//! Attack strategies (implemented in `lockss-adversary`) plug into the
+//! world through this trait. The adversary owns minion nodes (created with
+//! [`crate::world::World::add_minions`]) that sit *outside* the loyal
+//! population: loyal peers never invite them to vote, and the adversary
+//! only ever invites loyal peers (§6.2). Its effort is charged to the
+//! run's adversary ledger, its coordination is free and instantaneous
+//! (total information awareness, §3.1).
+
+use lockss_net::NodeId;
+use lockss_sim::Engine;
+
+use crate::msg::Message;
+use crate::world::World;
+
+/// An attack strategy.
+pub trait Adversary {
+    /// Human-readable strategy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Called once after the world is built; schedule attack events here.
+    fn begin(&mut self, world: &mut World, eng: &mut Engine<World>);
+
+    /// A message from a loyal peer arrived at one of the adversary's
+    /// minion nodes.
+    fn on_message(
+        &mut self,
+        world: &mut World,
+        eng: &mut Engine<World>,
+        minion: NodeId,
+        from: NodeId,
+        msg: Message,
+    ) {
+        let _ = (world, eng, minion, from, msg);
+    }
+
+    /// A timer scheduled via [`schedule_adversary_timer`] fired.
+    ///
+    /// `tag` is strategy-defined (cycle phases, per-victim bursts, ...).
+    fn on_timer(&mut self, world: &mut World, eng: &mut Engine<World>, tag: u64) {
+        let _ = (world, eng, tag);
+    }
+}
+
+/// Schedules a wake-up for the installed adversary after `delay`.
+///
+/// The event re-enters the adversary through [`Adversary::on_timer`] with
+/// the given tag; if no adversary is installed when it fires, it is a
+/// no-op.
+pub fn schedule_adversary_timer(eng: &mut Engine<World>, delay: lockss_sim::Duration, tag: u64) {
+    eng.schedule_in(delay, move |w: &mut World, e| {
+        if let Some(mut adv) = w.adversary.take() {
+            adv.on_timer(w, e, tag);
+            w.adversary = Some(adv);
+        }
+    });
+}
+
+/// The no-attack adversary (baseline runs).
+#[derive(Default)]
+pub struct NullAdversary;
+
+impl Adversary for NullAdversary {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn begin(&mut self, _world: &mut World, _eng: &mut Engine<World>) {}
+}

@@ -1,0 +1,109 @@
+//! A loyal peer: per-AU protocol state plus shared CPU schedule and effort
+//! ledger.
+
+use std::collections::BTreeMap;
+
+use lockss_effort::EffortLedger;
+use lockss_net::NodeId;
+use lockss_sim::SimRng;
+use lockss_storage::{AuId, Replica};
+
+use crate::admission::AdmissionControl;
+use crate::poller::PollState;
+use crate::reflist::RefList;
+use crate::reputation::KnownPeers;
+use crate::schedule::TaskSchedule;
+use crate::types::Identity;
+use crate::voter::{VoterKey, VoterSession};
+
+/// Per-AU state of one peer.
+#[derive(Clone, Debug)]
+pub struct AuState {
+    pub replica: Replica,
+    pub known: KnownPeers,
+    pub admission: AdmissionControl,
+    pub reflist: RefList,
+    /// The in-flight poll this peer is running on this AU, if any.
+    pub poll: Option<PollState>,
+}
+
+impl AuState {
+    /// Fresh per-AU state with the given reference list.
+    pub fn new(reflist: RefList) -> AuState {
+        AuState {
+            replica: Replica::pristine(),
+            known: KnownPeers::new(),
+            admission: AdmissionControl::new(),
+            reflist,
+            poll: None,
+        }
+    }
+}
+
+/// One loyal peer.
+pub struct Peer {
+    pub node: NodeId,
+    pub identity: Identity,
+    /// Single-CPU commitment calendar (shared across all AUs — the §6.3
+    /// resource contention between concurrently preserved AUs).
+    pub schedule: TaskSchedule,
+    pub ledger: EffortLedger,
+    pub per_au: Vec<AuState>,
+    /// Active voter commitments, keyed by poll.
+    pub voting: BTreeMap<VoterKey, VoterSession>,
+    /// The peer's private randomness stream.
+    pub rng: SimRng,
+}
+
+impl Peer {
+    /// Builds a peer with `n_aus` pristine replicas.
+    pub fn new(node: NodeId, identity: Identity, per_au: Vec<AuState>, rng: SimRng) -> Peer {
+        Peer {
+            node,
+            identity,
+            schedule: TaskSchedule::new(),
+            ledger: EffortLedger::new(),
+            per_au,
+            voting: BTreeMap::new(),
+            rng,
+        }
+    }
+
+    /// This peer's state for `au`.
+    pub fn au(&self, au: AuId) -> &AuState {
+        &self.per_au[au.index()]
+    }
+
+    /// Mutable state for `au`.
+    pub fn au_mut(&mut self, au: AuId) -> &mut AuState {
+        &mut self.per_au[au.index()]
+    }
+
+    /// Number of replicas currently damaged at this peer.
+    pub fn damaged_replicas(&self) -> usize {
+        self.per_au
+            .iter()
+            .filter(|a| !a.replica.is_intact())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_accessors() {
+        let rng = SimRng::seed_from_u64(1);
+        let per_au = vec![
+            AuState::new(RefList::new(vec![], vec![])),
+            AuState::new(RefList::new(vec![], vec![])),
+        ];
+        let mut p = Peer::new(NodeId(0), Identity::loyal(0), per_au, rng);
+        assert_eq!(p.damaged_replicas(), 0);
+        p.au_mut(AuId(1)).replica.damage(3);
+        assert_eq!(p.damaged_replicas(), 1);
+        assert!(!p.au(AuId(1)).replica.is_intact());
+        assert!(p.au(AuId(0)).replica.is_intact());
+    }
+}

@@ -1,0 +1,195 @@
+//! Reference list and friends list maintenance (§4.1, §4.2).
+//!
+//! The reference list holds, per AU, the identities a poller samples its
+//! inner circle from: "mostly peers that have agreed with the poller in
+//! recent polls on the AU, and a few peers from its static friends list."
+//! At each poll conclusion the poller removes the voters whose votes
+//! determined the outcome (sample-bias defense inherited from the SOSP '03
+//! protocol) and inserts agreeing outer-circle voters plus some friends.
+
+use lockss_sim::SimRng;
+
+use crate::config::ProtocolConfig;
+use crate::types::Identity;
+
+/// One peer's per-AU reference list plus the static friends list.
+#[derive(Clone, Debug, Default)]
+pub struct RefList {
+    entries: Vec<Identity>,
+    friends: Vec<Identity>,
+}
+
+impl RefList {
+    /// Builds a list with the given static friends and initial entries.
+    pub fn new(friends: Vec<Identity>, initial: Vec<Identity>) -> RefList {
+        let mut rl = RefList {
+            entries: Vec::new(),
+            friends,
+        };
+        for id in initial {
+            rl.insert(id, usize::MAX);
+        }
+        rl
+    }
+
+    /// Current reference-list members.
+    pub fn members(&self) -> &[Identity] {
+        &self.entries
+    }
+
+    /// The static friends list.
+    pub fn friends(&self) -> &[Identity] {
+        &self.friends
+    }
+
+    /// Adds an operator-configured friend (e.g. a newly joined library
+    /// whose operator exchanged contacts with ours; see `churn`).
+    pub fn add_friend(&mut self, id: Identity) {
+        if !self.friends.contains(&id) {
+            self.friends.push(id);
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `id` is on the list.
+    pub fn contains(&self, id: Identity) -> bool {
+        self.entries.contains(&id)
+    }
+
+    /// Inserts `id` if absent, evicting the front (oldest) entry when the
+    /// cap is exceeded.
+    pub fn insert(&mut self, id: Identity, cap: usize) {
+        if self.entries.contains(&id) {
+            return;
+        }
+        self.entries.push(id);
+        while self.entries.len() > cap {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Removes `id` if present.
+    pub fn remove(&mut self, id: Identity) {
+        self.entries.retain(|&e| e != id);
+    }
+
+    /// Samples up to `k` distinct members uniformly (the inner-circle
+    /// sample).
+    pub fn sample(&self, k: usize, rng: &mut SimRng) -> Vec<Identity> {
+        rng.sample(&self.entries, k)
+    }
+
+    /// A random subset for nominations (§4.2).
+    pub fn nominate(&self, k: usize, rng: &mut SimRng) -> Vec<Identity> {
+        rng.sample(&self.entries, k)
+    }
+
+    /// Applies the poll-conclusion update (§4.3): removes the decisive
+    /// voters, inserts agreeing outer-circle voters, and biases in some
+    /// friends.
+    pub fn conclude_poll(
+        &mut self,
+        decisive_voters: &[Identity],
+        agreeing_outer: &[Identity],
+        cfg: &ProtocolConfig,
+        rng: &mut SimRng,
+    ) {
+        for &v in decisive_voters {
+            self.remove(v);
+        }
+        for &v in agreeing_outer {
+            self.insert(v, cfg.reflist_cap);
+        }
+        let bias: Vec<Identity> = rng.sample(&self.friends, cfg.friend_bias);
+        for f in bias {
+            self.insert(f, cfg.reflist_cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<Identity> {
+        v.iter().map(|&i| Identity(i)).collect()
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_capped() {
+        let mut rl = RefList::new(vec![], vec![]);
+        rl.insert(Identity(1), 3);
+        rl.insert(Identity(1), 3);
+        rl.insert(Identity(2), 3);
+        rl.insert(Identity(3), 3);
+        assert_eq!(rl.len(), 3);
+        rl.insert(Identity(4), 3);
+        assert_eq!(rl.len(), 3);
+        assert!(!rl.contains(Identity(1)), "oldest evicted at cap");
+        assert!(rl.contains(Identity(4)));
+    }
+
+    #[test]
+    fn sample_draws_distinct_members() {
+        let rl = RefList::new(vec![], ids(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let mut rng = SimRng::seed_from_u64(1);
+        let s = rl.sample(4, &mut rng);
+        assert_eq!(s.len(), 4);
+        let mut t = s.clone();
+        t.sort();
+        t.dedup();
+        assert_eq!(t.len(), 4);
+        for id in s {
+            assert!(rl.contains(id));
+        }
+    }
+
+    #[test]
+    fn conclude_poll_removes_decisive_and_adds_outer_and_friends() {
+        let cfg = ProtocolConfig::default();
+        let friends = ids(&[100, 101, 102]);
+        let mut rl = RefList::new(friends, ids(&[1, 2, 3, 4, 5]));
+        let mut rng = SimRng::seed_from_u64(2);
+        rl.conclude_poll(&ids(&[1, 2]), &ids(&[50, 51]), &cfg, &mut rng);
+        assert!(!rl.contains(Identity(1)));
+        assert!(!rl.contains(Identity(2)));
+        assert!(rl.contains(Identity(50)));
+        assert!(rl.contains(Identity(51)));
+        // friend_bias = 2 friends inserted.
+        let friend_count = [100u64, 101, 102]
+            .iter()
+            .filter(|&&f| rl.contains(Identity(f)))
+            .count();
+        assert_eq!(friend_count, 2);
+    }
+
+    #[test]
+    fn churn_preserves_cap() {
+        let cfg = ProtocolConfig::default();
+        let mut rl = RefList::new(ids(&[900, 901]), ids(&(0..40).collect::<Vec<u64>>()));
+        let mut rng = SimRng::seed_from_u64(3);
+        for round in 0..50u64 {
+            let decisive: Vec<Identity> = rl.sample(10, &mut rng);
+            let newcomers = ids(&[1000 + round * 3, 1001 + round * 3, 1002 + round * 3]);
+            rl.conclude_poll(&decisive, &newcomers, &cfg, &mut rng);
+            assert!(rl.len() <= cfg.reflist_cap);
+        }
+    }
+
+    #[test]
+    fn empty_list_sampling() {
+        let rl = RefList::new(vec![], vec![]);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert!(rl.sample(5, &mut rng).is_empty());
+        assert!(rl.is_empty());
+    }
+}

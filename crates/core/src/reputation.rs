@@ -1,0 +1,310 @@
+//! First-hand reputation (§5.1).
+//!
+//! Each peer keeps, per AU, a *known-peers list* grading every identity it
+//! has interacted with as `debt`, `even`, or `credit` according to the
+//! balance of votes exchanged. Supplying a valid vote raises the supplier's
+//! grade at the poller; receiving one lowers the poller's grade at the
+//! voter. Misbehaviour (committing without supplying, or withholding the
+//! evaluation receipt) drops straight to debt. Grades decay toward debt
+//! over time.
+
+use lockss_sim::{Duration, SimTime};
+use std::collections::HashMap;
+
+use crate::types::Identity;
+
+/// A first-hand reputation grade.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Grade {
+    /// The peer has supplied fewer votes than it consumed.
+    Debt,
+    /// Balanced recent exchanges.
+    Even,
+    /// The peer has supplied more votes than it consumed.
+    Credit,
+}
+
+impl Grade {
+    /// One step up (saturating at credit).
+    pub fn raised(self) -> Grade {
+        match self {
+            Grade::Debt => Grade::Even,
+            Grade::Even | Grade::Credit => Grade::Credit,
+        }
+    }
+
+    /// One step down (saturating at debt).
+    pub fn lowered(self) -> Grade {
+        match self {
+            Grade::Credit => Grade::Even,
+            Grade::Even | Grade::Debt => Grade::Debt,
+        }
+    }
+
+    /// Lowered by `steps` (saturating).
+    fn decayed(self, steps: u64) -> Grade {
+        let mut g = self;
+        for _ in 0..steps.min(2) {
+            g = g.lowered();
+        }
+        g
+    }
+}
+
+/// What the admission filter knows about an inviting identity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Standing {
+    /// Never interacted (and not pre-seeded).
+    Unknown,
+    /// Known with the (decay-adjusted) grade.
+    Known(Grade),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    grade: Grade,
+    updated: SimTime,
+}
+
+/// The per-AU known-peers list of one peer.
+#[derive(Clone, Debug, Default)]
+pub struct KnownPeers {
+    entries: HashMap<Identity, Entry>,
+}
+
+impl KnownPeers {
+    /// An empty list.
+    pub fn new() -> KnownPeers {
+        KnownPeers::default()
+    }
+
+    /// Seeds an identity at a grade (world initialization: the steady-state
+    /// proxy starts loyal peers at `even`).
+    pub fn seed(&mut self, id: Identity, grade: Grade, now: SimTime) {
+        self.entries.insert(
+            id,
+            Entry {
+                grade,
+                updated: now,
+            },
+        );
+    }
+
+    /// The identity's standing at `now`, with decay applied (§5.1:
+    /// "entries decay with time toward the debt grade").
+    pub fn standing(&self, id: Identity, now: SimTime, decay: Duration) -> Standing {
+        match self.entries.get(&id) {
+            None => Standing::Unknown,
+            Some(e) => {
+                let steps = if decay.is_zero() {
+                    0
+                } else {
+                    now.since(e.updated).as_millis() / decay.as_millis()
+                };
+                Standing::Known(e.grade.decayed(steps))
+            }
+        }
+    }
+
+    /// Applies decay and then raises the identity's grade (it supplied a
+    /// valid vote, §5.1). Unknown identities enter at `even` (first
+    /// supplied vote raises from the implicit debt of a stranger).
+    pub fn raise(&mut self, id: Identity, now: SimTime, decay: Duration) {
+        let current = match self.standing(id, now, decay) {
+            Standing::Unknown => Grade::Debt,
+            Standing::Known(g) => g,
+        };
+        self.entries.insert(
+            id,
+            Entry {
+                grade: current.raised(),
+                updated: now,
+            },
+        );
+    }
+
+    /// Applies decay and then lowers the identity's grade (it consumed a
+    /// vote we supplied).
+    pub fn lower(&mut self, id: Identity, now: SimTime, decay: Duration) {
+        let current = match self.standing(id, now, decay) {
+            Standing::Unknown => Grade::Even,
+            Standing::Known(g) => g,
+        };
+        self.entries.insert(
+            id,
+            Entry {
+                grade: current.lowered(),
+                updated: now,
+            },
+        );
+    }
+
+    /// Drops the identity straight to debt (misbehaviour, §5.1).
+    pub fn penalize(&mut self, id: Identity, now: SimTime) {
+        self.entries.insert(
+            id,
+            Entry {
+                grade: Grade::Debt,
+                updated: now,
+            },
+        );
+    }
+
+    /// Number of known identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no identity is known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECAY: Duration = Duration(Duration::DAY.0 * 180);
+
+    fn t(days: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_days(days)
+    }
+
+    #[test]
+    fn unknown_until_seen() {
+        let kp = KnownPeers::new();
+        assert_eq!(
+            kp.standing(Identity::loyal(1), t(0), DECAY),
+            Standing::Unknown
+        );
+    }
+
+    #[test]
+    fn raise_ladder() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(1);
+        kp.raise(id, t(0), DECAY); // unknown -> even
+        assert_eq!(kp.standing(id, t(0), DECAY), Standing::Known(Grade::Even));
+        kp.raise(id, t(1), DECAY); // even -> credit
+        assert_eq!(kp.standing(id, t(1), DECAY), Standing::Known(Grade::Credit));
+        kp.raise(id, t(2), DECAY); // credit saturates
+        assert_eq!(kp.standing(id, t(2), DECAY), Standing::Known(Grade::Credit));
+    }
+
+    #[test]
+    fn lower_ladder() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(2);
+        kp.seed(id, Grade::Credit, t(0));
+        kp.lower(id, t(1), DECAY);
+        assert_eq!(kp.standing(id, t(1), DECAY), Standing::Known(Grade::Even));
+        kp.lower(id, t(2), DECAY);
+        assert_eq!(kp.standing(id, t(2), DECAY), Standing::Known(Grade::Debt));
+        kp.lower(id, t(3), DECAY);
+        assert_eq!(kp.standing(id, t(3), DECAY), Standing::Known(Grade::Debt));
+    }
+
+    #[test]
+    fn decay_steps_toward_debt() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(3);
+        kp.seed(id, Grade::Credit, t(0));
+        assert_eq!(
+            kp.standing(id, t(179), DECAY),
+            Standing::Known(Grade::Credit)
+        );
+        assert_eq!(kp.standing(id, t(181), DECAY), Standing::Known(Grade::Even));
+        assert_eq!(kp.standing(id, t(361), DECAY), Standing::Known(Grade::Debt));
+        // Decayed peers stay known (in-debt), never returning to unknown.
+        assert_eq!(
+            kp.standing(id, t(5000), DECAY),
+            Standing::Known(Grade::Debt)
+        );
+    }
+
+    #[test]
+    fn raise_applies_decay_first() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(4);
+        kp.seed(id, Grade::Credit, t(0));
+        // After two decay periods the effective grade is debt; raising
+        // yields even, not credit.
+        kp.raise(id, t(365), DECAY);
+        assert_eq!(kp.standing(id, t(365), DECAY), Standing::Known(Grade::Even));
+    }
+
+    #[test]
+    fn penalize_is_immediate_debt() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(5);
+        kp.seed(id, Grade::Credit, t(0));
+        kp.penalize(id, t(1));
+        assert_eq!(kp.standing(id, t(1), DECAY), Standing::Known(Grade::Debt));
+    }
+
+    #[test]
+    fn zero_decay_disables_decay() {
+        let mut kp = KnownPeers::new();
+        let id = Identity::loyal(6);
+        kp.seed(id, Grade::Credit, t(0));
+        assert_eq!(
+            kp.standing(id, t(10_000), Duration::ZERO),
+            Standing::Known(Grade::Credit)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const DECAY: Duration = Duration(Duration::DAY.0 * 30);
+
+    proptest! {
+        /// Any sequence of raises/lowers/penalties keeps grades in the
+        /// three-value lattice, and a penalty always lands on debt.
+        #[test]
+        fn grade_lattice_is_closed(ops in proptest::collection::vec(0u8..4, 1..60)) {
+            let mut kp = KnownPeers::new();
+            let id = Identity::loyal(1);
+            let mut t = SimTime::ZERO;
+            for op in ops {
+                t = t + Duration::DAY;
+                match op {
+                    0 => kp.raise(id, t, DECAY),
+                    1 => kp.lower(id, t, DECAY),
+                    2 => kp.penalize(id, t),
+                    _ => {} // time passes
+                }
+                match kp.standing(id, t, DECAY) {
+                    Standing::Unknown => {}
+                    Standing::Known(g) => {
+                        prop_assert!(matches!(g, Grade::Debt | Grade::Even | Grade::Credit));
+                        if op == 2 {
+                            prop_assert_eq!(g, Grade::Debt);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Standing never *improves* with the passage of time alone.
+        #[test]
+        fn decay_is_monotone_nonincreasing(days in 0u64..2000) {
+            let mut kp = KnownPeers::new();
+            let id = Identity::loyal(2);
+            kp.seed(id, Grade::Credit, SimTime::ZERO);
+            let early = kp.standing(id, SimTime::ZERO, DECAY);
+            let later = kp.standing(id, SimTime::ZERO + Duration::from_days(days), DECAY);
+            let rank = |s: Standing| match s {
+                Standing::Unknown => -1i32,
+                Standing::Known(Grade::Debt) => 0,
+                Standing::Known(Grade::Even) => 1,
+                Standing::Known(Grade::Credit) => 2,
+            };
+            prop_assert!(rank(later) <= rank(early));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared identifier types.
+
+/// A protocol-level identity (what reputation and admission control track).
+///
+/// Loyal peer `i` always presents identity `i`. The adversary has
+/// "unconstrained identities" (§3.1): minions mint fresh identities from
+/// [`Identity::MINION_BASE`] upward, decoupled from their network nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Identity(pub u64);
+
+impl Identity {
+    /// Identities at or above this value belong to adversary minions.
+    pub const MINION_BASE: u64 = 1 << 32;
+
+    /// The identity loyal peer `index` presents.
+    pub fn loyal(index: u32) -> Identity {
+        Identity(index as u64)
+    }
+
+    /// True if this identity is in the adversary's mint range.
+    pub fn is_minion(self) -> bool {
+        self.0 >= Self::MINION_BASE
+    }
+
+    /// The loyal peer index, if this is a loyal identity.
+    pub fn loyal_index(self) -> Option<u32> {
+        if self.is_minion() {
+            None
+        } else {
+            Some(self.0 as u32)
+        }
+    }
+}
+
+impl std::fmt::Display for Identity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_minion() {
+            write!(f, "minion#{}", self.0 - Self::MINION_BASE)
+        } else {
+            write!(f, "peer#{}", self.0)
+        }
+    }
+}
+
+/// Uniquely identifies one poll across the whole run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PollId(pub u64);
+
+impl std::fmt::Display for PollId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "poll{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loyal_identities_roundtrip() {
+        let id = Identity::loyal(42);
+        assert!(!id.is_minion());
+        assert_eq!(id.loyal_index(), Some(42));
+        assert_eq!(id.to_string(), "peer#42");
+    }
+
+    #[test]
+    fn minion_identities_detected() {
+        let id = Identity(Identity::MINION_BASE + 7);
+        assert!(id.is_minion());
+        assert_eq!(id.loyal_index(), None);
+        assert_eq!(id.to_string(), "minion#7");
+    }
+}

@@ -1,0 +1,1417 @@
+//! The simulated world: peers, network, storage damage, metrics, adversary.
+//!
+//! All protocol behaviour is orchestrated here as discrete events. Peer
+//! compute (effort proofs, hashing) occupies each peer's single-CPU
+//! [`crate::schedule::TaskSchedule`]; message transfers go through the
+//! flow-level network; every CPU-second is charged to an effort ledger so
+//! the §6.1 metrics fall out directly.
+
+use lockss_effort::{CostModel, Purpose};
+use lockss_metrics::RunMetrics;
+use lockss_net::{Network, NodeId};
+use lockss_sim::{Duration, Engine, SimRng, SimTime};
+use lockss_storage::{AuId, DamageProcess};
+
+use crate::admission::AdmissionOutcome;
+use crate::adversary::Adversary;
+use crate::config::WorldConfig;
+use crate::msg::Message;
+use crate::peer::{AuState, Peer};
+use crate::poller::{InviteeStatus, PollPhase, PollState};
+use crate::reflist::RefList;
+use crate::reputation::Grade;
+use crate::types::{Identity, PollId};
+use crate::voter::{VoterSession, VoterStage};
+
+/// Engine alias: all events run against the world.
+pub type Eng = Engine<World>;
+
+/// The complete simulation state.
+pub struct World {
+    pub cfg: WorldConfig,
+    pub net: Network,
+    pub peers: Vec<Peer>,
+    pub metrics: RunMetrics,
+    pub rng: SimRng,
+    pub adversary: Option<Box<dyn Adversary>>,
+    next_poll_id: u64,
+    n_loyal: usize,
+    /// Network node → loyal peer index (nodes absent here belong to the
+    /// adversary). Lookup-only, so hashing order cannot leak into runs.
+    node_to_peer: std::collections::HashMap<NodeId, usize>,
+}
+
+impl World {
+    /// Builds the world: loyal peers with sampled links, pristine replicas,
+    /// seeded reference lists and reputation (a steady-state proxy:
+    /// everyone starts known-at-even, documented in DESIGN.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn new(cfg: WorldConfig) -> World {
+        cfg.validate().expect("invalid world configuration");
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let mut net = Network::new();
+        let nodes = net.add_sampled_nodes(cfg.n_peers, &mut rng);
+
+        let all_ids: Vec<Identity> = (0..cfg.n_peers as u32).map(Identity::loyal).collect();
+        let mut peers = Vec::with_capacity(cfg.n_peers);
+        for (i, node) in nodes.iter().enumerate() {
+            let me = Identity::loyal(i as u32);
+            let others: Vec<Identity> = all_ids.iter().copied().filter(|&id| id != me).collect();
+            let friends: Vec<Identity> = rng.sample(&others, cfg.protocol.friends);
+            let mut per_au = Vec::with_capacity(cfg.n_aus);
+            for _ in 0..cfg.n_aus {
+                let initial = rng.sample(&others, cfg.protocol.reflist_initial);
+                let mut au = AuState::new(RefList::new(friends.clone(), initial));
+                for &id in &others {
+                    au.known.seed(id, Grade::Even, SimTime::ZERO);
+                }
+                per_au.push(au);
+            }
+            peers.push(Peer::new(*node, me, per_au, rng.fork()));
+        }
+
+        let metrics = RunMetrics::new(cfg.total_replicas(), SimTime::ZERO);
+        let node_to_peer = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        World {
+            cfg,
+            net,
+            peers,
+            metrics,
+            rng,
+            adversary: None,
+            next_poll_id: 0,
+            n_loyal: nodes.len(),
+            node_to_peer,
+        }
+    }
+
+    /// Number of loyal peers.
+    pub fn n_loyal(&self) -> usize {
+        self.n_loyal
+    }
+
+    /// Registers a late-joining loyal peer's node (see `churn`).
+    pub(crate) fn bump_loyal_count(&mut self) {
+        let index = self.peers.len() - 1;
+        let node = self.peers[index].node;
+        self.node_to_peer.insert(node, index);
+        self.n_loyal += 1;
+    }
+
+    /// The loyal peer living on `node`, if any.
+    pub fn loyal_peer_of_node(&self, node: NodeId) -> Option<usize> {
+        self.node_to_peer.get(&node).copied()
+    }
+
+    /// Adds `n` adversary minion nodes (well-connected: 100 Mbps, 5 ms)
+    /// and returns their ids.
+    pub fn add_minions(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(|_| {
+                self.net.add_node(lockss_net::LinkSpec {
+                    bandwidth_bps: 100_000_000,
+                    latency: Duration::from_millis(5),
+                })
+            })
+            .collect()
+    }
+
+    /// Installs an attack strategy (call before [`World::start`]).
+    pub fn install_adversary(&mut self, adversary: Box<dyn Adversary>) {
+        self.adversary = Some(adversary);
+    }
+
+    /// Allocates a globally unique poll id (also used by adversaries for
+    /// their bogus polls).
+    pub fn alloc_poll_id(&mut self) -> PollId {
+        let id = PollId(self.next_poll_id);
+        self.next_poll_id += 1;
+        id
+    }
+
+    /// Charges loyal-peer CPU effort (ledger + run totals).
+    pub fn charge_loyal(&mut self, peer: usize, purpose: Purpose, cost: Duration) {
+        self.peers[peer].ledger.charge(purpose, cost);
+        self.metrics.loyal_effort_secs += cost.as_secs_f64();
+    }
+
+    /// Charges adversary CPU effort.
+    pub fn charge_adversary(&mut self, cost: Duration) {
+        self.metrics.adversary_effort_secs += cost.as_secs_f64();
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// An effort-balancing cost, or zero when the `no_effort_balancing`
+    /// ablation is active (requests then cost their sender nothing — the
+    /// pre-hardening protocol the paper's §1 recalls being abusable by ~50
+    /// malign peers).
+    pub fn balanced_effort(&self, d: Duration) -> Duration {
+        if self.cfg.protocol.ablation.no_effort_balancing {
+            Duration::ZERO
+        } else {
+            d
+        }
+    }
+
+    /// Kicks off the run: schedules every peer's first poll per AU at a
+    /// random phase (desynchronization), the storage-damage processes, and
+    /// the adversary.
+    pub fn start(&mut self, eng: &mut Eng) {
+        let interval = self.cfg.protocol.poll_interval;
+        for p in 0..self.peers.len() {
+            for au in 0..self.cfg.n_aus {
+                let phase = self.rng.duration_between(Duration::ZERO, interval);
+                eng.schedule_at(SimTime::ZERO + phase, move |w: &mut World, e| {
+                    w.start_poll(e, p, AuId(au as u32));
+                });
+            }
+            self.schedule_next_damage(eng, p);
+        }
+        if let Some(mut adv) = self.adversary.take() {
+            adv.begin(self, eng);
+            self.adversary = Some(adv);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Storage damage process (§7.1).
+    // ------------------------------------------------------------------
+
+    fn damage_process(&self) -> DamageProcess {
+        DamageProcess::paper(self.cfg.mtbf_years, self.cfg.n_aus as u32)
+    }
+
+    fn schedule_next_damage(&mut self, eng: &mut Eng, peer: usize) {
+        let proc = self.damage_process();
+        let wait = proc.next_arrival(&mut self.rng);
+        eng.schedule_in(wait, move |w: &mut World, e| {
+            w.on_damage_event(e, peer);
+        });
+    }
+
+    fn on_damage_event(&mut self, eng: &mut Eng, peer: usize) {
+        let proc = self.damage_process();
+        let blocks = self.cfg.au_spec.blocks();
+        let (au, block) = proc.pick_target(&mut self.rng, blocks);
+        let replica = &mut self.peers[peer].per_au[au as usize].replica;
+        let was_intact = replica.is_intact();
+        replica.damage(block);
+        if was_intact {
+            self.metrics.damage.on_damaged(eng.now());
+        }
+        self.schedule_next_damage(eng, peer);
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging.
+    // ------------------------------------------------------------------
+
+    /// Sends a protocol message; returns false if suppressed at the source
+    /// (pipe stoppage). Delivery re-checks reachability so stoppage kills
+    /// in-flight messages too.
+    pub fn send_message(&mut self, eng: &mut Eng, from: NodeId, to: NodeId, msg: Message) -> bool {
+        let bytes = msg.wire_bytes(&self.cfg.cost);
+        match self.net.send(from, to, bytes) {
+            None => false,
+            Some(delay) => {
+                eng.schedule_in(delay, move |w: &mut World, e| {
+                    if !w.net.reachable(from, to) {
+                        return; // killed mid-flight by pipe stoppage
+                    }
+                    w.deliver(e, from, to, msg);
+                });
+                true
+            }
+        }
+    }
+
+    fn deliver(&mut self, eng: &mut Eng, from: NodeId, to: NodeId, msg: Message) {
+        if let Some(p) = self.loyal_peer_of_node(to) {
+            self.handle_peer_message(eng, p, from, msg);
+        } else if let Some(mut adv) = self.adversary.take() {
+            adv.on_message(self, eng, to, from, msg);
+            self.adversary = Some(adv);
+        }
+    }
+
+    fn handle_peer_message(&mut self, eng: &mut Eng, p: usize, from: NodeId, msg: Message) {
+        match msg {
+            Message::Poll {
+                au,
+                poll,
+                poller,
+                intro_valid,
+                vote_deadline,
+            } => self.voter_on_poll(eng, p, from, au, poll, poller, intro_valid, vote_deadline),
+            Message::PollAck { au, poll, accept } => {
+                self.poller_on_ack(eng, p, au, poll, from, accept)
+            }
+            Message::PollProof {
+                au,
+                poll,
+                remaining_valid,
+            } => self.voter_on_proof(eng, p, poll, au, remaining_valid),
+            Message::Vote {
+                au,
+                poll,
+                voter,
+                damage,
+                nominations,
+                proof_valid,
+            } => self.poller_on_vote(eng, p, au, poll, voter, damage, nominations, proof_valid),
+            Message::RepairRequest { poll, block, .. } => {
+                self.voter_on_repair_request(eng, p, poll, block)
+            }
+            Message::Repair { au, poll, block } => self.poller_on_repair(eng, p, au, poll, block),
+            Message::EvaluationReceipt { poll, valid, .. } => {
+                self.voter_on_receipt(eng, p, poll, valid)
+            }
+        }
+    }
+
+    /// The network node a loyal identity lives on.
+    fn node_of(&self, id: Identity) -> Option<NodeId> {
+        id.loyal_index().map(|i| self.peers[i as usize].node)
+    }
+
+    // ------------------------------------------------------------------
+    // Poller side.
+    // ------------------------------------------------------------------
+
+    /// Opens a new poll on `au` at peer `p` (§4.1).
+    pub fn start_poll(&mut self, eng: &mut Eng, p: usize, au: AuId) {
+        let cfg = self.cfg.protocol.clone();
+        let now = eng.now();
+        self.metrics.polls.register(p as u32, au.0, now);
+        let id = self.alloc_poll_id();
+        let solicit_deadline = now + cfg.solicit_window();
+        let conclude_at = now + cfg.poll_interval;
+        let mut poll = PollState::new(id, au, now, solicit_deadline, conclude_at);
+
+        // Sample the inner circle from the reference list, topped up with
+        // friends if the list has shrunk below the circle size.
+        let peer = &mut self.peers[p];
+        let au_state = &mut peer.per_au[au.index()];
+        let mut circle = au_state.reflist.sample(cfg.inner_circle, &mut peer.rng);
+        if circle.len() < cfg.inner_circle {
+            for &f in au_state.reflist.friends() {
+                if circle.len() >= cfg.inner_circle {
+                    break;
+                }
+                if !circle.contains(&f) && f != peer.identity {
+                    circle.push(f);
+                }
+            }
+        }
+        for v in circle {
+            poll.add_invitee(v, true);
+        }
+        au_state.poll = Some(poll);
+
+        // Desynchronization (§5.2): stagger invitations individually over
+        // the first 60% of the solicitation window. (The ablation solicits
+        // everyone at once — the synchronization failure mode §5.2 warns
+        // about.)
+        let n = self.peers[p].per_au[au.index()]
+            .poll
+            .as_ref()
+            .expect("just created")
+            .invitees
+            .len();
+        let spread = if cfg.ablation.synchronous_solicitation {
+            Duration::SECOND * 2
+        } else {
+            cfg.solicit_window().mul_f64(0.6)
+        };
+        for idx in 0..n {
+            let at = now + self.peers[p].rng.duration_between(Duration::SECOND, spread);
+            eng.schedule_at(at, move |w: &mut World, e| {
+                w.send_invite(e, p, au, id, idx);
+            });
+        }
+        // Outer-circle launch and evaluation checkpoints.
+        let outer_at = now + cfg.solicit_window().mul_f64(0.62);
+        eng.schedule_at(outer_at, move |w: &mut World, e| {
+            w.launch_outer(e, p, au, id);
+        });
+        eng.schedule_at(solicit_deadline, move |w: &mut World, e| {
+            w.begin_evaluation(e, p, au, id);
+        });
+        eng.schedule_at(conclude_at, move |w: &mut World, e| {
+            w.conclude_guard(e, p, au, id);
+        });
+    }
+
+    /// True if the poll `id` is still the live poll for (p, au).
+    fn poll_is_current(&self, p: usize, au: AuId, id: PollId) -> bool {
+        self.peers[p].per_au[au.index()]
+            .poll
+            .as_ref()
+            .map(|poll| poll.id == id)
+            .unwrap_or(false)
+    }
+
+    /// Generates the introductory effort and sends a Poll invitation
+    /// (possibly a retry).
+    fn send_invite(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId, idx: usize) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let now = eng.now();
+        let (invitee, deadline, attempt) = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            if poll.phase != PollPhase::Soliciting {
+                return;
+            }
+            let inv = &mut poll.invitees[idx];
+            let attempt = match inv.status {
+                InviteeStatus::Scheduled { attempt } => attempt,
+                InviteeStatus::Refused { attempts } => attempts,
+                _ => return, // already in flight or done
+            };
+            inv.status = InviteeStatus::Invited { attempt };
+            (inv.id, poll.solicit_deadline, attempt)
+        };
+        // Give the voter the vote deadline with a small delivery margin.
+        let vote_deadline = deadline.saturating_sub(Duration::MINUTE);
+        if now + Duration::MINUTE >= vote_deadline {
+            return; // too late in the window to bother
+        }
+
+        // The introductory effort occupies the poller's CPU (§5.1).
+        let intro = self.balanced_effort(self.cfg.cost.intro_gen());
+        let res = self.peers[p].schedule.reserve(now, intro);
+        self.charge_loyal(p, Purpose::GenIntro, intro);
+        let poller_identity = self.peers[p].identity;
+        let from = self.peers[p].node;
+        eng.schedule_at(res.end, move |w: &mut World, e| {
+            if !w.poll_is_current(p, au, id) {
+                return;
+            }
+            let Some(to) = w.node_of(invitee) else { return };
+            let sent = w.send_message(
+                e,
+                from,
+                to,
+                Message::Poll {
+                    au,
+                    poll: id,
+                    poller: poller_identity,
+                    intro_valid: true,
+                    vote_deadline,
+                },
+            );
+            // Whether or not the send succeeded (pipe stoppage) or the
+            // voter silently drops it, an ack timeout drives the retry.
+            let timeout = w.cfg.protocol.invite_timeout;
+            e.schedule_in(timeout, move |w: &mut World, e| {
+                w.invite_timeout(e, p, au, id, idx, attempt);
+            });
+            let _ = sent;
+        });
+    }
+
+    /// PollAck handling (§4.1).
+    fn poller_on_ack(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        au: AuId,
+        id: PollId,
+        from: NodeId,
+        accept: bool,
+    ) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let now = eng.now();
+        // Identify the invitee by its node.
+        let Some(invitee_identity) = self
+            .loyal_peer_of_node(from)
+            .map(|i| self.peers[i].identity)
+        else {
+            return;
+        };
+        let idx = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            let Some(idx) = poll.invitee_index(invitee_identity) else {
+                return;
+            };
+            idx
+        };
+        if !accept {
+            self.mark_refused_and_maybe_retry(eng, p, au, id, idx);
+            return;
+        }
+        {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            if !matches!(poll.invitees[idx].status, InviteeStatus::Invited { .. }) {
+                return;
+            }
+            poll.invitees[idx].status = InviteeStatus::Accepted;
+        }
+        // Generate and ship the remaining effort proof (§5.1).
+        let remaining = self.balanced_effort(self.cfg.cost.remaining_gen());
+        let res = self.peers[p].schedule.reserve(now, remaining);
+        self.charge_loyal(p, Purpose::GenRemaining, remaining);
+        let from_node = self.peers[p].node;
+        eng.schedule_at(res.end, move |w: &mut World, e| {
+            if !w.poll_is_current(p, au, id) {
+                return;
+            }
+            {
+                let poll = w.peers[p].per_au[au.index()]
+                    .poll
+                    .as_mut()
+                    .expect("current");
+                let Some(idx) = poll.invitee_index(invitee_identity) else {
+                    return;
+                };
+                if poll.invitees[idx].status != InviteeStatus::Accepted {
+                    return;
+                }
+                poll.invitees[idx].status = InviteeStatus::AwaitingVote;
+            }
+            let Some(to) = w.node_of(invitee_identity) else {
+                return;
+            };
+            w.send_message(
+                e,
+                from_node,
+                to,
+                Message::PollProof {
+                    au,
+                    poll: id,
+                    remaining_valid: true,
+                },
+            );
+        });
+    }
+
+    /// No PollAck arrived in time: treat as reluctance and retry later in
+    /// the same solicitation phase (§4.1).
+    fn invite_timeout(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        au: AuId,
+        id: PollId,
+        idx: usize,
+        attempt: u32,
+    ) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let stale = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            poll.invitees[idx].status != InviteeStatus::Invited { attempt }
+        };
+        if stale {
+            return;
+        }
+        self.mark_refused_and_maybe_retry(eng, p, au, id, idx);
+    }
+
+    fn mark_refused_and_maybe_retry(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        au: AuId,
+        id: PollId,
+        idx: usize,
+    ) {
+        let cfg_max = self.cfg.protocol.max_invite_attempts;
+        let now = eng.now();
+        let do_retry = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            let attempts = match poll.invitees[idx].status {
+                InviteeStatus::Invited { attempt } => attempt + 1,
+                InviteeStatus::Scheduled { attempt } => attempt + 1,
+                _ => return,
+            };
+            if attempts >= cfg_max || now + Duration::HOUR * 2 >= poll.solicit_deadline {
+                poll.invitees[idx].status = InviteeStatus::Dead;
+                false
+            } else {
+                poll.invitees[idx].status = InviteeStatus::Refused { attempts };
+                true
+            }
+        };
+        if do_retry {
+            // Spread retries uniformly over what is left of the window.
+            let deadline = {
+                let poll = self.peers[p].per_au[au.index()]
+                    .poll
+                    .as_ref()
+                    .expect("current");
+                poll.solicit_deadline
+            };
+            let window = deadline.since(now);
+            let wait = self.peers[p]
+                .rng
+                .duration_between(Duration::MINUTE * 30, window.max(Duration::HOUR));
+            eng.schedule_in(wait, move |w: &mut World, e| {
+                w.retry_invite(e, p, au, id, idx);
+            });
+        }
+    }
+
+    fn retry_invite(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId, idx: usize) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let ok = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            matches!(poll.invitees[idx].status, InviteeStatus::Refused { .. })
+                && poll.phase == PollPhase::Soliciting
+        };
+        if ok {
+            {
+                let poll = self.peers[p].per_au[au.index()]
+                    .poll
+                    .as_mut()
+                    .expect("current");
+                if let InviteeStatus::Refused { attempts } = poll.invitees[idx].status {
+                    poll.invitees[idx].status = InviteeStatus::Scheduled { attempt: attempts };
+                }
+            }
+            self.send_invite(eng, p, au, id, idx);
+        }
+    }
+
+    /// A Vote arrived (§4.2): record it and harvest nominations into the
+    /// outer-circle pool and the introduction table.
+    #[allow(clippy::too_many_arguments)]
+    fn poller_on_vote(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        au: AuId,
+        id: PollId,
+        voter: Identity,
+        damage: Vec<u64>,
+        nominations: Vec<Identity>,
+        proof_valid: bool,
+    ) {
+        if !self.poll_is_current(p, au, id) {
+            return; // unsolicited or stale: ignored for free (§5.1)
+        }
+        let now = eng.now();
+        {
+            // Vote-flood defense (§5.1): votes from identities we never
+            // invited are ignored without any effort.
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            if !poll.has_invitee(voter) {
+                return;
+            }
+        }
+        if !proof_valid {
+            // Bogus vote from a real invitee: one block hash detects it;
+            // penalize and discard.
+            self.charge_loyal(p, Purpose::VerifyVoteProof, self.cfg.cost.block_hash());
+            self.peers[p].per_au[au.index()].known.penalize(voter, now);
+            return;
+        }
+        let cfg = self.cfg.protocol.clone();
+        let peer = &mut self.peers[p];
+        let me = peer.identity;
+        let au_state = &mut peer.per_au[au.index()];
+        let poll = au_state.poll.as_mut().expect("current");
+        if !poll.record_vote(voter, damage) {
+            return; // unsolicited or duplicate votes are ignored (§5.1)
+        }
+        // Harvest nominations: randomly partition into outer-circle
+        // candidates and introductions (§5.1).
+        for nominee in nominations {
+            if nominee == me || nominee == voter || nominee.is_minion() {
+                continue;
+            }
+            if peer.rng.chance(cfg.introduction_frac) {
+                au_state.admission.introduce(nominee, voter, now, &cfg);
+            } else if !poll.nominated_pool.contains(&nominee) {
+                poll.nominated_pool.push(nominee);
+            }
+        }
+    }
+
+    /// RepairRequest arrived at a voter (§4.3).
+    fn voter_on_repair_request(&mut self, eng: &mut Eng, p: usize, poll: PollId, block: u64) {
+        let cfg_max = self.cfg.protocol.max_repairs_served;
+        let now = eng.now();
+        let (au, poller_node, can) = {
+            let Some(s) = self.peers[p].voting.get_mut(&poll) else {
+                return;
+            };
+            let can = s.may_serve_repair(cfg_max);
+            if can {
+                s.repairs_served += 1;
+            }
+            (s.au, s.poller_node, can)
+        };
+        if !can {
+            return;
+        }
+        let cost = self.cfg.cost.repair_serve_cost();
+        let res = self.peers[p].schedule.reserve(now, cost);
+        self.charge_loyal(p, Purpose::ServeRepair, cost);
+        let from = self.peers[p].node;
+        eng.schedule_at(res.end, move |w: &mut World, e| {
+            w.send_message(e, from, poller_node, Message::Repair { au, poll, block });
+        });
+    }
+
+    /// A Repair block arrived at the poller (§4.3).
+    fn poller_on_repair(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId, block: u64) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let now = eng.now();
+        let cost = self.cfg.cost.repair_apply_cost();
+        self.charge_loyal(p, Purpose::ApplyRepair, cost);
+        let _ = now;
+        let became_intact = {
+            let au_state = &mut self.peers[p].per_au[au.index()];
+            let was_intact = au_state.replica.is_intact();
+            au_state.replica.repair(block);
+            !was_intact && au_state.replica.is_intact()
+        };
+        if became_intact {
+            self.metrics.damage.on_repaired(eng.now());
+        }
+        let done = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            poll.pending_repairs = poll.pending_repairs.saturating_sub(1);
+            poll.phase == PollPhase::Repairing && poll.pending_repairs == 0
+        };
+        if done {
+            self.finalize_poll(eng, p, au, id);
+        }
+    }
+
+    /// Launches the outer circle (§4.2): solicit votes from discovered
+    /// peers to observe their behaviour.
+    fn launch_outer(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let outer_n = self.cfg.protocol.outer_circle;
+        let now = eng.now();
+        let candidates: Vec<Identity> = {
+            let peer = &self.peers[p];
+            let au_state = &peer.per_au[au.index()];
+            let poll = au_state.poll.as_ref().expect("current");
+            let mut pool: Vec<Identity> = poll
+                .nominated_pool
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    c != peer.identity && !au_state.reflist.contains(c) && !poll.has_invitee(c)
+                })
+                .collect();
+            pool.dedup();
+            pool
+        };
+        let picked = self.peers[p].rng.sample(&candidates, outer_n);
+        let deadline = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            poll.solicit_deadline
+        };
+        let window = deadline.since(now).mul_f64(0.7);
+        for v in picked {
+            let idx = {
+                let poll = self.peers[p].per_au[au.index()]
+                    .poll
+                    .as_mut()
+                    .expect("current");
+                if poll.has_invitee(v) {
+                    continue;
+                }
+                poll.add_invitee(v, false)
+            };
+            let at = now + self.peers[p].rng.duration_between(Duration::SECOND, window);
+            eng.schedule_at(at, move |w: &mut World, e| {
+                w.send_invite(e, p, au, id, idx);
+            });
+        }
+        if self.poll_is_current(p, au, id) {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            poll.outer_launched = true;
+        }
+    }
+
+    /// Solicitation window closed: evaluate (§4.3).
+    fn begin_evaluation(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let now = eng.now();
+        // Penalize invitees that committed but never delivered (§5.1).
+        let deserters = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            if poll.phase != PollPhase::Soliciting {
+                return;
+            }
+            poll.phase = PollPhase::Evaluating;
+            poll.committed_non_voters()
+        };
+        {
+            let decay = self.cfg.protocol.grade_decay;
+            let _ = decay;
+            let au_state = &mut self.peers[p].per_au[au.index()];
+            for d in deserters {
+                au_state.known.penalize(d, now);
+            }
+        }
+        let n_votes = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            poll.votes.len()
+        };
+        if n_votes == 0 {
+            // Nothing to evaluate; conclude as failed.
+            self.finalize_poll(eng, p, au, id);
+            return;
+        }
+        let proof_checks = self.balanced_effort(self.cfg.cost.vote_proof_verify() * n_votes as u64);
+        let cost = self.cfg.cost.au_hash() + proof_checks;
+        let res = self.peers[p].schedule.reserve(now, cost);
+        self.charge_loyal(p, Purpose::Evaluate, self.cfg.cost.au_hash());
+        self.charge_loyal(p, Purpose::VerifyVoteProof, proof_checks);
+        eng.schedule_at(res.end, move |w: &mut World, e| {
+            w.tally(e, p, au, id);
+        });
+    }
+
+    /// Block-wise tally and repair planning (§4.3).
+    fn tally(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let quorum = self.cfg.protocol.quorum;
+        let frivolous_p = self.cfg.protocol.frivolous_repair_prob;
+        let now = eng.now();
+
+        let (inner_votes, my_damage) = {
+            let au_state = &self.peers[p].per_au[au.index()];
+            let poll = au_state.poll.as_ref().expect("current");
+            (poll.inner_votes(), au_state.replica.snapshot())
+        };
+
+        let mut repair_plan: Vec<(u64, Identity)> = Vec::new();
+        let mut unrepairable = 0u32;
+        if inner_votes >= quorum {
+            // Every damaged block of our replica meets landslide
+            // disagreement (damaged content never matches anyone): fetch a
+            // repair from a voter whose vote shows the block intact.
+            let peer = &mut self.peers[p];
+            let poll = peer.per_au[au.index()].poll.as_ref().expect("current");
+            for block in my_damage {
+                let candidates = poll.repair_candidates(block);
+                match peer.rng.choose(&candidates) {
+                    Some(&v) => repair_plan.push((block, v)),
+                    None => unrepairable += 1,
+                }
+            }
+            // Frivolous repair (§4.3): keep voters honest about serving.
+            if peer.rng.chance(frivolous_p) && !poll.votes.is_empty() {
+                let blocks = self.cfg.au_spec.blocks();
+                let block = peer.rng.below(blocks as usize) as u64;
+                let pick = peer.rng.below(poll.votes.len());
+                let v = poll.votes[pick].voter;
+                repair_plan.push((block, v));
+            }
+        }
+
+        {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_mut()
+                .expect("current");
+            poll.phase = PollPhase::Repairing;
+            poll.pending_repairs = repair_plan.len() as u32;
+            poll.unrepairable = unrepairable;
+        }
+        let from = self.peers[p].node;
+        let _ = now;
+        if repair_plan.is_empty() {
+            self.finalize_poll(eng, p, au, id);
+            return;
+        }
+        for (block, voter) in repair_plan {
+            let Some(to) = self.node_of(voter) else {
+                let poll = self.peers[p].per_au[au.index()]
+                    .poll
+                    .as_mut()
+                    .expect("current");
+                poll.pending_repairs -= 1;
+                continue;
+            };
+            self.send_message(
+                eng,
+                from,
+                to,
+                Message::RepairRequest {
+                    au,
+                    poll: id,
+                    block,
+                },
+            );
+        }
+        let still_pending = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            poll.pending_repairs
+        };
+        if still_pending == 0 {
+            self.finalize_poll(eng, p, au, id);
+        }
+    }
+
+    /// Hard conclusion: if repairs (or evaluation) are stuck at the poll's
+    /// scheduled end, finish anyway; the next poll starts on time
+    /// (autonomous rate limitation).
+    fn conclude_guard(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let phase = {
+            let poll = self.peers[p].per_au[au.index()]
+                .poll
+                .as_ref()
+                .expect("current");
+            poll.phase
+        };
+        if phase != PollPhase::Finished {
+            self.finalize_poll(eng, p, au, id);
+        }
+    }
+
+    /// Concludes the poll (§4.3): receipts, grades, reference-list update,
+    /// metrics, and the next poll's schedule.
+    fn finalize_poll(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId) {
+        if !self.poll_is_current(p, au, id) {
+            return;
+        }
+        let cfg = self.cfg.protocol.clone();
+        let now = eng.now();
+
+        let poll = {
+            let au_state = &mut self.peers[p].per_au[au.index()];
+            let mut poll = au_state.poll.take().expect("current");
+            poll.phase = PollPhase::Finished;
+            poll
+        };
+
+        let my_damage = self.peers[p].per_au[au.index()].replica.snapshot();
+        let inner_votes = poll.inner_votes();
+        let disagreeing = poll.inner_disagreements(&my_damage);
+        let quorate = inner_votes >= cfg.quorum;
+        let landslide_win = quorate && disagreeing <= cfg.max_disagree;
+        let landslide_loss = quorate && disagreeing >= inner_votes.saturating_sub(cfg.max_disagree);
+        let inconclusive = quorate && !landslide_win && !landslide_loss;
+
+        // Grades: every voter that supplied a valid vote is raised (§5.1).
+        {
+            let au_state = &mut self.peers[p].per_au[au.index()];
+            for v in &poll.votes {
+                au_state.known.raise(v.voter, now, cfg.grade_decay);
+            }
+        }
+
+        // Receipts: the MBF byproduct of evaluation (§5.1); evaluation was
+        // already charged, so receipts cost only the send.
+        let from = self.peers[p].node;
+        let voters: Vec<Identity> = poll.votes.iter().map(|v| v.voter).collect();
+        for v in &voters {
+            if let Some(to) = self.node_of(*v) {
+                self.send_message(
+                    eng,
+                    from,
+                    to,
+                    Message::EvaluationReceipt {
+                        au,
+                        poll: id,
+                        valid: true,
+                    },
+                );
+            }
+        }
+
+        // Reference-list update only on a decisive outcome (§4.3).
+        if landslide_win {
+            let agreeing_outer = poll.agreeing_outer(&my_damage);
+            let decisive = poll.decisive_voters();
+            let peer = &mut self.peers[p];
+            let au_state = &mut peer.per_au[au.index()];
+            au_state
+                .reflist
+                .conclude_poll(&decisive, &agreeing_outer, &cfg, &mut peer.rng);
+        }
+
+        // Metrics.
+        if landslide_win {
+            self.metrics.polls.on_success(p as u32, au.0, now);
+        } else {
+            self.metrics.polls.on_failure();
+            if inconclusive || landslide_loss {
+                // A loss should have been repaired away; both raise alarms.
+                self.metrics.polls.on_alarm();
+            }
+        }
+
+        // Next poll: autonomous fixed rate with jitter (§5.1).
+        let jitter = self.cfg.protocol.interval_jitter;
+        let next_start = poll.started + self.peers[p].rng.jitter(cfg.poll_interval, jitter);
+        let at = next_start.max(now + Duration::SECOND);
+        eng.schedule_at(at, move |w: &mut World, e| {
+            w.start_poll(e, p, au);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Voter side.
+    // ------------------------------------------------------------------
+
+    /// An invitation arrived (§5.1 admission control, then commitment).
+    #[allow(clippy::too_many_arguments)]
+    fn voter_on_poll(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        from: NodeId,
+        au: AuId,
+        id: PollId,
+        poller: Identity,
+        intro_valid: bool,
+        vote_deadline: SimTime,
+    ) {
+        let cfg = self.cfg.protocol.clone();
+        let now = eng.now();
+        if self.peers[p].voting.contains_key(&id) {
+            return; // duplicate invitation for an existing commitment
+        }
+        // Admission filter.
+        let outcome = {
+            let peer = &mut self.peers[p];
+            let au_state = &mut peer.per_au[au.index()];
+            au_state
+                .admission
+                .filter(poller, &au_state.known, now, &cfg, &mut peer.rng)
+        };
+        let via_introduction = match outcome {
+            AdmissionOutcome::Admitted { via_introduction } => via_introduction,
+            // Silent for the sender; free for us.
+            AdmissionOutcome::RandomDrop
+            | AdmissionOutcome::Refractory
+            | AdmissionOutcome::RateLimited => return,
+        };
+
+        // §9 adaptive acceptance (off by default): the busier we already
+        // are, the likelier we refuse — raising the attacker's marginal
+        // cost of increasing our busyness. The admission (and any intro
+        // effort the poller spent) is already consumed.
+        if cfg.adaptive_acceptance {
+            let busy = self.peers[p].schedule.busy_within(now, cfg.adaptive_window);
+            let fraction = (busy / cfg.adaptive_window).min(0.95);
+            if self.peers[p].rng.chance(fraction) {
+                let from_node = self.peers[p].node;
+                self.send_message(
+                    eng,
+                    from_node,
+                    from,
+                    Message::PollAck {
+                        au,
+                        poll: id,
+                        accept: false,
+                    },
+                );
+                return;
+            }
+        }
+
+        // Consideration: session + introductory-effort verification.
+        self.charge_loyal(p, Purpose::Consider, self.cfg.cost.consider_cost());
+        if !intro_valid {
+            // Garbage proof: cheap detection, then reject. The refractory
+            // period was already triggered by the admission — which is the
+            // entire point of the §7.3 attack.
+            let detect = self.balanced_effort(self.cfg.cost.bogus_intro_detect());
+            self.charge_loyal(p, Purpose::VerifyIntro, detect);
+            return;
+        }
+        let verify = self.balanced_effort(self.cfg.cost.intro_verify());
+        self.charge_loyal(p, Purpose::VerifyIntro, verify);
+
+        // Schedule check (§5.1): the whole vote-service computation must
+        // fit before the deadline.
+        let vote_cost = self.balanced_effort(self.cfg.cost.remaining_verify())
+            + self.cfg.cost.au_hash()
+            + self.balanced_effort(self.cfg.cost.vote_proof_gen());
+        let reservation = self.peers[p].schedule.try_reserve(
+            now,
+            now,
+            vote_deadline.saturating_sub(Duration::MINUTE),
+            vote_cost,
+        );
+        let from_node = self.peers[p].node;
+        let Some(reservation) = reservation else {
+            self.send_message(
+                eng,
+                from_node,
+                from,
+                Message::PollAck {
+                    au,
+                    poll: id,
+                    accept: false,
+                },
+            );
+            return;
+        };
+
+        let session = VoterSession::new(
+            au,
+            poller,
+            from,
+            reservation,
+            vote_deadline,
+            via_introduction,
+        );
+        self.peers[p].voting.insert(id, session);
+        self.send_message(
+            eng,
+            from_node,
+            from,
+            Message::PollAck {
+                au,
+                poll: id,
+                accept: true,
+            },
+        );
+        // If the poller deserts (INTRO strategy), release the reservation
+        // and penalize (§5.1 reservation attack defense).
+        let timeout = cfg.proof_timeout;
+        eng.schedule_in(timeout, move |w: &mut World, e| {
+            w.voter_proof_timeout(e, p, id);
+        });
+    }
+
+    fn voter_proof_timeout(&mut self, eng: &mut Eng, p: usize, id: PollId) {
+        let now = eng.now();
+        let (cancel, au, poller) = {
+            let Some(s) = self.peers[p].voting.get(&id) else {
+                return;
+            };
+            if s.stage != VoterStage::AwaitingProof {
+                return;
+            }
+            (s.reservation, s.au, s.poller)
+        };
+        self.peers[p].schedule.cancel(cancel);
+        self.peers[p].voting.remove(&id);
+        self.peers[p].per_au[au.index()].known.penalize(poller, now);
+        let _ = eng;
+    }
+
+    /// The PollProof arrived: the vote computation occupies the reserved
+    /// slot (§4.1).
+    fn voter_on_proof(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        id: PollId,
+        au: AuId,
+        remaining_valid: bool,
+    ) {
+        let now = eng.now();
+        let compute_done = {
+            let Some(s) = self.peers[p].voting.get_mut(&id) else {
+                return;
+            };
+            if s.stage != VoterStage::AwaitingProof || s.au != au {
+                return;
+            }
+            if !remaining_valid {
+                // Bogus remaining proof: abort, penalize.
+                let res = s.reservation;
+                let poller = s.poller;
+                self.peers[p].schedule.cancel(res);
+                self.peers[p].voting.remove(&id);
+                self.peers[p].per_au[au.index()].known.penalize(poller, now);
+                return;
+            }
+            s.stage = VoterStage::ComputingVote;
+            s.reservation.end.max(now)
+        };
+        eng.schedule_at(compute_done, move |w: &mut World, e| {
+            w.voter_vote_computed(e, p, id);
+        });
+    }
+
+    fn voter_vote_computed(&mut self, eng: &mut Eng, p: usize, id: PollId) {
+        let now = eng.now();
+        let (au, poller_node, vote_deadline) = {
+            let Some(s) = self.peers[p].voting.get_mut(&id) else {
+                return;
+            };
+            if s.stage != VoterStage::ComputingVote {
+                return;
+            }
+            s.stage = VoterStage::AwaitingReceipt;
+            (s.au, s.poller_node, s.vote_deadline)
+        };
+        // Charge the vote-service compute (the reserved slot).
+        let verify_remaining = self.balanced_effort(self.cfg.cost.remaining_verify());
+        self.charge_loyal(p, Purpose::VerifyRemaining, verify_remaining);
+        self.charge_loyal(p, Purpose::ComputeVote, self.cfg.cost.au_hash());
+        let gen_proof = self.balanced_effort(self.cfg.cost.vote_proof_gen());
+        self.charge_loyal(p, Purpose::GenVoteProof, gen_proof);
+
+        let (damage, nominations, from, me) = {
+            let peer = &mut self.peers[p];
+            let au_state = &peer.per_au[au.index()];
+            let damage = au_state.replica.snapshot();
+            let noms = au_state
+                .reflist
+                .nominate(self.cfg.protocol.nominations, &mut peer.rng);
+            (damage, noms, peer.node, peer.identity)
+        };
+        self.send_message(
+            eng,
+            from,
+            poller_node,
+            Message::Vote {
+                au,
+                poll: id,
+                voter: me,
+                damage,
+                nominations,
+                proof_valid: true,
+            },
+        );
+        // Expect the receipt within the poll's remaining lifetime.
+        let slack = self.cfg.protocol.receipt_slack + self.cfg.protocol.poll_interval.mul_f64(0.35);
+        let deadline = vote_deadline + slack;
+        let _ = now;
+        eng.schedule_at(deadline, move |w: &mut World, e| {
+            w.voter_receipt_deadline(e, p, id);
+        });
+    }
+
+    fn voter_receipt_deadline(&mut self, eng: &mut Eng, p: usize, id: PollId) {
+        let now = eng.now();
+        let Some(s) = self.peers[p].voting.get(&id) else {
+            return;
+        };
+        if s.stage != VoterStage::AwaitingReceipt {
+            return;
+        }
+        let (au, poller) = (s.au, s.poller);
+        self.peers[p].voting.remove(&id);
+        // Wasteful-strategy defense (§5.1): no receipt, straight to debt.
+        self.peers[p].per_au[au.index()].known.penalize(poller, now);
+        let _ = eng;
+    }
+
+    fn voter_on_receipt(&mut self, eng: &mut Eng, p: usize, id: PollId, valid: bool) {
+        let now = eng.now();
+        let Some(s) = self.peers[p].voting.get(&id) else {
+            return;
+        };
+        if s.stage != VoterStage::AwaitingReceipt {
+            return;
+        }
+        let (au, poller) = (s.au, s.poller);
+        self.peers[p].voting.remove(&id);
+        let decay = self.cfg.protocol.grade_decay;
+        let au_state = &mut self.peers[p].per_au[au.index()];
+        if valid {
+            // Completed exchange: we supplied a vote, the poller consumed
+            // it — its grade at us drops one step (§5.1 reciprocity).
+            au_state.known.lower(poller, now, decay);
+        } else {
+            au_state.known.penalize(poller, now);
+        }
+        let _ = eng;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockss_storage::AuSpec;
+
+    /// A small, fast world for end-to-end protocol tests.
+    pub(crate) fn small_config(seed: u64) -> WorldConfig {
+        let au_spec = AuSpec {
+            size_bytes: 50_000_000, // 50 MB AUs hash in ~1.7 s
+            block_bytes: 1_000_000,
+        };
+        let mut cfg = WorldConfig {
+            n_peers: 30,
+            n_aus: 2,
+            au_spec,
+            mtbf_years: 1.0,
+            seed,
+            ..WorldConfig::default()
+        };
+        cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
+        cfg.protocol.poll_interval = Duration::from_days(30);
+        cfg.protocol.grade_decay = Duration::from_days(60);
+        cfg.validate().expect("valid");
+        cfg
+    }
+
+    fn run_world(cfg: WorldConfig, length: Duration) -> (World, SimTime) {
+        let mut world = World::new(cfg);
+        let mut eng = Eng::new();
+        world.start(&mut eng);
+        let end = SimTime::ZERO + length;
+        eng.run_until(&mut world, end);
+        (world, end)
+    }
+
+    #[test]
+    fn polls_succeed_absent_attack() {
+        let (world, end) = run_world(small_config(42), Duration::from_days(180));
+        let s = world.metrics.summarize(end);
+        assert!(
+            s.successful_polls > 100,
+            "expected many successful polls, got {} (failed {})",
+            s.successful_polls,
+            s.failed_polls
+        );
+        let rate = s.successful_polls as f64 / (s.successful_polls + s.failed_polls) as f64;
+        assert!(rate > 0.9, "success rate {rate}");
+        assert_eq!(s.alarms, 0, "honest network must not alarm");
+    }
+
+    #[test]
+    fn damage_gets_repaired() {
+        let (world, end) = run_world(small_config(7), Duration::from_days(360));
+        let s = world.metrics.summarize(end);
+        // MTBF 1 year/disk over 2 AUs at 30-day polls: damage must occur...
+        let damaged_now: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+        // ...and be repaired promptly: the steady-state damaged fraction
+        // should be near rate * mean-detection-delay, far below 10%.
+        assert!(
+            s.access_failure_probability < 0.05,
+            "failure probability {}",
+            s.access_failure_probability
+        );
+        assert!(
+            damaged_now <= 4,
+            "damage should not accumulate: {damaged_now} damaged now"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (wa, end) = run_world(small_config(5), Duration::from_days(120));
+        let (wb, _) = run_world(small_config(5), Duration::from_days(120));
+        let sa = wa.metrics.summarize(end);
+        let sb = wb.metrics.summarize(end);
+        assert_eq!(sa.successful_polls, sb.successful_polls);
+        assert_eq!(sa.failed_polls, sb.failed_polls);
+        assert!((sa.loyal_effort_secs - sb.loyal_effort_secs).abs() < 1e-9);
+        assert!((sa.access_failure_probability - sb.access_failure_probability).abs() < 1e-15);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (wa, end) = run_world(small_config(1), Duration::from_days(120));
+        let (wb, _) = run_world(small_config(2), Duration::from_days(120));
+        let sa = wa.metrics.summarize(end);
+        let sb = wb.metrics.summarize(end);
+        assert!(
+            sa.loyal_effort_secs != sb.loyal_effort_secs
+                || sa.successful_polls != sb.successful_polls
+        );
+    }
+
+    #[test]
+    fn pipe_stopped_world_makes_no_progress() {
+        let cfg = small_config(9);
+        let mut world = World::new(cfg);
+        let mut eng = Eng::new();
+        world.start(&mut eng);
+        // Stop every peer for the whole run.
+        for i in 0..world.n_loyal() {
+            let node = world.peers[i].node;
+            world.net.set_stopped(node, true);
+        }
+        let end = SimTime::ZERO + Duration::from_days(120);
+        eng.run_until(&mut world, end);
+        let s = world.metrics.summarize(end);
+        assert_eq!(s.successful_polls, 0, "no communication, no polls");
+        assert!(s.failed_polls > 0, "polls were attempted and failed");
+    }
+
+    #[test]
+    fn effort_is_charged() {
+        let (world, end) = run_world(small_config(11), Duration::from_days(90));
+        let s = world.metrics.summarize(end);
+        assert!(s.loyal_effort_secs > 0.0);
+        assert_eq!(s.adversary_effort_secs, 0.0);
+        // Every peer should have spent something (all poll and vote).
+        for p in &world.peers {
+            assert!(p.ledger.total_secs() > 0.0, "peer {:?} idle", p.identity);
+        }
+    }
+
+    #[test]
+    fn minions_and_poll_ids() {
+        let mut world = World::new(small_config(13));
+        let minions = world.add_minions(3);
+        assert_eq!(minions.len(), 3);
+        for m in &minions {
+            assert!(m.index() >= world.n_loyal());
+        }
+        let a = world.alloc_poll_id();
+        let b = world.alloc_poll_id();
+        assert_ne!(a, b);
+    }
+}

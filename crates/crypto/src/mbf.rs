@@ -1,0 +1,330 @@
+//! A memory-bound proof-of-effort function (paper §5.1).
+//!
+//! The paper prices protocol requests via Memory-Bound Functions
+//! (Dwork–Goldberg–Naor; Abadi et al.) because memory latency varies far
+//! less across machines than CPU speed. This module implements a
+//! self-contained MBF in that spirit:
+//!
+//! - The prover performs pseudo-random *walks* through a large table whose
+//!   entries are deliberately cache-unfriendly to visit in sequence; each
+//!   walk must additionally satisfy a search criterion (leading zero bits),
+//!   so generation explores `~2^difficulty_bits` candidate walks per
+//!   accepted walk.
+//! - The verifier replays only the accepted walks, so verification costs a
+//!   `1/2^difficulty_bits` fraction of generation — a *large constant
+//!   fraction*, which is exactly the property the paper's admission-control
+//!   calibration relies on (§6.3).
+//! - Generating (or verifying) a proof yields a 160-bit unforgeable
+//!   **byproduct**; the protocol reuses it as the evaluation receipt: the
+//!   voter remembers the byproduct of the effort embedded in the vote, and
+//!   the poller can only learn it by actually performing the evaluation
+//!   effort (§5.1).
+//!
+//! Inside the simulator these computations are charged as *time* through
+//! `lockss-effort`; this real implementation backs the unit tests, examples
+//! and micro-benchmarks.
+
+use crate::sha256::Sha256;
+
+/// Tuning parameters for the memory-bound function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MbfParams {
+    /// The table holds `2^table_bits` 64-bit words.
+    pub table_bits: u32,
+    /// Steps per walk.
+    pub walk_len: u32,
+    /// Accepted walks required per proof (the effort knob).
+    pub n_walks: u32,
+    /// Each accepted walk must hash to this many leading zero bits, so
+    /// generation tries `~2^difficulty_bits` walks per accepted one while
+    /// verification replays only the accepted walk.
+    pub difficulty_bits: u32,
+}
+
+impl Default for MbfParams {
+    fn default() -> Self {
+        // Small enough for tests; examples scale these up.
+        MbfParams {
+            table_bits: 16,
+            walk_len: 512,
+            n_walks: 4,
+            difficulty_bits: 2,
+        }
+    }
+}
+
+impl MbfParams {
+    /// Expected table size in bytes.
+    pub fn table_bytes(&self) -> usize {
+        (1usize << self.table_bits) * 8
+    }
+
+    /// Expected number of walk *steps* for generation (mean).
+    pub fn expected_generation_steps(&self) -> u64 {
+        (self.n_walks as u64) * (self.walk_len as u64) * (1u64 << self.difficulty_bits)
+    }
+
+    /// Walk steps for verification of a valid proof.
+    pub fn verification_steps(&self) -> u64 {
+        (self.n_walks as u64) * (self.walk_len as u64)
+    }
+}
+
+/// Witness for one accepted walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkWitness {
+    /// Which candidate walk satisfied the criterion.
+    pub trial: u32,
+    /// Final walk state.
+    pub end: u64,
+}
+
+/// A proof of memory-bound effort for a specific challenge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MbfProof {
+    pub walks: Vec<WalkWitness>,
+    /// 160-bit unforgeable byproduct of performing the effort; doubles as
+    /// the protocol's evaluation receipt.
+    pub byproduct: [u8; 20],
+}
+
+/// A reusable MBF instance: the table plus parameters.
+///
+/// The table is derived from a public seed. (A deployment would use a truly
+/// incompressible table; for a simulation substrate a seeded fill keeps
+/// tests deterministic.)
+pub struct MbfPuzzle {
+    params: MbfParams,
+    table: Vec<u64>,
+    mask: u64,
+}
+
+impl MbfPuzzle {
+    /// Builds the table for `params` from `seed`.
+    pub fn new(params: MbfParams, seed: u64) -> MbfPuzzle {
+        let n = 1usize << params.table_bits;
+        let mut table = Vec::with_capacity(n);
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for i in 0..n {
+            // splitmix64: cheap, full-period, good diffusion.
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s ^ (i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            table.push(z ^ (z >> 31));
+        }
+        MbfPuzzle {
+            params,
+            table,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> MbfParams {
+        self.params
+    }
+
+    fn walk(&self, challenge: &[u8], index: u32, trial: u32) -> u64 {
+        let mut h = Sha256::new();
+        h.update(challenge);
+        h.update(&index.to_le_bytes());
+        h.update(&trial.to_le_bytes());
+        let d = h.finalize();
+        let mut s = u64::from_le_bytes(d[..8].try_into().expect("8 bytes"));
+        let mut p =
+            (u64::from_le_bytes(d[8..16].try_into().expect("8 bytes")) & self.mask) as usize;
+        for _ in 0..self.params.walk_len {
+            s = s.rotate_left(7) ^ self.table[p];
+            p = ((s ^ (s >> 32)) & self.mask) as usize;
+        }
+        s
+    }
+
+    fn accepts(&self, challenge: &[u8], index: u32, trial: u32, end: u64) -> bool {
+        let mut h = Sha256::new();
+        h.update(challenge);
+        h.update(&index.to_le_bytes());
+        h.update(&trial.to_le_bytes());
+        h.update(&end.to_le_bytes());
+        let d = h.finalize();
+        leading_zero_bits(&d) >= self.params.difficulty_bits
+    }
+
+    /// Performs the effort for `challenge` and returns the proof.
+    ///
+    /// Mean cost is `expected_generation_steps()` table-dependent steps.
+    pub fn prove(&self, challenge: &[u8]) -> MbfProof {
+        let mut walks = Vec::with_capacity(self.params.n_walks as usize);
+        for index in 0..self.params.n_walks {
+            let mut trial = 0u32;
+            loop {
+                let end = self.walk(challenge, index, trial);
+                if self.accepts(challenge, index, trial, end) {
+                    walks.push(WalkWitness { trial, end });
+                    break;
+                }
+                trial += 1;
+            }
+        }
+        let byproduct = byproduct(challenge, &walks);
+        MbfProof { walks, byproduct }
+    }
+
+    /// Verifies a proof by replaying the accepted walks; returns the
+    /// recomputed byproduct on success.
+    ///
+    /// Cost is `verification_steps()` steps — a constant fraction
+    /// `2^-difficulty_bits` of generation.
+    pub fn verify(&self, challenge: &[u8], proof: &MbfProof) -> Option<[u8; 20]> {
+        if proof.walks.len() != self.params.n_walks as usize {
+            return None;
+        }
+        for (index, w) in proof.walks.iter().enumerate() {
+            let end = self.walk(challenge, index as u32, w.trial);
+            if end != w.end || !self.accepts(challenge, index as u32, w.trial, end) {
+                return None;
+            }
+        }
+        let b = byproduct(challenge, &proof.walks);
+        if b != proof.byproduct {
+            return None;
+        }
+        Some(b)
+    }
+}
+
+fn byproduct(challenge: &[u8], walks: &[WalkWitness]) -> [u8; 20] {
+    let mut h = Sha256::new();
+    h.update(b"mbf-byproduct");
+    h.update(challenge);
+    for w in walks {
+        h.update(&w.trial.to_le_bytes());
+        h.update(&w.end.to_le_bytes());
+    }
+    let d = h.finalize();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&d[..20]);
+    out
+}
+
+fn leading_zero_bits(d: &[u8; 32]) -> u32 {
+    let mut bits = 0;
+    for b in d {
+        if *b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn puzzle() -> MbfPuzzle {
+        MbfPuzzle::new(
+            MbfParams {
+                table_bits: 10,
+                walk_len: 64,
+                n_walks: 3,
+                difficulty_bits: 2,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn prove_then_verify_roundtrip() {
+        let p = puzzle();
+        let proof = p.prove(b"challenge-1");
+        let byproduct = p.verify(b"challenge-1", &proof);
+        assert_eq!(byproduct, Some(proof.byproduct));
+    }
+
+    #[test]
+    fn wrong_challenge_rejected() {
+        let p = puzzle();
+        let proof = p.prove(b"challenge-1");
+        assert_eq!(p.verify(b"challenge-2", &proof), None);
+    }
+
+    #[test]
+    fn tampered_walk_rejected() {
+        let p = puzzle();
+        let mut proof = p.prove(b"c");
+        proof.walks[0].end ^= 1;
+        assert_eq!(p.verify(b"c", &proof), None);
+    }
+
+    #[test]
+    fn tampered_byproduct_rejected() {
+        let p = puzzle();
+        let mut proof = p.prove(b"c");
+        proof.byproduct[0] ^= 1;
+        assert_eq!(p.verify(b"c", &proof), None);
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let p = puzzle();
+        let mut proof = p.prove(b"c");
+        proof.walks.pop();
+        assert_eq!(p.verify(b"c", &proof), None);
+    }
+
+    #[test]
+    fn byproduct_is_challenge_specific() {
+        let p = puzzle();
+        let a = p.prove(b"a");
+        let b = p.prove(b"b");
+        assert_ne!(a.byproduct, b.byproduct);
+    }
+
+    #[test]
+    fn different_seeds_make_different_tables() {
+        let params = MbfParams::default();
+        let p1 = MbfPuzzle::new(params, 1);
+        let p2 = MbfPuzzle::new(params, 2);
+        let proof = p1.prove(b"x");
+        // A proof against one table should not verify against another.
+        assert_eq!(p2.verify(b"x", &proof), None);
+    }
+
+    #[test]
+    fn expected_cost_accounting() {
+        let params = MbfParams {
+            table_bits: 8,
+            walk_len: 100,
+            n_walks: 2,
+            difficulty_bits: 3,
+        };
+        assert_eq!(params.verification_steps(), 200);
+        assert_eq!(params.expected_generation_steps(), 1600);
+        assert_eq!(params.table_bytes(), 256 * 8);
+    }
+
+    #[test]
+    fn generation_really_searches() {
+        // With difficulty 4, at least one of a handful of proofs should need
+        // a non-zero trial counter (probability of all-zero is ~(1/16)^-...).
+        let p = MbfPuzzle::new(
+            MbfParams {
+                table_bits: 10,
+                walk_len: 16,
+                n_walks: 4,
+                difficulty_bits: 4,
+            },
+            7,
+        );
+        let proof = p.prove(b"search");
+        assert!(
+            proof.walks.iter().any(|w| w.trial > 0),
+            "difficulty should force retries: {proof:?}"
+        );
+        assert!(p.verify(b"search", &proof).is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-node effort accounting.
+//!
+//! The evaluation metrics need total CPU effort spent by loyal peers and by
+//! the adversary (coefficient of friction, cost ratio); the breakdown by
+//! purpose exists for diagnostics and the per-experiment reports.
+
+use lockss_sim::Duration;
+
+/// Why a node spent CPU time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Purpose {
+    /// Establishing a session / parsing to consider an invitation.
+    Consider,
+    /// Verifying an introductory effort proof.
+    VerifyIntro,
+    /// Verifying a remaining effort proof.
+    VerifyRemaining,
+    /// Verifying a vote's embedded proof during evaluation.
+    VerifyVoteProof,
+    /// Hashing an AU replica to compute a vote.
+    ComputeVote,
+    /// Generating the vote's embedded effort proof.
+    GenVoteProof,
+    /// Generating an introductory effort proof.
+    GenIntro,
+    /// Generating a remaining effort proof.
+    GenRemaining,
+    /// Hashing own replica to evaluate votes.
+    Evaluate,
+    /// Serving a repair block to a poller.
+    ServeRepair,
+    /// Applying and re-checking a received repair.
+    ApplyRepair,
+    /// Anything else (receipt checks, bookkeeping).
+    Misc,
+}
+
+/// All accounting purposes, for iteration in reports.
+pub const ALL_PURPOSES: [Purpose; 12] = [
+    Purpose::Consider,
+    Purpose::VerifyIntro,
+    Purpose::VerifyRemaining,
+    Purpose::VerifyVoteProof,
+    Purpose::ComputeVote,
+    Purpose::GenVoteProof,
+    Purpose::GenIntro,
+    Purpose::GenRemaining,
+    Purpose::Evaluate,
+    Purpose::ServeRepair,
+    Purpose::ApplyRepair,
+    Purpose::Misc,
+];
+
+fn purpose_index(p: Purpose) -> usize {
+    ALL_PURPOSES
+        .iter()
+        .position(|&q| q == p)
+        .expect("purpose is listed")
+}
+
+/// Accumulated CPU effort for one node, by purpose.
+#[derive(Clone, Debug, Default)]
+pub struct EffortLedger {
+    by_purpose: [f64; 12],
+}
+
+impl EffortLedger {
+    /// A fresh, zeroed ledger.
+    pub fn new() -> EffortLedger {
+        EffortLedger::default()
+    }
+
+    /// Records `cost` CPU time spent for `purpose`.
+    pub fn charge(&mut self, purpose: Purpose, cost: Duration) {
+        self.by_purpose[purpose_index(purpose)] += cost.as_secs_f64();
+    }
+
+    /// Total CPU seconds spent.
+    pub fn total_secs(&self) -> f64 {
+        self.by_purpose.iter().sum()
+    }
+
+    /// CPU seconds spent for one purpose.
+    pub fn secs_for(&self, purpose: Purpose) -> f64 {
+        self.by_purpose[purpose_index(purpose)]
+    }
+
+    /// Adds another ledger into this one.
+    pub fn merge(&mut self, other: &EffortLedger) {
+        for i in 0..self.by_purpose.len() {
+            self.by_purpose[i] += other.by_purpose[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = EffortLedger::new();
+        l.charge(Purpose::ComputeVote, Duration::from_secs(10));
+        l.charge(Purpose::ComputeVote, Duration::from_secs(5));
+        l.charge(Purpose::Consider, Duration::from_millis(50));
+        assert!((l.secs_for(Purpose::ComputeVote) - 15.0).abs() < 1e-9);
+        assert!((l.total_secs() - 15.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_by_purpose() {
+        let mut a = EffortLedger::new();
+        let mut b = EffortLedger::new();
+        a.charge(Purpose::GenIntro, Duration::from_secs(1));
+        b.charge(Purpose::GenIntro, Duration::from_secs(2));
+        b.charge(Purpose::Evaluate, Duration::from_secs(3));
+        a.merge(&b);
+        assert!((a.secs_for(Purpose::GenIntro) - 3.0).abs() < 1e-9);
+        assert!((a.secs_for(Purpose::Evaluate) - 3.0).abs() < 1e-9);
+        assert!((a.total_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_purposes_distinct() {
+        for (i, p) in ALL_PURPOSES.iter().enumerate() {
+            assert_eq!(purpose_index(*p), i);
+        }
+    }
+
+    #[test]
+    fn zero_ledger_is_zero() {
+        assert_eq!(EffortLedger::new().total_secs(), 0.0);
+    }
+}

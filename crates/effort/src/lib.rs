@@ -1,0 +1,21 @@
+//! Effort cost model and per-peer effort ledgers.
+//!
+//! The paper's simulator models "computationally expensive operations, such
+//! as computing MBF efforts and hashing documents" as time costs calibrated
+//! to a low-cost PC (§6.2–6.3). This crate is that calibration:
+//!
+//! - [`CostModel`] converts protocol operations into CPU-time
+//!   [`Duration`]s, with the effort-balancing arithmetic of §5.1 baked in
+//!   (introductory effort = 20% of the poller's total per-voter provable
+//!   effort; intro + remaining exceeds the voter's verify + vote cost).
+//! - [`EffortLedger`] accumulates the CPU-seconds each node actually spends,
+//!   categorised by purpose, feeding the coefficient-of-friction and
+//!   cost-ratio metrics.
+
+pub mod ledger;
+pub mod model;
+
+pub use ledger::{EffortLedger, Purpose};
+pub use model::CostModel;
+
+pub use lockss_sim::Duration;

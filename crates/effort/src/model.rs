@@ -1,0 +1,325 @@
+//! The calibrated cost model (paper §5.1 and §6.3).
+//!
+//! All constants model the paper's "low-cost PC" deployment unit. The
+//! effort-balancing identities are:
+//!
+//! - the voter's cost to serve a vote is `verify(intro) + verify(remaining)
+//!   + hash(AU) + generate(vote proof)`;
+//! - the poller's provable effort `intro + remaining` must exceed that by a
+//!   safety margin (§5.1: "the requester of a service has more invested in
+//!   the exchange than the supplier");
+//! - `intro = 20%` of the poller's total per-voter effort (§6.3), sized
+//!   together with the in-debt drop probability 0.8 so that ~5 attempted
+//!   admissions cost an attacker at least the victim's consideration of the
+//!   one admitted invitation;
+//! - MBF verification costs a large constant fraction of generation
+//!   (memory-bound functions verify by replaying accepted walks).
+
+use lockss_sim::Duration;
+
+/// Calibrated CPU-time costs for every protocol operation.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Content hash throughput (bytes/second); 30 MB/s models a 2004
+    /// low-cost PC's disk+SHA-1 pipeline.
+    pub hash_bytes_per_sec: f64,
+    /// Fraction of MBF generation cost paid by the verifier.
+    pub verify_ratio: f64,
+    /// Safety margin by which the poller's provable effort exceeds the
+    /// voter's total cost.
+    pub effort_margin: f64,
+    /// Fraction of total per-voter poller effort carried by the
+    /// introductory proof in the `Poll` message (§6.3: 20%).
+    pub intro_fraction: f64,
+    /// CPU cost of establishing the TLS-over-anonymous-DH session.
+    pub session_setup: Duration,
+    /// CPU cost of parsing/considering one protocol message.
+    pub message_parse: Duration,
+    /// Archival unit size in bytes (0.5 GB in the paper).
+    pub au_bytes: u64,
+    /// Block size in bytes (1 MB here; the paper reports per-block votes
+    /// without fixing a size).
+    pub block_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            hash_bytes_per_sec: 30.0e6,
+            verify_ratio: 0.5,
+            effort_margin: 0.05,
+            intro_fraction: 0.2,
+            session_setup: Duration::from_millis(50),
+            message_parse: Duration::from_millis(1),
+            au_bytes: 500_000_000,
+            block_bytes: 1_000_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model scaled to a different AU size.
+    pub fn with_au_bytes(mut self, au_bytes: u64) -> CostModel {
+        self.au_bytes = au_bytes;
+        self
+    }
+
+    /// Number of blocks per AU.
+    pub fn blocks_per_au(&self) -> u64 {
+        self.au_bytes.div_ceil(self.block_bytes)
+    }
+
+    /// Time to hash `bytes` of content.
+    pub fn hash_cost(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.hash_bytes_per_sec)
+    }
+
+    /// Time to hash one full AU replica (the bulk of vote generation and of
+    /// vote evaluation).
+    pub fn au_hash(&self) -> Duration {
+        self.hash_cost(self.au_bytes)
+    }
+
+    /// Time to hash a single block (the unit of repair re-evaluation).
+    pub fn block_hash(&self) -> Duration {
+        self.hash_cost(self.block_bytes)
+    }
+
+    /// The small provable effort embedded in a `Vote`, covering the cost of
+    /// hashing a single block plus verifying this effort (§5.1).
+    pub fn vote_proof_gen(&self) -> Duration {
+        // Solve g >= margin'd (verify(g) + block_hash):
+        // g = (1 + m) * block_hash / (1 - (1 + m) * rho), defensively
+        // clamped for extreme parameter choices.
+        let m = 1.0 + self.effort_margin;
+        let denom = (1.0 - m * self.verify_ratio).max(0.05);
+        self.block_hash().mul_f64(m / denom)
+    }
+
+    /// Verifier cost for the vote's embedded proof.
+    pub fn vote_proof_verify(&self) -> Duration {
+        self.vote_proof_gen().mul_f64(self.verify_ratio)
+    }
+
+    /// The voter's total cost to *serve* one vote, excluding admission
+    /// consideration: verifying the poller's two proofs, hashing the AU, and
+    /// generating the vote's own embedded proof.
+    pub fn vote_service_cost(&self) -> Duration {
+        self.intro_verify() + self.remaining_verify() + self.au_hash() + self.vote_proof_gen()
+    }
+
+    /// The poller's total per-voter provable effort `T` (intro + remaining).
+    ///
+    /// Solves the §5.1 balance: `T ≥ (1+margin) · (verify(T) + hash(AU) +
+    /// vote_proof_gen)`, i.e. `T = (1+m)(hash + proof) / (1 - (1+m)·ρ)`.
+    pub fn total_provable_effort(&self) -> Duration {
+        let m = 1.0 + self.effort_margin;
+        let denom = (1.0 - m * self.verify_ratio).max(0.05);
+        (self.au_hash() + self.vote_proof_gen()).mul_f64(m / denom)
+    }
+
+    /// Generation cost of the introductory effort in `Poll` (§6.3: 20% of
+    /// the total).
+    pub fn intro_gen(&self) -> Duration {
+        self.total_provable_effort().mul_f64(self.intro_fraction)
+    }
+
+    /// Verification cost of the introductory effort.
+    pub fn intro_verify(&self) -> Duration {
+        self.intro_gen().mul_f64(self.verify_ratio)
+    }
+
+    /// Generation cost of the remaining effort in `PollProof`.
+    pub fn remaining_gen(&self) -> Duration {
+        self.total_provable_effort()
+            .saturating_sub(self.intro_gen())
+    }
+
+    /// Verification cost of the remaining effort.
+    pub fn remaining_verify(&self) -> Duration {
+        self.remaining_gen().mul_f64(self.verify_ratio)
+    }
+
+    /// Poller-side cost of evaluating one poll: hashing its own replica once
+    /// (all votes are checked against the same block hashes, computed "in
+    /// parallel", §4.3) plus verifying each vote's embedded proof.
+    pub fn evaluation_cost(&self, votes: usize) -> Duration {
+        self.au_hash() + self.vote_proof_verify() * votes as u64
+    }
+
+    /// Cost to serve one repair block: read + hash + frame it.
+    pub fn repair_serve_cost(&self) -> Duration {
+        self.block_hash() * 2
+    }
+
+    /// Cost to apply and re-evaluate one received repair block.
+    pub fn repair_apply_cost(&self) -> Duration {
+        self.block_hash() * 2
+    }
+
+    /// The cost a voter pays merely to *consider* an invitation (session
+    /// establishment, schedule check), before any proof verification.
+    pub fn consider_cost(&self) -> Duration {
+        self.session_setup + self.message_parse
+    }
+
+    /// Cost to detect a *garbage* introductory proof: MBF verification
+    /// aborts on the first failed walk, so detection is a small fraction of
+    /// full verification (§6.3: "even if all poll invitations are bogus,
+    /// the total cost of detecting them as bogus is negligible").
+    pub fn bogus_intro_detect(&self) -> Duration {
+        self.intro_verify().mul_f64(1.0 / 8.0)
+    }
+
+    /// Wire size of a vote in bytes: one 20-byte running hash per block plus
+    /// framing.
+    pub fn vote_bytes(&self) -> u64 {
+        self.blocks_per_au() * 20 + 256
+    }
+
+    /// Sanity check: the §5.1 effort-balance inequality holds.
+    pub fn balance_holds(&self) -> bool {
+        let poller = self.intro_gen() + self.remaining_gen();
+        let voter = self.vote_service_cost();
+        poller >= voter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_balance_holds() {
+        let m = CostModel::default();
+        assert!(m.balance_holds());
+    }
+
+    #[test]
+    fn au_hash_matches_rate() {
+        let m = CostModel::default();
+        // 5e8 bytes at 3e7 B/s = 16.67 s.
+        let d = m.au_hash();
+        assert!((d.as_secs_f64() - 16.6667).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn intro_is_twenty_percent_of_total() {
+        let m = CostModel::default();
+        let frac = m.intro_gen().as_secs_f64() / m.total_provable_effort().as_secs_f64();
+        assert!((frac - 0.2).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn intro_plus_remaining_is_total() {
+        let m = CostModel::default();
+        let sum = m.intro_gen() + m.remaining_gen();
+        let total = m.total_provable_effort();
+        let diff = sum.as_secs_f64() - total.as_secs_f64();
+        assert!(diff.abs() < 0.01, "{diff}");
+    }
+
+    #[test]
+    fn verification_is_cheaper_than_generation() {
+        let m = CostModel::default();
+        assert!(m.intro_verify() < m.intro_gen());
+        assert!(m.remaining_verify() < m.remaining_gen());
+        assert!(m.vote_proof_verify() < m.vote_proof_gen());
+    }
+
+    #[test]
+    fn balance_holds_across_au_sizes() {
+        for au in [1_000_000u64, 50_000_000, 500_000_000, 2_000_000_000] {
+            let m = CostModel::default().with_au_bytes(au);
+            assert!(m.balance_holds(), "au={au}");
+        }
+    }
+
+    #[test]
+    fn five_dropped_intros_cost_more_than_consideration() {
+        // §6.3: by the time an in-debt attacker gets admitted (mean 5
+        // tries), he has spent more than the victim's consideration cost.
+        let m = CostModel::default();
+        let attacker = m.intro_gen().as_secs_f64() * 5.0;
+        let victim = (m.consider_cost() + m.intro_verify()).as_secs_f64();
+        assert!(attacker > victim);
+    }
+
+    #[test]
+    fn blocks_per_au_rounds_up() {
+        let m = CostModel::default().with_au_bytes(1_500_001);
+        assert_eq!(m.blocks_per_au(), 2);
+    }
+
+    #[test]
+    fn vote_bytes_scales_with_blocks() {
+        let m = CostModel::default();
+        assert_eq!(m.vote_bytes(), m.blocks_per_au() * 20 + 256);
+    }
+
+    #[test]
+    fn evaluation_cost_scales_with_votes() {
+        let m = CostModel::default();
+        let base = m.evaluation_cost(0);
+        let ten = m.evaluation_cost(10);
+        assert_eq!(base, m.au_hash());
+        assert!(ten > base);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The §5.1 effort-balance inequality holds across the whole
+        /// reasonable parameter space: the requester always has more
+        /// invested than the supplier.
+        #[test]
+        fn balance_holds_everywhere(
+            au_mb in 1u64..4_000,
+            verify_ratio in 0.05f64..0.85,
+            margin in 0.0f64..0.5,
+            intro_fraction in 0.05f64..0.5,
+        ) {
+            let m = CostModel {
+                verify_ratio,
+                effort_margin: margin,
+                intro_fraction,
+                ..CostModel::default()
+            }
+            .with_au_bytes(au_mb * 1_000_000);
+            prop_assert!(m.balance_holds(),
+                "balance must hold: au={au_mb}MB rho={verify_ratio} m={margin}");
+        }
+
+        /// Effort components are all positive and intro+remaining stays
+        /// within rounding of the total.
+        #[test]
+        fn components_partition_total(
+            verify_ratio in 0.05f64..0.85,
+            intro_fraction in 0.05f64..0.5,
+        ) {
+            let m = CostModel {
+                verify_ratio,
+                intro_fraction,
+                ..CostModel::default()
+            };
+            prop_assert!(!m.intro_gen().is_zero());
+            prop_assert!(!m.remaining_gen().is_zero());
+            let total = m.total_provable_effort().as_secs_f64();
+            let sum = (m.intro_gen() + m.remaining_gen()).as_secs_f64();
+            prop_assert!((total - sum).abs() < 0.01, "{total} vs {sum}");
+        }
+
+        /// Verification never costs more than generation.
+        #[test]
+        fn verify_leq_generate(verify_ratio in 0.05f64..0.95) {
+            let m = CostModel { verify_ratio, ..CostModel::default() };
+            prop_assert!(m.intro_verify() <= m.intro_gen());
+            prop_assert!(m.remaining_verify() <= m.remaining_gen());
+            prop_assert!(m.vote_proof_verify() <= m.vote_proof_gen());
+        }
+    }
+}

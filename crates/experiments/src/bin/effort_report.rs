@@ -1,0 +1,97 @@
+//! Where the CPU goes: per-purpose effort breakdown of a baseline run and
+//! an attacked run, side by side.
+//!
+//! The §6.1 friction metric aggregates all loyal effort; this report
+//! splits it by purpose (the `lockss-effort` ledger categories) so the
+//! *mechanism* of each attack is visible — e.g. the admission flood shows
+//! up almost entirely in `Consider`/`VerifyIntro`, brute force in
+//! `ComputeVote`.
+
+use lockss_adversary::Defection;
+use lockss_core::World;
+use lockss_effort::ledger::ALL_PURPOSES;
+use lockss_effort::EffortLedger;
+use lockss_experiments::scenario::{AttackSpec, Scenario};
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::Table;
+use lockss_sim::{Engine, SimTime};
+
+fn run_ledger(scenario: &Scenario, seed: u64) -> EffortLedger {
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = Engine::new();
+    world.start(&mut eng);
+    eng.run_until(&mut world, SimTime::ZERO + scenario.run_length);
+    let mut total = EffortLedger::new();
+    for p in &world.peers {
+        total.merge(&p.ledger);
+    }
+    total
+}
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Per-purpose loyal effort breakdown at scale '{}'",
+        scale.label()
+    );
+    let n_aus = scale.small_collection().min(8); // this report needs no statistics
+
+    let cases = [
+        ("baseline", AttackSpec::None),
+        (
+            "admission flood (100%, sustained)",
+            AttackSpec::AdmissionFlood {
+                coverage: 1.0,
+                days: 720,
+            },
+        ),
+        (
+            "brute force NONE",
+            AttackSpec::BruteForce {
+                defection: Defection::None_,
+            },
+        ),
+        (
+            "pipe stoppage (100% x 90d)",
+            AttackSpec::PipeStoppage {
+                coverage: 1.0,
+                days: 90,
+            },
+        ),
+    ];
+
+    let ledgers: Vec<(&str, EffortLedger)> = cases
+        .iter()
+        .map(|(name, attack)| {
+            let scenario = Scenario::attacked(scale, n_aus, *attack);
+            (*name, run_ledger(&scenario, 1))
+        })
+        .collect();
+
+    let mut header = vec!["purpose".to_string()];
+    for (name, _) in &ledgers {
+        header.push(name.to_string());
+    }
+    let mut table = Table::new(header);
+    for purpose in ALL_PURPOSES {
+        let mut row = vec![format!("{purpose:?}")];
+        for (_, ledger) in &ledgers {
+            row.push(format!("{:.0}", ledger.secs_for(purpose)));
+        }
+        table.row(row);
+    }
+    let mut totals = vec!["TOTAL (CPU-s)".to_string()];
+    for (_, ledger) in &ledgers {
+        totals.push(format!("{:.0}", ledger.total_secs()));
+    }
+    table.row(totals);
+
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("effort_report", &rendered, &table.to_csv());
+}

@@ -1,0 +1,47 @@
+//! Figure 2: baseline access failure probability vs inter-poll interval,
+//! for storage MTBFs of 1–5 disk-years and both collection sizes, absent
+//! any attack.
+//!
+//! Paper shape: failure probability grows with the poll interval and with
+//! the damage rate; the large collection tracks the small one closely.
+//! Anchor: ~4.8e-4 at (3 months, 5 years, small collection).
+
+use lockss_experiments::sweeps::fig2_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::sci;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Figure 2 (baseline) at scale '{}'", scale.label());
+    let points = fig2_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "poll interval (months)",
+        "storage MTBF (disk-years)",
+        "collection",
+        "access failure probability",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.interval_months.to_string(),
+            format!("{:.0}", p.mtbf_years),
+            if p.large { "large" } else { "small" }.to_string(),
+            sci(p.summary.access_failure_probability),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig2", &rendered, &table.to_csv());
+
+    // The paper's anchor point for comparison.
+    if let Some(anchor) = points
+        .iter()
+        .find(|p| p.interval_months == 3 && p.mtbf_years == 5.0 && !p.large)
+    {
+        println!(
+            "anchor (3 months, 5 disk-years, small): {}   [paper: 4.8e-4]",
+            sci(anchor.summary.access_failure_probability)
+        );
+    }
+}

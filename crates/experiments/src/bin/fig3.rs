@@ -1,0 +1,38 @@
+//! Figure 3: access failure probability under repeated pipe-stoppage
+//! attacks of varying duration (1–180 days) and coverage (10–100%).
+//!
+//! Paper shape: failure grows with coverage and duration, but even 100%
+//! coverage for 180 days only reaches a few 1e-3 — the system must be
+//! attacked intensely, widely, and for a long time to degrade.
+
+use lockss_experiments::sweeps::pipe_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::sci;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Figure 3 (pipe stoppage: access failure) at scale '{}'",
+        scale.label()
+    );
+    let points = pipe_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "attack duration (days)",
+        "coverage",
+        "collection",
+        "access failure probability",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.days.to_string(),
+            format!("{:.0}%", p.coverage * 100.0),
+            if p.large { "large" } else { "small" }.to_string(),
+            sci(p.measured.access_failure()),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig3", &rendered, &table.to_csv());
+}

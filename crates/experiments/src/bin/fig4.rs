@@ -1,0 +1,36 @@
+//! Figure 4: delay ratio under repeated pipe-stoppage attacks.
+//!
+//! Paper shape: attacks must last at least ~60 days to raise the delay
+//! ratio by an order of magnitude; short attacks barely move it.
+
+use lockss_experiments::sweeps::pipe_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::ratio;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Figure 4 (pipe stoppage: delay ratio) at scale '{}'",
+        scale.label()
+    );
+    let points = pipe_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "attack duration (days)",
+        "coverage",
+        "collection",
+        "delay ratio",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.days.to_string(),
+            format!("{:.0}%", p.coverage * 100.0),
+            if p.large { "large" } else { "small" }.to_string(),
+            ratio(p.measured.delay_ratio()),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig4", &rendered, &table.to_csv());
+}

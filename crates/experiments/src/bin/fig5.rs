@@ -1,0 +1,36 @@
+//! Figure 5: coefficient of friction under repeated pipe-stoppage attacks.
+//!
+//! Paper shape: negligible (≈1) for attacks of a few days; up to ~10 for
+//! long, wide attacks.
+
+use lockss_experiments::sweeps::pipe_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::ratio;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Figure 5 (pipe stoppage: coefficient of friction) at scale '{}'",
+        scale.label()
+    );
+    let points = pipe_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "attack duration (days)",
+        "coverage",
+        "collection",
+        "coefficient of friction",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.days.to_string(),
+            format!("{:.0}%", p.coverage * 100.0),
+            if p.large { "large" } else { "small" }.to_string(),
+            ratio(p.measured.friction()),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig5", &rendered, &table.to_csv());
+}

@@ -1,0 +1,37 @@
+//! Figure 7: delay ratio under the admission-control attack.
+//!
+//! Paper shape: essentially flat (≈1) at all durations and coverages —
+//! refractory periods protect the victims' schedules, and known peers
+//! bypass the blocked unknown/in-debt path.
+
+use lockss_experiments::sweeps::flood_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::ratio;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Figure 7 (admission flood: delay ratio) at scale '{}'",
+        scale.label()
+    );
+    let points = flood_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "attack duration (days)",
+        "coverage",
+        "collection",
+        "delay ratio",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.days.to_string(),
+            format!("{:.0}%", p.coverage * 100.0),
+            if p.large { "large" } else { "small" }.to_string(),
+            ratio(p.measured.delay_ratio()),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig7", &rendered, &table.to_csv());
+}

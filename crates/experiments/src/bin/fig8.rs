@@ -1,0 +1,38 @@
+//! Figure 8: coefficient of friction under the admission-control attack.
+//!
+//! Paper shape: long full-coverage attacks raise the cost of each
+//! successful poll by ~33% (loyal peers waste introductory efforts on
+//! victims stuck in refractory periods); short or narrow attacks are
+//! negligible.
+
+use lockss_experiments::sweeps::flood_sweep;
+use lockss_experiments::{save_results, Scale};
+use lockss_metrics::table::ratio;
+use lockss_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!(
+        "Figure 8 (admission flood: coefficient of friction) at scale '{}'",
+        scale.label()
+    );
+    let points = flood_sweep(scale);
+
+    let mut table = Table::new(vec![
+        "attack duration (days)",
+        "coverage",
+        "collection",
+        "coefficient of friction",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.days.to_string(),
+            format!("{:.0}%", p.coverage * 100.0),
+            if p.large { "large" } else { "small" }.to_string(),
+            ratio(p.measured.friction()),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    save_results("fig8", &rendered, &table.to_csv());
+}

@@ -1,0 +1,162 @@
+//! General-purpose scenario runner: build any world + attack combination
+//! from the command line and print the full metric report.
+//!
+//! ```sh
+//! cargo run --release -p lockss-experiments --bin lockss-sim -- \
+//!     --peers 100 --aus 20 --years 2 --seeds 3 \
+//!     --attack stoppage --coverage 0.7 --days 90
+//! ```
+//!
+//! Attacks: `none` (default), `stoppage`, `flood`,
+//! `brute-intro`, `brute-remaining`, `brute-none`.
+
+use lockss_adversary::Defection;
+use lockss_experiments::runner::{default_threads, run_batch};
+use lockss_experiments::scenario::{AttackSpec, Scenario};
+use lockss_experiments::Scale;
+use lockss_metrics::table::{ratio, sci};
+use lockss_sim::Duration;
+
+struct Args {
+    peers: usize,
+    aus: usize,
+    years: u64,
+    seeds: u64,
+    mtbf: f64,
+    interval_months: u64,
+    attack: String,
+    coverage: f64,
+    days: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        peers: 100,
+        aus: 20,
+        years: 2,
+        seeds: 3,
+        mtbf: 5.0,
+        interval_months: 3,
+        attack: "none".into(),
+        coverage: 1.0,
+        days: 90,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let val = &argv[i + 1];
+        match argv[i].as_str() {
+            "--peers" => args.peers = val.parse().expect("--peers N"),
+            "--aus" => args.aus = val.parse().expect("--aus N"),
+            "--years" => args.years = val.parse().expect("--years N"),
+            "--seeds" => args.seeds = val.parse().expect("--seeds N"),
+            "--mtbf" => args.mtbf = val.parse().expect("--mtbf YEARS"),
+            "--interval-months" => args.interval_months = val.parse().expect("--interval-months N"),
+            "--attack" => args.attack = val.clone(),
+            "--coverage" => args.coverage = val.parse().expect("--coverage F"),
+            "--days" => args.days = val.parse().expect("--days N"),
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let attack = match a.attack.as_str() {
+        "none" => AttackSpec::None,
+        "stoppage" => AttackSpec::PipeStoppage {
+            coverage: a.coverage,
+            days: a.days,
+        },
+        "flood" => AttackSpec::AdmissionFlood {
+            coverage: a.coverage,
+            days: a.days,
+        },
+        "brute-intro" => AttackSpec::BruteForce {
+            defection: Defection::Intro,
+        },
+        "brute-remaining" => AttackSpec::BruteForce {
+            defection: Defection::Remaining,
+        },
+        "brute-none" => AttackSpec::BruteForce {
+            defection: Defection::None_,
+        },
+        other => {
+            eprintln!("unknown attack '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let mut scenario = Scenario::attacked(Scale::Default, a.aus, attack);
+    scenario.cfg.n_peers = a.peers;
+    scenario.cfg.mtbf_years = a.mtbf;
+    scenario.cfg.protocol.poll_interval = Duration::MONTH * a.interval_months;
+    scenario.run_length = Duration::YEAR * a.years;
+
+    let mut baseline = scenario.clone();
+    baseline.attack = AttackSpec::None;
+
+    println!(
+        "scenario: {} peers x {} AUs, {}y, interval {}, mtbf {} disk-years, attack {}",
+        a.peers,
+        a.aus,
+        a.years,
+        scenario.cfg.protocol.poll_interval,
+        a.mtbf,
+        attack.label(),
+    );
+    println!(
+        "running {} seed(s) on {} threads...",
+        a.seeds,
+        default_threads()
+    );
+
+    let jobs = if attack == AttackSpec::None {
+        vec![scenario.clone()]
+    } else {
+        vec![scenario.clone(), baseline]
+    };
+    let out = run_batch(&jobs, a.seeds, default_threads());
+    let attacked = &out[0];
+    let base = out.get(1).unwrap_or(attacked);
+
+    println!();
+    println!(
+        "access failure probability  {}",
+        sci(attacked.access_failure_probability)
+    );
+    if let Some(g) = attacked.mean_time_between_successes {
+        println!("mean gap between successes  {g}");
+    }
+    println!(
+        "poll outcomes               {} ok / {} failed / {} alarms",
+        attacked.successful_polls, attacked.failed_polls, attacked.alarms
+    );
+    println!(
+        "loyal effort                {:.0} CPU-s",
+        attacked.loyal_effort_secs
+    );
+    if attack != AttackSpec::None {
+        println!(
+            "adversary effort            {:.0} CPU-s",
+            attacked.adversary_effort_secs
+        );
+        println!(
+            "delay ratio                 {}",
+            ratio(attacked.delay_ratio(base))
+        );
+        println!(
+            "coefficient of friction     {}",
+            ratio(attacked.coefficient_of_friction(base))
+        );
+        println!(
+            "cost ratio                  {}",
+            ratio(attacked.cost_ratio())
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! On-disk memoization of sweep results.
+//!
+//! Figures 3–5 share one pipe-stoppage sweep and Figures 6–8 one
+//! admission-flood sweep; the first binary to run performs the simulations
+//! and the others reuse the cached summaries. The format is a plain CSV so
+//! no serialization crate is needed and the cache doubles as raw data.
+//! Pass `--fresh` (or delete `results/`) to force recomputation.
+
+use std::path::PathBuf;
+
+use lockss_metrics::Summary;
+use lockss_sim::Duration;
+
+fn cache_path(name: &str) -> PathBuf {
+    PathBuf::from("results").join(format!(".cache-{name}.csv"))
+}
+
+/// True if the user asked to ignore caches.
+pub fn fresh_requested() -> bool {
+    std::env::args().any(|a| a == "--fresh")
+}
+
+/// Saves labelled summaries.
+pub fn store(name: &str, rows: &[(String, Summary)]) {
+    let _ = std::fs::create_dir_all("results");
+    let mut out = String::from("label,afp,gap_ms,successes,failures,alarms,loyal_s,adv_s\n");
+    for (label, s) in rows {
+        let gap = s
+            .mean_time_between_successes
+            .map(|d| d.as_millis().to_string())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{label},{},{gap},{},{},{},{},{}\n",
+            s.access_failure_probability,
+            s.successful_polls,
+            s.failed_polls,
+            s.alarms,
+            s.loyal_effort_secs,
+            s.adversary_effort_secs
+        ));
+    }
+    let _ = std::fs::write(cache_path(name), out);
+}
+
+/// Loads labelled summaries, or `None` if absent/unreadable/stale.
+pub fn load(name: &str) -> Option<Vec<(String, Summary)>> {
+    if fresh_requested() {
+        return None;
+    }
+    let text = std::fs::read_to_string(cache_path(name)).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 8 {
+            return None;
+        }
+        let gap = if cols[2].is_empty() {
+            None
+        } else {
+            Some(Duration::from_millis(cols[2].parse().ok()?))
+        };
+        rows.push((
+            cols[0].to_string(),
+            Summary {
+                access_failure_probability: cols[1].parse().ok()?,
+                mean_time_between_successes: gap,
+                successful_polls: cols[3].parse().ok()?,
+                failed_polls: cols[4].parse().ok()?,
+                alarms: cols[5].parse().ok()?,
+                loyal_effort_secs: cols[6].parse().ok()?,
+                adversary_effort_secs: cols[7].parse().ok()?,
+            },
+        ));
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rows = vec![
+            (
+                "a".to_string(),
+                Summary {
+                    access_failure_probability: 4.8e-4,
+                    mean_time_between_successes: Some(Duration::from_days(90)),
+                    successful_polls: 100,
+                    failed_polls: 3,
+                    alarms: 0,
+                    loyal_effort_secs: 123.5,
+                    adversary_effort_secs: 0.0,
+                },
+            ),
+            (
+                "b".to_string(),
+                Summary {
+                    access_failure_probability: 0.0,
+                    mean_time_between_successes: None,
+                    successful_polls: 0,
+                    failed_polls: 0,
+                    alarms: 1,
+                    loyal_effort_secs: 0.0,
+                    adversary_effort_secs: 9.75,
+                },
+            ),
+        ];
+        // Use a unique name to avoid collisions across test runs.
+        let name = format!("test-{}", std::process::id());
+        store(&name, &rows);
+        let loaded = load(&name).expect("cache loads");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a");
+        assert_eq!(
+            loaded[0].1.mean_time_between_successes,
+            Some(Duration::from_days(90))
+        );
+        assert_eq!(loaded[1].1.mean_time_between_successes, None);
+        assert!((loaded[1].1.adversary_effort_secs - 9.75).abs() < 1e-12);
+        let _ = std::fs::remove_file(super::cache_path(&name));
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's §6.3 layering methodology.
+//!
+//! "Memory limits in the Java Virtual Machine prevent Narses from
+//! simulating more than about 50 AUs/peer in a single run. We simulate
+//! 600 AU collections by layering 50 AUs/peer runs, adding the tasks
+//! caused by this layer's 50 AUs to the task schedule for each peer
+//! accumulated during the preceding layers. In effect, layer n is a
+//! simulation of 50 AUs on peers already running a realistic workload of
+//! 50(n−1) AUs."
+//!
+//! This reproduction has no JVM limit and simulates large collections
+//! directly; the layering technique is implemented anyway so the paper's
+//! methodology itself can be validated: `layered_run` simulates `layers ×
+//! layer_aus` AUs by running one layer at a time, pre-loading each peer's
+//! task schedule with synthetic background commitments matching the
+//! per-peer busy-time density measured in the preceding layers — and the
+//! validation test checks it against direct simulation (the paper: "we
+//! found negligible differences").
+
+use lockss_core::{World, WorldConfig};
+use lockss_metrics::Summary;
+use lockss_sim::{Duration, Engine, SimTime};
+
+/// Result of a layered simulation.
+#[derive(Clone, Debug)]
+pub struct LayeredOutcome {
+    /// Per-layer summaries (layer n ran with n−1 layers of background
+    /// load).
+    pub layers: Vec<Summary>,
+    /// The §6.3 aggregate: all layers' replicas pooled, weighted equally.
+    pub combined: Summary,
+}
+
+/// Measured busy density from one layer, re-injected into the next.
+#[derive(Clone, Copy, Debug, Default)]
+struct BusyDensity {
+    /// Mean committed CPU fraction per peer (0..1).
+    fraction: f64,
+}
+
+/// Runs `layers` sequential simulations of `cfg` (which describes ONE
+/// layer, i.e. `cfg.n_aus` = the per-layer collection), accumulating
+/// background load between layers, and combines the results.
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or the configuration is invalid.
+pub fn layered_run(cfg: &WorldConfig, layers: usize, run_length: Duration) -> LayeredOutcome {
+    assert!(layers > 0, "need at least one layer");
+    let mut density = BusyDensity::default();
+    let mut summaries = Vec::with_capacity(layers);
+    let end = SimTime::ZERO + run_length;
+
+    for layer in 0..layers {
+        let mut layer_cfg = cfg.clone();
+        // Independent randomness per layer, reproducible from the seed.
+        layer_cfg.seed = cfg
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(layer as u64);
+        let mut world = World::new(layer_cfg);
+
+        // Pre-load each peer's schedule with the background commitments of
+        // the preceding layers: periodic synthetic tasks matching the
+        // measured busy fraction.
+        if density.fraction > 0.0 {
+            inject_background(&mut world, density, run_length);
+        }
+
+        let mut eng: Engine<World> = Engine::new();
+        world.start(&mut eng);
+        eng.run_until(&mut world, end);
+        let summary = world.metrics.summarize(end);
+
+        // Measure this layer's own busy density (committed CPU time per
+        // peer over the run), and stack it for the next layer.
+        let span = run_length.as_secs_f64();
+        let mean_busy: f64 = world
+            .peers
+            .iter()
+            .map(|p| p.schedule.committed_total().as_secs_f64())
+            .sum::<f64>()
+            / world.peers.len() as f64;
+        density.fraction += (mean_busy / span).min(1.0);
+
+        summaries.push(summary);
+    }
+
+    let combined = Summary::mean_of(&summaries);
+    LayeredOutcome {
+        layers: summaries,
+        combined,
+    }
+}
+
+/// Books periodic synthetic busy intervals totalling `density.fraction` of
+/// each peer's CPU across the run (one slot per simulated day).
+fn inject_background(world: &mut World, density: BusyDensity, run_length: Duration) {
+    let slot_period = Duration::DAY;
+    let busy_per_slot = slot_period.mul_f64(density.fraction.min(0.9));
+    if busy_per_slot.is_zero() {
+        return;
+    }
+    let slots = run_length.as_millis() / slot_period.as_millis();
+    for p in 0..world.peers.len() {
+        // Random phase so layers do not synchronize (the §5.2 concern).
+        let phase = world.rng.duration_between(Duration::ZERO, slot_period);
+        for s in 0..slots {
+            let start = SimTime::ZERO + phase + slot_period * s;
+            let _ = world.peers[p].schedule.try_reserve(
+                SimTime::ZERO,
+                start,
+                start + slot_period,
+                busy_per_slot,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn layering_matches_direct_simulation() {
+        // The paper validated layering against unlayered runs and found
+        // "negligible differences"; check the same at smoke scale: a
+        // 2-layer x 2-AU layered run vs a direct 4-AU run.
+        let mut base = Scenario::baseline(Scale::Quick, 2);
+        base.cfg.mtbf_years = 1.0; // enough damage to measure
+        base.cfg.seed = 17;
+        let run_length = Duration::from_days(360);
+
+        let layered = layered_run(&base.cfg, 2, run_length);
+
+        let mut direct_cfg = base.cfg.clone();
+        direct_cfg.n_aus = 4;
+        let mut world = World::new(direct_cfg);
+        let mut eng: Engine<World> = Engine::new();
+        world.start(&mut eng);
+        let end = SimTime::ZERO + run_length;
+        eng.run_until(&mut world, end);
+        let direct = world.metrics.summarize(end);
+
+        // Success rates agree closely.
+        let lr = layered.combined.successful_polls as f64
+            / (layered.combined.successful_polls + layered.combined.failed_polls).max(1) as f64;
+        let dr = direct.successful_polls as f64
+            / (direct.successful_polls + direct.failed_polls).max(1) as f64;
+        assert!((lr - dr).abs() < 0.05, "success rates {lr} vs {dr}");
+
+        // Per-AU poll throughput agrees within 10% (layered counts 2 AUs
+        // per layer; direct counts 4).
+        let per_au_layered = layered
+            .layers
+            .iter()
+            .map(|s| s.successful_polls)
+            .sum::<u64>() as f64
+            / 4.0;
+        let per_au_direct = direct.successful_polls as f64 / 4.0;
+        let rel = (per_au_layered - per_au_direct).abs() / per_au_direct;
+        assert!(
+            rel < 0.10,
+            "per-AU polls {per_au_layered} vs {per_au_direct}"
+        );
+    }
+
+    #[test]
+    fn later_layers_carry_background_load() {
+        let mut base = Scenario::baseline(Scale::Quick, 2);
+        base.cfg.seed = 23;
+        let outcome = layered_run(&base.cfg, 3, Duration::from_days(180));
+        assert_eq!(outcome.layers.len(), 3);
+        // All layers still function.
+        for (i, layer) in outcome.layers.iter().enumerate() {
+            let rate = layer.successful_polls as f64
+                / (layer.successful_polls + layer.failed_polls).max(1) as f64;
+            assert!(rate > 0.7, "layer {i} success rate {rate}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let base = Scenario::baseline(Scale::Quick, 2);
+        let _ = layered_run(&base.cfg, 0, Duration::from_days(30));
+    }
+}

@@ -1,0 +1,41 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§7).
+//!
+//! Each binary (`fig2` … `fig8`, `table1`) builds the §6.3 world, installs
+//! the relevant adversary, runs several seeds in parallel, and prints the
+//! same rows/series the paper reports, plus a CSV copy under `results/`.
+//!
+//! Scale is controlled by `LOCKSS_SCALE` (or a `--scale` argument):
+//! `quick` for CI smoke runs, `default` for laptop-scale shape
+//! reproduction, `paper` for the full §6.3 parameters. The reproduction
+//! criterion is *shape* (orderings, approximate factors, crossovers), not
+//! the absolute numbers of the authors' 2004 testbed — see EXPERIMENTS.md.
+
+pub mod cache;
+pub mod layering;
+pub mod runner;
+pub mod scale;
+pub mod scenario;
+pub mod sweeps;
+
+pub use runner::{run_scenario, MeasuredPoint};
+pub use scale::Scale;
+pub use scenario::{AttackSpec, Scenario};
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a rendered table and its CSV twin under `results/`.
+pub fn save_results(name: &str, rendered: &str, csv: &str) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let write = |path: &Path, content: &str| {
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let _ = f.write_all(content.as_bytes());
+        }
+    };
+    write(&dir.join(format!("{name}.txt")), rendered);
+    write(&dir.join(format!("{name}.csv")), csv);
+}

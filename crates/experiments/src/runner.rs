@@ -1,0 +1,128 @@
+//! Runs scenarios across seeds, in parallel, and condenses the metrics.
+
+use lockss_core::World;
+use lockss_metrics::Summary;
+use lockss_sim::{Engine, SimTime};
+use parking_lot::Mutex;
+
+use crate::scenario::Scenario;
+
+/// The measured result of one scenario (mean over seeds), with its matched
+/// baseline for the ratio metrics.
+#[derive(Clone, Debug)]
+pub struct MeasuredPoint {
+    pub label: String,
+    pub attacked: Summary,
+    pub baseline: Summary,
+}
+
+impl MeasuredPoint {
+    /// Access failure probability under attack.
+    pub fn access_failure(&self) -> f64 {
+        self.attacked.access_failure_probability
+    }
+
+    /// Delay ratio vs the matched baseline (§6.1).
+    pub fn delay_ratio(&self) -> Option<f64> {
+        self.attacked.delay_ratio(&self.baseline)
+    }
+
+    /// Coefficient of friction vs the matched baseline (§6.1).
+    pub fn friction(&self) -> Option<f64> {
+        self.attacked.coefficient_of_friction(&self.baseline)
+    }
+
+    /// Cost ratio (§6.1); meaningful only for effortful attacks.
+    pub fn cost_ratio(&self) -> Option<f64> {
+        self.attacked.cost_ratio()
+    }
+}
+
+/// Runs one seed of a scenario to completion.
+pub fn run_once(scenario: &Scenario, seed: u64) -> Summary {
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = Engine::new();
+    world.start(&mut eng);
+    let end = SimTime::ZERO + scenario.run_length;
+    eng.run_until(&mut world, end);
+    world.metrics.summarize(end)
+}
+
+/// Runs `seeds` seeds of a scenario and returns the mean summary.
+pub fn run_scenario(scenario: &Scenario, seeds: u64) -> Summary {
+    let runs: Vec<Summary> = (0..seeds).map(|s| run_once(scenario, s + 1)).collect();
+    Summary::mean_of(&runs)
+}
+
+/// Runs a batch of (key, scenario) jobs × seeds across worker threads;
+/// returns mean summaries in input order.
+pub fn run_batch(jobs: &[Scenario], seeds: u64, threads: usize) -> Vec<Summary> {
+    // Expand into (job index, seed) work items.
+    let work: Vec<(usize, u64)> = (0..jobs.len())
+        .flat_map(|j| (0..seeds).map(move |s| (j, s + 1)))
+        .collect();
+    let queue = Mutex::new(work);
+    let results: Vec<Mutex<Vec<Summary>>> =
+        (0..jobs.len()).map(|_| Mutex::new(Vec::new())).collect();
+
+    let threads = threads.max(1).min(queue.lock().len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = queue.lock().pop();
+                let Some((j, seed)) = item else { break };
+                let summary = run_once(&jobs[j], seed);
+                results[j].lock().push(summary);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| Summary::mean_of(&m.into_inner()))
+        .collect()
+}
+
+/// Default worker-thread count: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use lockss_sim::Duration;
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::baseline(Scale::Quick, 2);
+        s.run_length = Duration::from_days(120);
+        s
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let s = tiny();
+        let a = run_once(&s, 7);
+        let b = run_once(&s, 7);
+        assert_eq!(a.successful_polls, b.successful_polls);
+        assert!((a.loyal_effort_secs - b.loyal_effort_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let s = tiny();
+        let seq = run_scenario(&s, 2);
+        let batch = run_batch(std::slice::from_ref(&s), 2, 4);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].successful_polls, seq.successful_polls);
+        assert!((batch[0].loyal_effort_secs - seq.loyal_effort_secs).abs() < 1e-6);
+    }
+}

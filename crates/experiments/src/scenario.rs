@@ -1,0 +1,150 @@
+//! Scenario description: a world configuration plus an attack.
+
+use lockss_adversary::{AdmissionFlood, BruteForce, Defection, PipeStoppage};
+use lockss_core::{Adversary, WorldConfig};
+use lockss_effort::CostModel;
+use lockss_sim::Duration;
+use lockss_storage::AuSpec;
+
+use crate::scale::Scale;
+
+/// Which attack to install.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum AttackSpec {
+    /// No attack (baseline).
+    None,
+    /// §7.2 pipe stoppage.
+    PipeStoppage { coverage: f64, days: u64 },
+    /// §7.3 admission flood.
+    AdmissionFlood { coverage: f64, days: u64 },
+    /// §7.4 brute force with a defection point.
+    BruteForce { defection: Defection },
+}
+
+impl AttackSpec {
+    /// Instantiates the adversary, if any.
+    pub fn build(self) -> Option<Box<dyn Adversary>> {
+        match self {
+            AttackSpec::None => None,
+            AttackSpec::PipeStoppage { coverage, days } => {
+                Some(Box::new(PipeStoppage::new(coverage, days)))
+            }
+            AttackSpec::AdmissionFlood { coverage, days } => {
+                Some(Box::new(AdmissionFlood::new(coverage, days)))
+            }
+            AttackSpec::BruteForce { defection } => Some(Box::new(BruteForce::new(defection))),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            AttackSpec::None => "baseline".into(),
+            AttackSpec::PipeStoppage { coverage, days } => {
+                format!("stoppage {}% x {}d", (coverage * 100.0).round(), days)
+            }
+            AttackSpec::AdmissionFlood { coverage, days } => {
+                format!("flood {}% x {}d", (coverage * 100.0).round(), days)
+            }
+            AttackSpec::BruteForce { defection } => format!("brute-force {}", defection.label()),
+        }
+    }
+}
+
+/// One experiment point: configuration + attack + run length.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub cfg: WorldConfig,
+    pub attack: AttackSpec,
+    pub run_length: Duration,
+}
+
+impl Scenario {
+    /// The §6.3 world at a given scale and collection size, no attack.
+    pub fn baseline(scale: Scale, n_aus: usize) -> Scenario {
+        let au_spec = AuSpec::default();
+        let cfg = WorldConfig {
+            n_peers: scale.n_peers(),
+            n_aus,
+            au_spec,
+            mtbf_years: 5.0,
+            cost: CostModel::default().with_au_bytes(au_spec.size_bytes),
+            seed: 0, // overwritten per run
+            ..WorldConfig::default()
+        };
+        Scenario {
+            cfg,
+            attack: AttackSpec::None,
+            run_length: scale.run_length(),
+        }
+    }
+
+    /// The same world with an attack installed.
+    pub fn attacked(scale: Scale, n_aus: usize, attack: AttackSpec) -> Scenario {
+        Scenario {
+            attack,
+            ..Scenario::baseline(scale, n_aus)
+        }
+    }
+
+    /// Overrides the inter-poll interval (Fig. 2 sweep).
+    pub fn with_poll_interval(mut self, interval: Duration) -> Scenario {
+        self.cfg.protocol.poll_interval = interval;
+        self
+    }
+
+    /// Overrides the storage MTBF (Fig. 2 sweep).
+    pub fn with_mtbf_years(mut self, years: f64) -> Scenario {
+        self.cfg.mtbf_years = years;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            let s = Scenario::baseline(scale, scale.small_collection());
+            s.cfg.validate().expect("baseline config");
+        }
+    }
+
+    #[test]
+    fn attack_builders() {
+        assert!(AttackSpec::None.build().is_none());
+        let p = AttackSpec::PipeStoppage {
+            coverage: 0.4,
+            days: 30,
+        }
+        .build()
+        .expect("pipe");
+        assert_eq!(p.name(), "pipe-stoppage");
+        let f = AttackSpec::AdmissionFlood {
+            coverage: 1.0,
+            days: 720,
+        }
+        .build()
+        .expect("flood");
+        assert_eq!(f.name(), "admission-flood");
+        let b = AttackSpec::BruteForce {
+            defection: Defection::None_,
+        }
+        .build()
+        .expect("bf");
+        assert_eq!(b.name(), "brute-force/NONE");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let l = AttackSpec::PipeStoppage {
+            coverage: 0.7,
+            days: 90,
+        }
+        .label();
+        assert!(l.contains("70"));
+        assert!(l.contains("90"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Run-level metric collection and condensation.
+
+use lockss_sim::{Duration, SimTime};
+
+use crate::damage_clock::DamageClock;
+use crate::poll_stats::PollStats;
+
+/// Everything a run records as it executes.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    pub damage: DamageClock,
+    pub polls: PollStats,
+    /// Total CPU-seconds spent by loyal peers.
+    pub loyal_effort_secs: f64,
+    /// Total CPU-seconds spent by the adversary.
+    pub adversary_effort_secs: f64,
+}
+
+impl RunMetrics {
+    /// Initializes collection for `total_replicas` replicas starting at
+    /// `start`.
+    pub fn new(total_replicas: u64, start: SimTime) -> RunMetrics {
+        RunMetrics {
+            damage: DamageClock::new(total_replicas, start),
+            polls: PollStats::new(),
+            loyal_effort_secs: 0.0,
+            adversary_effort_secs: 0.0,
+        }
+    }
+
+    /// Condenses the raw observations at the end of a run.
+    pub fn summarize(&self, end: SimTime) -> Summary {
+        Summary {
+            access_failure_probability: self.damage.access_failure_probability(end),
+            mean_time_between_successes: self.polls.mean_gap_censored(end),
+            successful_polls: self.polls.successful_polls,
+            failed_polls: self.polls.failed_polls,
+            alarms: self.polls.alarms,
+            loyal_effort_secs: self.loyal_effort_secs,
+            adversary_effort_secs: self.adversary_effort_secs,
+        }
+    }
+}
+
+/// Condensed results of one run (or the mean of several seeds).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    pub access_failure_probability: f64,
+    pub mean_time_between_successes: Option<Duration>,
+    pub successful_polls: u64,
+    pub failed_polls: u64,
+    pub alarms: u64,
+    pub loyal_effort_secs: f64,
+    pub adversary_effort_secs: f64,
+}
+
+impl Summary {
+    /// Loyal effort per successful poll (CPU-seconds); `None` if no poll
+    /// succeeded.
+    pub fn effort_per_successful_poll(&self) -> Option<f64> {
+        if self.successful_polls == 0 {
+            return None;
+        }
+        Some(self.loyal_effort_secs / self.successful_polls as f64)
+    }
+
+    /// Delay ratio against a no-attack baseline (§6.1). `None` if either
+    /// run lacks successful-poll gaps.
+    pub fn delay_ratio(&self, baseline: &Summary) -> Option<f64> {
+        let attacked = self.mean_time_between_successes?;
+        let base = baseline.mean_time_between_successes?;
+        if base.is_zero() {
+            return None;
+        }
+        Some(attacked / base)
+    }
+
+    /// Coefficient of friction against a no-attack baseline (§6.1).
+    pub fn coefficient_of_friction(&self, baseline: &Summary) -> Option<f64> {
+        let attacked = self.effort_per_successful_poll()?;
+        let base = baseline.effort_per_successful_poll()?;
+        if base == 0.0 {
+            return None;
+        }
+        Some(attacked / base)
+    }
+
+    /// Cost ratio: attacker effort over defender effort (§6.1). `None` if
+    /// defenders spent nothing.
+    pub fn cost_ratio(&self) -> Option<f64> {
+        if self.loyal_effort_secs == 0.0 {
+            return None;
+        }
+        Some(self.adversary_effort_secs / self.loyal_effort_secs)
+    }
+
+    /// The mean of several per-seed summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn mean_of(runs: &[Summary]) -> Summary {
+        assert!(!runs.is_empty(), "mean of zero runs");
+        let n = runs.len() as f64;
+        let gap_runs: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.mean_time_between_successes)
+            .map(|d| d.as_millis() as f64)
+            .collect();
+        let mean_gap = if gap_runs.is_empty() {
+            None
+        } else {
+            Some(Duration::from_millis(
+                (gap_runs.iter().sum::<f64>() / gap_runs.len() as f64).round() as u64,
+            ))
+        };
+        Summary {
+            access_failure_probability: runs
+                .iter()
+                .map(|r| r.access_failure_probability)
+                .sum::<f64>()
+                / n,
+            mean_time_between_successes: mean_gap,
+            successful_polls: (runs.iter().map(|r| r.successful_polls).sum::<u64>() as f64 / n)
+                .round() as u64,
+            failed_polls: (runs.iter().map(|r| r.failed_polls).sum::<u64>() as f64 / n).round()
+                as u64,
+            alarms: (runs.iter().map(|r| r.alarms).sum::<u64>() as f64 / n).round() as u64,
+            loyal_effort_secs: runs.iter().map(|r| r.loyal_effort_secs).sum::<f64>() / n,
+            adversary_effort_secs: runs.iter().map(|r| r.adversary_effort_secs).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(gap_days: u64, polls: u64, loyal: f64, adversary: f64) -> Summary {
+        Summary {
+            access_failure_probability: 0.001,
+            mean_time_between_successes: Some(Duration::from_days(gap_days)),
+            successful_polls: polls,
+            failed_polls: 0,
+            alarms: 0,
+            loyal_effort_secs: loyal,
+            adversary_effort_secs: adversary,
+        }
+    }
+
+    #[test]
+    fn ratio_metrics() {
+        let base = summary(90, 100, 1000.0, 0.0);
+        let attacked = summary(180, 50, 1500.0, 3000.0);
+        assert!((attacked.delay_ratio(&base).unwrap() - 2.0).abs() < 1e-9);
+        // friction: (1500/50) / (1000/100) = 30 / 10 = 3.
+        assert!((attacked.coefficient_of_friction(&base).unwrap() - 3.0).abs() < 1e-9);
+        assert!((attacked.cost_ratio().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases_are_none() {
+        let empty = Summary::default();
+        let base = summary(90, 100, 1000.0, 0.0);
+        assert_eq!(empty.delay_ratio(&base), None);
+        assert_eq!(empty.coefficient_of_friction(&base), None);
+        assert_eq!(empty.cost_ratio(), None);
+        assert_eq!(empty.effort_per_successful_poll(), None);
+    }
+
+    #[test]
+    fn mean_of_averages_fields() {
+        let a = summary(80, 100, 1000.0, 100.0);
+        let b = summary(100, 200, 2000.0, 300.0);
+        let m = Summary::mean_of(&[a, b]);
+        assert_eq!(m.mean_time_between_successes, Some(Duration::from_days(90)));
+        assert_eq!(m.successful_polls, 150);
+        assert!((m.loyal_effort_secs - 1500.0).abs() < 1e-9);
+        assert!((m.adversary_effort_secs - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of zero runs")]
+    fn mean_of_empty_panics() {
+        let _ = Summary::mean_of(&[]);
+    }
+
+    #[test]
+    fn run_metrics_summarize() {
+        use lockss_sim::SimTime;
+        let mut rm = RunMetrics::new(10, SimTime::ZERO);
+        rm.damage.on_damaged(SimTime::ZERO);
+        rm.polls.on_success(0, 0, SimTime::ZERO + Duration::DAY);
+        rm.loyal_effort_secs = 5.0;
+        let s = rm.summarize(SimTime::ZERO + Duration::from_days(10));
+        assert!((s.access_failure_probability - 0.1).abs() < 1e-9);
+        assert_eq!(s.successful_polls, 1);
+        assert_eq!(s.loyal_effort_secs, 5.0);
+    }
+}

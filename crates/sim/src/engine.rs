@@ -1,0 +1,252 @@
+//! The discrete-event engine.
+//!
+//! Events are boxed closures over a caller-supplied world type `W`. Popping
+//! an event hands `&mut W` and `&mut Engine<W>` to the closure, which may
+//! schedule further events. Ties in time are broken by insertion order, so a
+//! run is a pure function of (initial world, seed).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// An event body: runs against the world and may schedule more events.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single-threaded discrete-event engine.
+///
+/// # Examples
+///
+/// ```
+/// use lockss_sim::{Duration, Engine, SimTime};
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// engine.schedule_in(Duration::SECOND, |log: &mut Vec<u64>, eng| {
+///     log.push(eng.now().as_millis());
+/// });
+/// let mut log = Vec::new();
+/// engine.run_until(&mut log, SimTime::ZERO + Duration::MINUTE);
+/// assert_eq!(log, vec![1000]);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    /// Hard stop; events scheduled past this instant are silently dropped at
+    /// pop time (they stay queued but never run).
+    horizon: Option<SimTime>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            horizon: None,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The stop horizon, if one was set by `run_until`.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event runs at the
+    /// current instant, after already-queued events for this instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Runs events in order until the queue empties or simulated time
+    /// reaches `until`. Returns the number of events executed by this call.
+    ///
+    /// Events timestamped exactly at `until` do *not* run; the engine's
+    /// clock finishes at `until`.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
+        self.horizon = Some(until);
+        let before = self.executed;
+        while let Some(head) = self.queue.peek() {
+            if head.at >= until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked head exists");
+            debug_assert!(ev.at >= self.now, "time must be monotone");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+        }
+        self.now = self.now.max(until);
+        self.executed - before
+    }
+
+    /// Runs all queued events to exhaustion (use with care: self-rescheduling
+    /// periodic events make this diverge; prefer `run_until`).
+    pub fn run_to_exhaustion(&mut self, world: &mut W) -> u64 {
+        let before = self.executed;
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "time must be monotone");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+        }
+        self.executed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime(30), |w: &mut Vec<u32>, _| w.push(3));
+        eng.schedule_at(SimTime(10), |w: &mut Vec<u32>, _| w.push(1));
+        eng.schedule_at(SimTime(20), |w: &mut Vec<u32>, _| w.push(2));
+        let mut w = Vec::new();
+        eng.run_until(&mut w, SimTime(100));
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(eng.executed(), 3);
+        assert_eq!(eng.now(), SimTime(100));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        let mut w = Vec::new();
+        eng.run_to_exhaustion(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule_at(SimTime(1), |_, e| {
+            e.schedule_in(Duration(5), |w: &mut Vec<u64>, e2| {
+                w.push(e2.now().as_millis());
+            });
+        });
+        let mut w = Vec::new();
+        eng.run_until(&mut w, SimTime(100));
+        assert_eq!(w, vec![6]);
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(SimTime(10), |w: &mut u32, _| *w += 1);
+        eng.schedule_at(SimTime(11), |w: &mut u32, _| *w += 1);
+        let mut w = 0;
+        eng.run_until(&mut w, SimTime(11));
+        assert_eq!(w, 1);
+        assert_eq!(eng.now(), SimTime(11));
+        // Resuming picks up the remaining event.
+        eng.run_until(&mut w, SimTime(12));
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        eng.schedule_at(SimTime(50), |_, e| {
+            e.schedule_at(SimTime(10), |w: &mut Vec<&'static str>, _| w.push("late"));
+            e.schedule_at(SimTime(50), |w: &mut Vec<&'static str>, _| w.push("same"));
+        });
+        let mut w = Vec::new();
+        eng.run_to_exhaustion(&mut w);
+        assert_eq!(w, vec!["late", "same"]);
+        assert_eq!(eng.now(), SimTime(50));
+    }
+
+    #[test]
+    fn periodic_self_rescheduling() {
+        struct W {
+            ticks: u32,
+        }
+        fn tick(w: &mut W, e: &mut Engine<W>) {
+            w.ticks += 1;
+            e.schedule_in(Duration(10), tick);
+        }
+        let mut eng: Engine<W> = Engine::new();
+        eng.schedule_at(SimTime(0), tick);
+        let mut w = W { ticks: 0 };
+        eng.run_until(&mut w, SimTime(100));
+        assert_eq!(w.ticks, 10); // t = 0, 10, ..., 90
+    }
+}

@@ -1,0 +1,18 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate replaces the role of the Narses simulator in the paper: it
+//! provides simulated time, an event queue with deterministic ordering, and
+//! seeded randomness helpers. Everything above it (network, protocol,
+//! adversaries) is pure model code driven by this engine.
+//!
+//! The engine is deliberately single-threaded: reproduction experiments
+//! parallelise across *seeds*, not within a run, so that every run is exactly
+//! reproducible from its seed.
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EventFn};
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};

@@ -1,0 +1,211 @@
+//! Seeded randomness helpers for simulations.
+//!
+//! Wraps a `StdRng` with the distributions the protocol and adversary models
+//! need (exponential inter-arrival times, jittered intervals, sampling
+//! without replacement), so model code never touches `rand` directly and the
+//! whole run stays a pure function of the seed.
+
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+
+use crate::time::Duration;
+
+/// A deterministic simulation RNG.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG; useful to give each peer its own
+    /// stream so adding a peer does not perturb the others' draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.random())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random_bool(p)
+    }
+
+    /// Uniform duration in `[lo, hi]`.
+    pub fn duration_between(&mut self, lo: Duration, hi: Duration) -> Duration {
+        if hi <= lo {
+            return lo;
+        }
+        Duration(self.inner.random_range(lo.as_millis()..=hi.as_millis()))
+    }
+
+    /// `base` jittered multiplicatively by up to `±frac` (e.g. `0.1` for
+    /// ±10%).
+    pub fn jitter(&mut self, base: Duration, frac: f64) -> Duration {
+        let factor = 1.0 + frac * (2.0 * self.f64() - 1.0);
+        base.mul_f64(factor)
+    }
+
+    /// An exponentially distributed duration with the given mean; models
+    /// Poisson processes (storage damage arrivals).
+    ///
+    /// A zero mean yields a zero duration.
+    pub fn exponential(&mut self, mean: Duration) -> Duration {
+        if mean.is_zero() {
+            return Duration::ZERO;
+        }
+        // Inverse-CDF sampling; 1 - f64() is in (0, 1] so ln() is finite.
+        let u: f64 = 1.0 - self.f64();
+        mean.mul_f64(-u.ln())
+    }
+
+    /// Number of Bernoulli(p) failures before the first success (geometric
+    /// distribution, support `0..`). Capped at `cap` to bound simulation
+    /// work; the paper's drop probabilities (≤ 0.9) make the cap academic.
+    pub fn geometric(&mut self, p: f64, cap: u32) -> u32 {
+        let p = p.clamp(1e-9, 1.0);
+        let mut k = 0;
+        while k < cap && !self.chance(p) {
+            k += 1;
+        }
+        k
+    }
+
+    /// Chooses one element of a slice, or `None` if it is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        items.choose(&mut self.inner)
+    }
+
+    /// Samples `k` distinct elements (cloned) uniformly without replacement;
+    /// returns fewer if the slice is shorter than `k`. Order is random.
+    pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        let mut picked: Vec<T> = items
+            .sample(&mut self.inner, k.min(items.len()))
+            .cloned()
+            .collect();
+        picked.shuffle(&mut self.inner);
+        picked
+    }
+
+    /// Shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+
+    /// A uniform `u64` (for deriving nonces and content seeds).
+    pub fn u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mean = Duration::from_days(100);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exponential(mean).as_millis()).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_millis() as f64;
+        assert!(
+            (avg - expect).abs() / expect < 0.05,
+            "avg {avg} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_zero_mean() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(rng.exponential(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let base = Duration::from_days(90);
+        for _ in 0..1000 {
+            let j = rng.jitter(base, 0.1);
+            assert!(j >= base.mul_f64(0.9) && j <= base.mul_f64(1.1));
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let items: Vec<u32> = (0..50).collect();
+        let got = rng.sample(&items, 20);
+        assert_eq!(got.len(), 20);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "sample must be distinct");
+        let few = rng.sample(&items[..5], 20);
+        assert_eq!(few.len(), 5);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = SimRng::seed_from_u64(13);
+        // p = 0.2 => mean failures before success = (1-p)/p = 4.
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(0.2, 1000) as u64).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - 4.0).abs() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+        assert!(!rng.chance(-1.0)); // clamped
+    }
+
+    #[test]
+    fn duration_between_degenerate() {
+        let mut rng = SimRng::seed_from_u64(19);
+        let d = Duration::from_secs(5);
+        assert_eq!(rng.duration_between(d, d), d);
+        assert_eq!(rng.duration_between(d, Duration::SECOND), d);
+    }
+}

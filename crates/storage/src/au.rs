@@ -1,0 +1,213 @@
+//! Archival units and block-granular replicas.
+
+use std::collections::BTreeSet;
+
+/// Identifies an archival unit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AuId(pub u32);
+
+impl AuId {
+    /// The AU's index, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "au{}", self.0)
+    }
+}
+
+/// Static description of an archival unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuSpec {
+    /// Total size in bytes (0.5 GB in the paper's experiments).
+    pub size_bytes: u64,
+    /// Block size in bytes; votes carry one running hash per block and
+    /// repairs transfer single blocks.
+    pub block_bytes: u64,
+}
+
+impl Default for AuSpec {
+    fn default() -> Self {
+        AuSpec {
+            size_bytes: 500_000_000,
+            block_bytes: 1_000_000,
+        }
+    }
+}
+
+impl AuSpec {
+    /// Number of blocks in the AU.
+    pub fn blocks(&self) -> u64 {
+        self.size_bytes.div_ceil(self.block_bytes)
+    }
+}
+
+/// One peer's replica of one AU, as a sparse set of damaged block indices.
+///
+/// A freshly ingested replica (obtained from the publisher) is undamaged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replica {
+    damaged: BTreeSet<u64>,
+}
+
+impl Replica {
+    /// A pristine replica.
+    pub fn pristine() -> Replica {
+        Replica::default()
+    }
+
+    /// True if no block is damaged.
+    pub fn is_intact(&self) -> bool {
+        self.damaged.is_empty()
+    }
+
+    /// Number of damaged blocks.
+    pub fn damaged_count(&self) -> usize {
+        self.damaged.len()
+    }
+
+    /// True if `block` is damaged.
+    pub fn is_damaged(&self, block: u64) -> bool {
+        self.damaged.contains(&block)
+    }
+
+    /// Marks `block` damaged. Returns true if it was previously intact.
+    pub fn damage(&mut self, block: u64) -> bool {
+        self.damaged.insert(block)
+    }
+
+    /// Repairs `block` (idempotent). Returns true if it was damaged.
+    pub fn repair(&mut self, block: u64) -> bool {
+        self.damaged.remove(&block)
+    }
+
+    /// Iterates damaged block indices in ascending order.
+    pub fn damaged_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.damaged.iter().copied()
+    }
+
+    /// Snapshot of the damage set (what a vote effectively encodes: the
+    /// voter's per-block hashes differ from canonical exactly on these
+    /// blocks).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.damaged.iter().copied().collect()
+    }
+
+    /// Blocks on which `self` and `other` disagree: exactly the symmetric
+    /// difference of the damage sets, since damaged content is garbage and
+    /// never collides.
+    pub fn disagreeing_blocks(&self, other_damage: &[u64]) -> Vec<u64> {
+        let other: BTreeSet<u64> = other_damage.iter().copied().collect();
+        self.damaged.symmetric_difference(&other).copied().collect()
+    }
+
+    /// True if the two replicas would produce identical votes.
+    pub fn agrees_with(&self, other_damage: &[u64]) -> bool {
+        self.damaged.len() == other_damage.len()
+            && self
+                .damaged
+                .iter()
+                .copied()
+                .eq(other_damage.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_is_intact() {
+        let r = Replica::pristine();
+        assert!(r.is_intact());
+        assert_eq!(r.damaged_count(), 0);
+        assert!(!r.is_damaged(0));
+    }
+
+    #[test]
+    fn damage_and_repair_roundtrip() {
+        let mut r = Replica::pristine();
+        assert!(r.damage(7));
+        assert!(!r.damage(7), "double damage is idempotent");
+        assert!(r.is_damaged(7));
+        assert_eq!(r.damaged_count(), 1);
+        assert!(r.repair(7));
+        assert!(!r.repair(7), "double repair is idempotent");
+        assert!(r.is_intact());
+    }
+
+    #[test]
+    fn disagreement_is_symmetric_difference() {
+        let mut a = Replica::pristine();
+        a.damage(1);
+        a.damage(2);
+        let other = vec![2, 3];
+        assert_eq!(a.disagreeing_blocks(&other), vec![1, 3]);
+    }
+
+    #[test]
+    fn identical_damage_agrees() {
+        let mut a = Replica::pristine();
+        a.damage(5);
+        assert!(a.agrees_with(&[5]));
+        assert!(!a.agrees_with(&[]));
+        assert!(!a.agrees_with(&[5, 6]));
+        assert!(Replica::pristine().agrees_with(&[]));
+    }
+
+    #[test]
+    fn au_spec_blocks_round_up() {
+        let spec = AuSpec {
+            size_bytes: 2_500_000,
+            block_bytes: 1_000_000,
+        };
+        assert_eq!(spec.blocks(), 3);
+        assert_eq!(AuSpec::default().blocks(), 500);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut r = Replica::pristine();
+        r.damage(9);
+        r.damage(1);
+        r.damage(4);
+        assert_eq!(r.snapshot(), vec![1, 4, 9]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Disagreement is symmetric: A vs B's snapshot equals B vs A's.
+        #[test]
+        fn disagreement_symmetric(da in proptest::collection::btree_set(0u64..64, 0..16),
+                                  db in proptest::collection::btree_set(0u64..64, 0..16)) {
+            let mut a = Replica::pristine();
+            for b in &da { a.damage(*b); }
+            let mut b = Replica::pristine();
+            for x in &db { b.damage(*x); }
+            prop_assert_eq!(a.disagreeing_blocks(&b.snapshot()),
+                            b.disagreeing_blocks(&a.snapshot()));
+        }
+
+        /// Repairing every disagreeing block from an intact reference
+        /// restores agreement.
+        #[test]
+        fn repair_restores_agreement(da in proptest::collection::btree_set(0u64..64, 0..16)) {
+            let mut a = Replica::pristine();
+            for b in &da { a.damage(*b); }
+            let reference = Replica::pristine();
+            for blk in a.disagreeing_blocks(&reference.snapshot()) {
+                a.repair(blk);
+            }
+            prop_assert!(a.agrees_with(&reference.snapshot()));
+            prop_assert!(a.is_intact());
+        }
+    }
+}

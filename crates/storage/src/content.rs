@@ -1,0 +1,161 @@
+//! Real content materialization and hashing ("real mode").
+//!
+//! The simulator charges time for hashing instead of doing it (as the
+//! paper's Narses runs did), but tests, examples, and the real protocol
+//! datapath need actual bytes: canonical block content is a pure function
+//! of `(content seed, AU, block)` via `lockss_crypto::prg`, and votes can be
+//! computed as genuine running hashes.
+
+use lockss_crypto::prg::fill_block;
+use lockss_crypto::sha256::{Digest, Sha256};
+
+use crate::au::{AuId, AuSpec, Replica};
+
+/// Materializes canonical block content.
+pub fn canonical_block(seed: u64, au: AuId, block: u64, spec: &AuSpec) -> Vec<u8> {
+    let mut buf = vec![0u8; spec.block_bytes as usize];
+    fill_block(seed, au.0 as u64, block, &mut buf);
+    buf
+}
+
+/// Materializes the *stored* content of a block: canonical if intact,
+/// deterministic garbage if damaged (damage flips the content derivation so
+/// two damaged replicas still disagree with each other).
+pub fn stored_block(
+    seed: u64,
+    au: AuId,
+    block: u64,
+    spec: &AuSpec,
+    replica: &Replica,
+    peer_salt: u64,
+) -> Vec<u8> {
+    if replica.is_damaged(block) {
+        // Garbage unique to this peer; `!seed` guarantees it differs from
+        // canonical and `peer_salt` from other peers' garbage.
+        let mut buf = vec![0u8; spec.block_bytes as usize];
+        fill_block(!seed ^ peer_salt, au.0 as u64, block, &mut buf);
+        buf
+    } else {
+        canonical_block(seed, au, block, spec)
+    }
+}
+
+/// Computes a real vote: the running hash after each block, keyed by the
+/// poller's nonce (§4.1: "hash the nonce supplied by the poller, followed by
+/// its replica of the AU, block by block").
+pub fn running_hashes(
+    seed: u64,
+    au: AuId,
+    spec: &AuSpec,
+    replica: &Replica,
+    peer_salt: u64,
+    nonce: &[u8],
+) -> Vec<Digest> {
+    let mut hashes = Vec::with_capacity(spec.blocks() as usize);
+    let mut h = Sha256::new();
+    h.update(nonce);
+    for block in 0..spec.blocks() {
+        let content = stored_block(seed, au, block, spec, replica, peer_salt);
+        h.update(&content);
+        // Running hash at the block boundary; cloning keeps the stream
+        // going, matching the paper's incremental-evaluation design.
+        hashes.push(h.clone().finalize());
+    }
+    hashes
+}
+
+/// Compares two running-hash votes, returning the indices of disagreeing
+/// blocks (the first divergent prefix positions).
+pub fn disagreements(a: &[Digest], b: &[Digest]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut diverged = false;
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y && !diverged {
+            out.push(i as u64);
+            diverged = true;
+        } else if x == y {
+            diverged = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> AuSpec {
+        AuSpec {
+            size_bytes: 4096,
+            block_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn intact_replicas_vote_identically() {
+        let spec = small_spec();
+        let a = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 1, b"nonce");
+        let b = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 2, b"nonce");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nonce_changes_every_hash() {
+        let spec = small_spec();
+        let a = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 1, b"nonce-1");
+        let b = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 1, b"nonce-2");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_ne!(x, y, "fresh nonce must make votes unpredictable");
+        }
+    }
+
+    #[test]
+    fn damaged_block_detected_at_boundary() {
+        let spec = small_spec();
+        let mut damaged = Replica::pristine();
+        damaged.damage(2);
+        let good = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 1, b"n");
+        let bad = running_hashes(7, AuId(0), &spec, &damaged, 1, b"n");
+        assert_eq!(good[0], bad[0]);
+        assert_eq!(good[1], bad[1]);
+        assert_ne!(good[2], bad[2], "divergence starts at the damaged block");
+        // Running hashes never re-converge after divergence.
+        assert_ne!(good[3], bad[3]);
+    }
+
+    #[test]
+    fn two_damaged_replicas_disagree_with_each_other() {
+        let spec = small_spec();
+        let mut a = Replica::pristine();
+        a.damage(1);
+        let mut b = Replica::pristine();
+        b.damage(1);
+        let va = running_hashes(7, AuId(0), &spec, &a, /*salt*/ 10, b"n");
+        let vb = running_hashes(7, AuId(0), &spec, &b, /*salt*/ 20, b"n");
+        assert_ne!(va[1], vb[1], "distinct garbage must not collide");
+    }
+
+    #[test]
+    fn repair_with_canonical_block_restores_agreement() {
+        let spec = small_spec();
+        let mut r = Replica::pristine();
+        r.damage(3);
+        r.repair(3);
+        let fixed = running_hashes(7, AuId(0), &spec, &r, 1, b"n");
+        let good = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 9, b"n");
+        assert_eq!(fixed, good);
+    }
+
+    #[test]
+    fn disagreement_positions_reported() {
+        let spec = small_spec();
+        let mut d = Replica::pristine();
+        d.damage(1);
+        let good = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 1, b"n");
+        let bad = running_hashes(7, AuId(0), &spec, &d, 2, b"n");
+        let diffs = disagreements(&good, &bad);
+        // Running hashes diverge from block 1 onward; the first divergence
+        // position is the damaged block.
+        assert_eq!(diffs.first(), Some(&1));
+    }
+}

@@ -1,0 +1,88 @@
+//! Exploring the admission-control parameter space (paper §9: "we are
+//! currently exploring ... the length of the refractory period, the drop
+//! probabilities for unknown and in-debt peers").
+//!
+//! Runs the §7.3 garbage-invitation flood against several refractory-period
+//! lengths and drop probabilities and reports how friction and access
+//! failure respond — the ablation the paper sketches as future work.
+//!
+//! ```sh
+//! cargo run --release --example tuning_admission_control
+//! ```
+
+use lockss::adversary::AdmissionFlood;
+use lockss::core::{World, WorldConfig};
+use lockss::effort::CostModel;
+use lockss::metrics::Summary;
+use lockss::sim::{Duration, Engine, SimTime};
+use lockss::storage::AuSpec;
+
+fn config(seed: u64) -> WorldConfig {
+    let au_spec = AuSpec {
+        size_bytes: 100_000_000,
+        block_bytes: 1_000_000,
+    };
+    let mut cfg = WorldConfig {
+        n_peers: 50,
+        n_aus: 6,
+        au_spec,
+        mtbf_years: 5.0,
+        seed,
+        ..WorldConfig::default()
+    };
+    cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
+    cfg
+}
+
+fn run(cfg: WorldConfig, attack: bool) -> Summary {
+    let mut world = World::new(cfg);
+    if attack {
+        world.install_adversary(Box::new(AdmissionFlood::new(1.0, 360)));
+    }
+    let mut eng = Engine::new();
+    world.start(&mut eng);
+    let end = SimTime::ZERO + Duration::YEAR;
+    eng.run_until(&mut world, end);
+    world.metrics.summarize(end)
+}
+
+fn main() {
+    println!("Admission-control tuning under a full-coverage garbage flood");
+    println!("50 peers x 6 AUs, one simulated year, attack sustained throughout.\n");
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>16}",
+        "parameters", "friction", "delay ratio", "access failure"
+    );
+
+    for (label, refractory_hours, drop_unknown) in [
+        ("refractory 6h,  drop .90", 6u64, 0.90),
+        ("refractory 1d,  drop .90", 24, 0.90),
+        ("refractory 4d,  drop .90", 96, 0.90),
+        ("refractory 1d,  drop .95", 24, 0.95),
+        ("refractory 1d,  drop .99", 24, 0.99),
+    ] {
+        let mut cfg = config(11);
+        cfg.protocol.refractory = Duration::from_hours(refractory_hours);
+        cfg.protocol.drop_unknown = drop_unknown;
+        let baseline = run(cfg.clone(), false);
+        let attacked = run(cfg, true);
+        println!(
+            "{:<26} {:>14} {:>14} {:>16}",
+            label,
+            fmt(attacked.coefficient_of_friction(&baseline)),
+            fmt(attacked.delay_ratio(&baseline)),
+            format!("{:.2e}", attacked.access_failure_probability),
+        );
+    }
+
+    println!(
+        "\nLonger refractory periods blunt the flood (fewer admissions per day);\n\
+         harsher unknown-drops starve discovery even without an attack — the\n\
+         §6.3 calibration balances the two."
+    );
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into())
+}

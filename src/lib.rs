@@ -1,0 +1,44 @@
+//! Facade crate for the LOCKSS attrition-defense reproduction.
+//!
+//! Re-exports the public APIs of every subsystem crate so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! - [`sim`]: discrete-event engine, simulated time, seeded RNG;
+//! - [`net`]: flow-level network with pipe-stoppage modelling;
+//! - [`crypto`]: SHA-256, HMAC, memory-bound effort proofs (real mode);
+//! - [`effort`]: the calibrated effort cost model and ledgers;
+//! - [`storage`]: archival units, replicas, bit-rot damage;
+//! - [`core`]: the audit/repair protocol with the attrition defenses;
+//! - [`adversary`]: pipe stoppage, admission flood, brute force;
+//! - [`metrics`]: the §6.1 evaluation metrics;
+//! - [`experiments`]: the scenario runner regenerating every figure/table.
+//!
+//! # Examples
+//!
+//! ```
+//! use lockss::core::{World, WorldConfig};
+//! use lockss::sim::{Duration, Engine, SimTime};
+//!
+//! // A small preservation network, simulated for sixty days.
+//! let mut cfg = WorldConfig::default();
+//! cfg.n_peers = 25;
+//! cfg.n_aus = 1;
+//! cfg.protocol.poll_interval = Duration::from_days(15);
+//! let mut world = World::new(cfg);
+//! let mut eng = Engine::new();
+//! world.start(&mut eng);
+//! let end = SimTime::ZERO + Duration::from_days(60);
+//! eng.run_until(&mut world, end);
+//! let summary = world.metrics.summarize(end);
+//! assert!(summary.successful_polls > 0);
+//! ```
+
+pub use lockss_adversary as adversary;
+pub use lockss_core as core;
+pub use lockss_crypto as crypto;
+pub use lockss_effort as effort;
+pub use lockss_experiments as experiments;
+pub use lockss_metrics as metrics;
+pub use lockss_net as net;
+pub use lockss_sim as sim;
+pub use lockss_storage as storage;

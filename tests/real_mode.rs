@@ -1,0 +1,150 @@
+//! Integration tests of the real-cryptography datapath across crates:
+//! multi-voter landslide evaluation with genuine hashes, proofs, repairs,
+//! and receipts.
+
+use lockss::core::realproto::{RealParams, RealPoller, RealVoter};
+use lockss::core::types::Identity;
+use lockss::crypto::sha256::Digest;
+
+/// Runs a full multi-voter real-mode poll: solicits `n` voters, evaluates
+/// every vote, repairs blocks where a landslide majority disagrees with
+/// the poller, and delivers receipts. Returns (repaired blocks,
+/// disagreeing voters after repair).
+fn landslide_poll(
+    poller: &mut RealPoller,
+    voters: &mut [RealVoter],
+    nonce: &[u8],
+    max_disagree: usize,
+) -> (u32, usize) {
+    // Solicit everyone.
+    let mut votes = Vec::new();
+    for v in voters.iter_mut() {
+        let (challenge, intro) = poller.solicit_effort(nonce, v.identity);
+        let vote = v.solicit(&challenge, &intro, nonce).expect("honest voter");
+        votes.push(vote);
+    }
+
+    // Repair loop: while a landslide majority disagrees with us at our
+    // first divergent block, fetch the block from an agreeing-with-majority
+    // voter and retry.
+    let mut repaired = 0;
+    loop {
+        let evals: Vec<_> = votes
+            .iter()
+            .map(|v| poller.evaluate(nonce, v).expect("valid vote"))
+            .collect();
+        let disagreeing = evals
+            .iter()
+            .filter(|e| e.first_disagreement.is_some())
+            .count();
+        if disagreeing <= max_disagree {
+            // Landslide win: receipts to everyone.
+            for (v, e) in voters.iter_mut().zip(evals.iter()) {
+                v.accept_receipt(&e.receipt).expect("receipt matches");
+            }
+            return (repaired, disagreeing);
+        }
+        // Landslide loss at some block: the earliest divergence reported by
+        // the majority is our own damage.
+        let block = evals
+            .iter()
+            .filter_map(|e| e.first_disagreement)
+            .min()
+            .expect("some disagreement");
+        let supplier = voters
+            .iter()
+            .find(|v| !v.replica.is_damaged(block))
+            .expect("an intact voter exists");
+        let content = supplier.serve_repair(block).expect("intact block");
+        poller.apply_repair(block, &content).expect("valid repair");
+        repaired += 1;
+    }
+}
+
+fn build(n_voters: usize) -> (RealPoller, Vec<RealVoter>, RealParams) {
+    let params = RealParams::small();
+    let poller = RealPoller::new(Identity::loyal(0), 1000, &params);
+    let voters = (0..n_voters)
+        .map(|i| RealVoter::new(Identity::loyal(1 + i as u32), 2000 + i as u64, &params))
+        .collect();
+    (poller, voters, params)
+}
+
+#[test]
+fn all_intact_poll_agrees() {
+    let (mut poller, mut voters, _) = build(10);
+    let (repaired, disagreeing) = landslide_poll(&mut poller, &mut voters, b"poll-1", 3);
+    assert_eq!(repaired, 0);
+    assert_eq!(disagreeing, 0);
+}
+
+#[test]
+fn damaged_poller_repaired_by_landslide() {
+    let (mut poller, mut voters, _) = build(10);
+    poller.replica.damage(1);
+    poller.replica.damage(4);
+    let (repaired, disagreeing) = landslide_poll(&mut poller, &mut voters, b"poll-2", 3);
+    assert_eq!(repaired, 2);
+    assert_eq!(disagreeing, 0);
+    assert!(poller.replica.is_intact());
+}
+
+#[test]
+fn few_damaged_voters_do_not_trigger_repairs() {
+    let (mut poller, mut voters, _) = build(10);
+    voters[0].replica.damage(3);
+    voters[1].replica.damage(5);
+    let (repaired, disagreeing) = landslide_poll(&mut poller, &mut voters, b"poll-3", 3);
+    assert_eq!(repaired, 0, "their damage is not our problem");
+    assert_eq!(disagreeing, 2, "they disagree, below the landslide margin");
+    assert!(poller.replica.is_intact());
+}
+
+#[test]
+fn mixed_damage_converges_to_canonical() {
+    let (mut poller, mut voters, _) = build(12);
+    poller.replica.damage(2);
+    voters[3].replica.damage(2); // same block damaged at a voter
+    voters[7].replica.damage(6);
+    let (repaired, disagreeing) = landslide_poll(&mut poller, &mut voters, b"poll-4", 3);
+    assert_eq!(repaired, 1);
+    assert!(poller.replica.is_intact());
+    // Voters 3 and 7 still disagree (their own damage), below the margin.
+    assert_eq!(disagreeing, 2);
+}
+
+#[test]
+fn votes_are_voter_specific_but_intact_votes_agree() {
+    let (poller, mut voters, _) = build(3);
+    let nonce = b"poll-5";
+    let mut all_hashes: Vec<Vec<Digest>> = Vec::new();
+    for v in voters.iter_mut() {
+        let (challenge, intro) = poller.solicit_effort(nonce, v.identity);
+        let vote = v.solicit(&challenge, &intro, nonce).expect("vote");
+        all_hashes.push(vote.hashes);
+    }
+    // All intact replicas produce identical running hashes under the same
+    // nonce (that is what makes tallying possible)...
+    assert_eq!(all_hashes[0], all_hashes[1]);
+    assert_eq!(all_hashes[1], all_hashes[2]);
+}
+
+#[test]
+fn receipts_are_per_voter_unforgeable() {
+    let (poller, mut voters, _) = build(2);
+    let nonce = b"poll-6";
+    let (c0, i0) = poller.solicit_effort(nonce, voters[0].identity);
+    let v0 = voters[0].solicit(&c0, &i0, nonce).expect("vote 0");
+    let (c1, i1) = poller.solicit_effort(nonce, voters[1].identity);
+    let v1 = voters[1].solicit(&c1, &i1, nonce).expect("vote 1");
+    let e0 = poller.evaluate(nonce, &v0).expect("eval 0");
+    let e1 = poller.evaluate(nonce, &v1).expect("eval 1");
+    assert_ne!(e0.receipt, e1.receipt, "receipts are per-voter");
+    // Cross-delivery must fail.
+    assert!(voters[0].accept_receipt(&e1.receipt).is_err());
+    // ...and consume the expectation, so even the right receipt now fails
+    // (the voter has already penalized the poller).
+    assert!(voters[0].accept_receipt(&e0.receipt).is_err());
+    // Voter 1 still accepts its own.
+    assert!(voters[1].accept_receipt(&e1.receipt).is_ok());
+}
