@@ -4,10 +4,10 @@
 //! binaries; these benches keep the per-point cost visible and the
 //! regeneration paths exercised by `cargo bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lockss_adversary::Defection;
+use lockss_bench::Harness;
 use lockss_experiments::runner::run_once;
 use lockss_experiments::scenario::{AttackSpec, Scenario};
 use lockss_experiments::Scale;
@@ -19,47 +19,41 @@ fn smoke(attack: AttackSpec) -> Scenario {
     s
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("figures");
 
-    g.bench_function("fig2/baseline point", |b| {
-        let s = smoke(AttackSpec::None);
-        b.iter(|| black_box(run_once(&s, 1)));
+    let s = smoke(AttackSpec::None);
+    h.bench("fig2/baseline point", move || black_box(run_once(&s, 1)));
+
+    let s = smoke(AttackSpec::PipeStoppage {
+        coverage: 1.0,
+        days: 30,
+    });
+    h.bench("fig3-5/pipe-stoppage point", move || {
+        black_box(run_once(&s, 1))
     });
 
-    g.bench_function("fig3-5/pipe-stoppage point", |b| {
-        let s = smoke(AttackSpec::PipeStoppage {
-            coverage: 1.0,
-            days: 30,
-        });
-        b.iter(|| black_box(run_once(&s, 1)));
+    let s = smoke(AttackSpec::AdmissionFlood {
+        coverage: 1.0,
+        days: 180,
+    });
+    h.bench("fig6-8/admission-flood point", move || {
+        black_box(run_once(&s, 1))
     });
 
-    g.bench_function("fig6-8/admission-flood point", |b| {
-        let s = smoke(AttackSpec::AdmissionFlood {
-            coverage: 1.0,
-            days: 180,
-        });
-        b.iter(|| black_box(run_once(&s, 1)));
+    let s = smoke(AttackSpec::BruteForce {
+        defection: Defection::None_,
+    });
+    h.bench("table1/brute-force NONE point", move || {
+        black_box(run_once(&s, 1))
     });
 
-    g.bench_function("table1/brute-force NONE point", |b| {
-        let s = smoke(AttackSpec::BruteForce {
-            defection: Defection::None_,
-        });
-        b.iter(|| black_box(run_once(&s, 1)));
+    let s = smoke(AttackSpec::BruteForce {
+        defection: Defection::Intro,
+    });
+    h.bench("table1/brute-force INTRO point", move || {
+        black_box(run_once(&s, 1))
     });
 
-    g.bench_function("table1/brute-force INTRO point", |b| {
-        let s = smoke(AttackSpec::BruteForce {
-            defection: Defection::Intro,
-        });
-        b.iter(|| black_box(run_once(&s, 1)));
-    });
-
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

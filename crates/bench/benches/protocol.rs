@@ -1,9 +1,9 @@
 //! Benchmarks of the protocol layers: real crypto substrates (SHA-256,
 //! MBF, sessions), the real-mode exchange, and whole simulated worlds.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use lockss_bench::Harness;
 use lockss_core::realproto::{run_real_exchange, RealParams, RealPoller, RealVoter};
 use lockss_core::types::Identity;
 use lockss_core::{World, WorldConfig};
@@ -14,16 +14,13 @@ use lockss_net::session::Session;
 use lockss_sim::{Duration, Engine, SimTime};
 use lockss_storage::AuSpec;
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn bench_crypto(h: &mut Harness) {
     for size in [1usize << 10, 1 << 16, 1 << 20] {
         let data = vec![0xABu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("sha256/{size}B"), |b| {
-            b.iter(|| black_box(sha256(&data)));
+        h.bench_bytes(&format!("crypto/sha256/{size}B"), size as u64, move || {
+            black_box(sha256(&data))
         });
     }
-    g.finish();
 
     let params = MbfParams {
         table_bits: 14,
@@ -32,45 +29,35 @@ fn bench_crypto(c: &mut Criterion) {
         difficulty_bits: 2,
     };
     let puzzle = MbfPuzzle::new(params, 99);
-    c.bench_function("mbf/prove", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(puzzle.prove(&i.to_le_bytes()))
-        });
+    let mut i = 0u64;
+    h.bench("mbf/prove", || {
+        i += 1;
+        black_box(puzzle.prove(&i.to_le_bytes()))
     });
     let proof = puzzle.prove(b"fixed");
-    c.bench_function("mbf/verify", |b| {
-        b.iter(|| black_box(puzzle.verify(b"fixed", &proof)));
-    });
+    h.bench("mbf/verify", || black_box(puzzle.verify(b"fixed", &proof)));
 
-    c.bench_function("session/seal+open", |b| {
-        let (mut tx, mut rx) = Session::pair(42);
-        let payload = vec![0u8; 1_024];
-        b.iter(|| {
-            let sealed = tx.seal(&payload);
-            black_box(rx.open(&payload, &sealed))
-        });
+    let (mut tx, mut rx) = Session::pair(42);
+    let payload = vec![0u8; 1_024];
+    h.bench("session/seal+open", move || {
+        let sealed = tx.seal(&payload);
+        black_box(rx.open(&payload, &sealed))
     });
 }
 
-fn bench_real_exchange(c: &mut Criterion) {
-    c.bench_function("realproto/full exchange (intact)", |b| {
+fn bench_real_exchange(h: &mut Harness) {
+    h.bench("realproto/full exchange (intact)", || {
         let params = RealParams::small();
-        b.iter(|| {
-            let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
-            let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
-            black_box(run_real_exchange(&mut poller, &mut voter, b"bench-nonce"))
-        });
+        let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
+        let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
+        black_box(run_real_exchange(&mut poller, &mut voter, b"bench-nonce"))
     });
-    c.bench_function("realproto/full exchange (1 repair)", |b| {
+    h.bench("realproto/full exchange (1 repair)", || {
         let params = RealParams::small();
-        b.iter(|| {
-            let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
-            poller.replica.damage(2);
-            let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
-            black_box(run_real_exchange(&mut poller, &mut voter, b"bench-nonce"))
-        });
+        let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
+        poller.replica.damage(2);
+        let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
+        black_box(run_real_exchange(&mut poller, &mut voter, b"bench-nonce"))
     });
 }
 
@@ -91,23 +78,23 @@ fn sim_config(n_peers: usize, n_aus: usize) -> WorldConfig {
     cfg
 }
 
-fn bench_world(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
-    g.sample_size(10);
-    g.bench_function("build 100 peers x 10 AUs", |b| {
-        b.iter(|| black_box(World::new(sim_config(100, 10))));
+fn bench_world(h: &mut Harness) {
+    h.bench("world/build 100 peers x 10 AUs", || {
+        black_box(World::new(sim_config(100, 10)))
     });
-    g.bench_function("simulate 30 days, 50 peers x 5 AUs", |b| {
-        b.iter(|| {
-            let mut world = World::new(sim_config(50, 5));
-            let mut eng: Engine<World> = Engine::new();
-            world.start(&mut eng);
-            eng.run_until(&mut world, SimTime::ZERO + Duration::from_days(30));
-            black_box(eng.executed())
-        });
+    h.bench("world/simulate 30 days, 50 peers x 5 AUs", || {
+        let mut world = World::new(sim_config(50, 5));
+        let mut eng: Engine<World> = Engine::new();
+        world.start(&mut eng);
+        eng.run_until(&mut world, SimTime::ZERO + Duration::from_days(30));
+        black_box(eng.executed())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_real_exchange, bench_world);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("protocol");
+    bench_crypto(&mut h);
+    bench_real_exchange(&mut h);
+    bench_world(&mut h);
+    h.finish();
+}

@@ -259,20 +259,28 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut p = ProtocolConfig::default();
-        p.inner_circle = 5;
+        let p = ProtocolConfig {
+            inner_circle: 5,
+            ..ProtocolConfig::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = ProtocolConfig::default();
-        p.max_disagree = 10;
+        let p = ProtocolConfig {
+            max_disagree: 10,
+            ..ProtocolConfig::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = ProtocolConfig::default();
-        p.drop_unknown = 0.5; // below drop_debt: invites whitewashing
+        let p = ProtocolConfig {
+            drop_unknown: 0.5, // below drop_debt: invites whitewashing
+            ..ProtocolConfig::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut w = WorldConfig::default();
-        w.n_peers = 5;
+        let w = WorldConfig {
+            n_peers: 5,
+            ..WorldConfig::default()
+        };
         assert!(w.validate().is_err());
 
         let mut w = WorldConfig::default();

@@ -288,22 +288,34 @@ mod tests {
     }
 }
 
+// Seeded randomized property sweeps (no proptest under the offline
+// dependency policy; cases are a pure function of the fixed seed).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lockss_sim::SimRng;
 
-    fn arb_damage() -> impl Strategy<Value = Vec<u64>> {
-        proptest::collection::btree_set(0u64..32, 0..6).prop_map(|s| s.into_iter().collect())
+    /// Up to 5 distinct damaged block indices in `0..32`, sorted (the
+    /// canonical form a vote carries).
+    fn random_damage(rng: &mut SimRng) -> Vec<u64> {
+        let blocks: Vec<u64> = (0..32).collect();
+        let k = rng.below(6);
+        let mut d = rng.sample(&blocks, k);
+        d.sort_unstable();
+        d
     }
 
-    proptest! {
-        /// Tally invariants over arbitrary vote sets: disagreement counts
-        /// partition, repair candidates really are intact at the block, and
-        /// decisive voters are exactly the inner voters.
-        #[test]
-        fn tally_invariants(damages in proptest::collection::vec(arb_damage(), 1..20),
-                            own in arb_damage()) {
+    /// Tally invariants over arbitrary vote sets: disagreement counts
+    /// partition, repair candidates really are intact at the block, and
+    /// decisive voters are exactly the inner voters.
+    #[test]
+    fn tally_invariants() {
+        let mut rng = SimRng::seed_from_u64(0x706f_6c01);
+        for _ in 0..128 {
+            let damages: Vec<Vec<u64>> = (0..1 + rng.below(19))
+                .map(|_| random_damage(&mut rng))
+                .collect();
+            let own = random_damage(&mut rng);
             let mut p = PollState::new(
                 PollId(1),
                 AuId(0),
@@ -315,7 +327,7 @@ mod proptests {
                 let id = Identity(i as u64);
                 let inner = i % 3 != 0; // mix inner and outer
                 p.add_invitee(id, inner);
-                prop_assert!(p.record_vote(id, d.clone()));
+                assert!(p.record_vote(id, d.clone()));
             }
             let inner_total = p.inner_votes();
             let disagreeing = p.inner_disagreements(&own);
@@ -324,21 +336,28 @@ mod proptests {
                 .iter()
                 .filter(|v| v.inner && v.damage == own)
                 .count();
-            prop_assert_eq!(inner_total, disagreeing + agreeing);
-            prop_assert_eq!(p.decisive_voters().len(), inner_total);
+            assert_eq!(inner_total, disagreeing + agreeing);
+            assert_eq!(p.decisive_voters().len(), inner_total);
 
             for block in 0u64..32 {
                 for candidate in p.repair_candidates(block) {
                     let vote = p.votes.iter().find(|v| v.voter == candidate).unwrap();
-                    prop_assert!(!vote.damage.contains(&block),
-                        "candidate must be intact at {block}");
+                    assert!(
+                        !vote.damage.contains(&block),
+                        "candidate must be intact at {block}"
+                    );
                 }
             }
         }
+    }
 
-        /// Votes are only counted once per invitee and only from invitees.
-        #[test]
-        fn vote_recording_is_exact(n_invited in 1usize..10, n_strangers in 0usize..5) {
+    /// Votes are only counted once per invitee and only from invitees.
+    #[test]
+    fn vote_recording_is_exact() {
+        let mut rng = SimRng::seed_from_u64(0x706f_6c02);
+        for _ in 0..128 {
+            let n_invited = 1 + rng.below(9);
+            let n_strangers = rng.below(5);
             let mut p = PollState::new(
                 PollId(2),
                 AuId(0),
@@ -351,14 +370,14 @@ mod proptests {
             }
             // Strangers' votes are all rejected.
             for s in 0..n_strangers {
-                prop_assert!(!p.record_vote(Identity(1_000 + s as u64), vec![]));
+                assert!(!p.record_vote(Identity(1_000 + s as u64), vec![]));
             }
             // Each invitee votes twice; the second is rejected.
             for i in 0..n_invited {
-                prop_assert!(p.record_vote(Identity(i as u64), vec![]));
-                prop_assert!(!p.record_vote(Identity(i as u64), vec![]));
+                assert!(p.record_vote(Identity(i as u64), vec![]));
+                assert!(!p.record_vote(Identity(i as u64), vec![]));
             }
-            prop_assert_eq!(p.votes.len(), n_invited);
+            assert_eq!(p.votes.len(), n_invited);
         }
     }
 }

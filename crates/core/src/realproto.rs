@@ -45,7 +45,7 @@ impl RealParams {
                 size_bytes: 32 * 1024,
                 block_bytes: 4 * 1024,
             },
-            content_seed: 0x10C3_55,
+            content_seed: 0x0010_C355,
             intro_mbf: MbfParams {
                 table_bits: 12,
                 walk_len: 128,
@@ -265,7 +265,7 @@ pub fn run_real_exchange(
     poll_nonce: &[u8],
 ) -> Result<u32, RealError> {
     // Authenticated session (stands in for TLS over anonymous DH).
-    let (mut pc, mut vc) = Session::pair(0x5E55_10);
+    let (mut pc, mut vc) = Session::pair(0x005E_5510);
 
     // Solicitation with provable effort.
     let (challenge, intro) = poller.solicit_effort(poll_nonce, voter.identity);

@@ -255,18 +255,27 @@ mod tests {
     }
 }
 
+// Seeded randomized property sweeps (no proptest under the offline
+// dependency policy; cases are a pure function of the fixed seed).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lockss_sim::SimRng;
 
-    proptest! {
-        /// Streaming in arbitrary chunkings equals one-shot hashing.
-        #[test]
-        fn chunked_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
-                                  cuts in proptest::collection::vec(0usize..2048, 0..8)) {
+    fn random_bytes(rng: &mut SimRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.below(256) as u8).collect()
+    }
+
+    /// Streaming in arbitrary chunkings equals one-shot hashing.
+    #[test]
+    fn chunked_equals_oneshot() {
+        let mut rng = SimRng::seed_from_u64(0x7368_6101);
+        for _ in 0..128 {
+            let len = rng.below(2048);
+            let data = random_bytes(&mut rng, len);
             let want = sha256(&data);
-            let mut idx: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+            let n_cuts = rng.below(8);
+            let mut idx: Vec<usize> = (0..n_cuts).map(|_| rng.below(data.len() + 1)).collect();
             idx.sort_unstable();
             let mut h = Sha256::new();
             let mut prev = 0;
@@ -275,16 +284,21 @@ mod proptests {
                 prev = c;
             }
             h.update(&data[prev..]);
-            prop_assert_eq!(h.finalize(), want);
+            assert_eq!(h.finalize(), want);
         }
+    }
 
-        /// Flipping any byte changes the digest.
-        #[test]
-        fn avalanche(data in proptest::collection::vec(any::<u8>(), 1..512), at in any::<usize>()) {
+    /// Flipping any byte changes the digest.
+    #[test]
+    fn avalanche() {
+        let mut rng = SimRng::seed_from_u64(0x7368_6102);
+        for _ in 0..128 {
+            let len = 1 + rng.below(511);
+            let data = random_bytes(&mut rng, len);
             let mut other = data.clone();
-            let i = at % data.len();
+            let i = rng.below(data.len());
             other[i] ^= 0x01;
-            prop_assert_ne!(sha256(&data), sha256(&other));
+            assert_ne!(sha256(&data), sha256(&other));
         }
     }
 }

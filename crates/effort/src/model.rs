@@ -267,22 +267,29 @@ mod tests {
     }
 }
 
+// Seeded randomized property sweeps (no proptest under the offline
+// dependency policy; cases are a pure function of the fixed seed).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lockss_sim::SimRng;
 
-    proptest! {
-        /// The §5.1 effort-balance inequality holds across the whole
-        /// reasonable parameter space: the requester always has more
-        /// invested than the supplier.
-        #[test]
-        fn balance_holds_everywhere(
-            au_mb in 1u64..4_000,
-            verify_ratio in 0.05f64..0.85,
-            margin in 0.0f64..0.5,
-            intro_fraction in 0.05f64..0.5,
-        ) {
+    /// Uniform draw from `[lo, hi)`.
+    fn uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * rng.f64()
+    }
+
+    /// The §5.1 effort-balance inequality holds across the whole
+    /// reasonable parameter space: the requester always has more
+    /// invested than the supplier.
+    #[test]
+    fn balance_holds_everywhere() {
+        let mut rng = SimRng::seed_from_u64(0x6566_6601);
+        for _ in 0..256 {
+            let au_mb = 1 + rng.below(3_999) as u64;
+            let verify_ratio = uniform(&mut rng, 0.05, 0.85);
+            let margin = uniform(&mut rng, 0.0, 0.5);
+            let intro_fraction = uniform(&mut rng, 0.05, 0.5);
             let m = CostModel {
                 verify_ratio,
                 effort_margin: margin,
@@ -290,36 +297,47 @@ mod proptests {
                 ..CostModel::default()
             }
             .with_au_bytes(au_mb * 1_000_000);
-            prop_assert!(m.balance_holds(),
-                "balance must hold: au={au_mb}MB rho={verify_ratio} m={margin}");
+            assert!(
+                m.balance_holds(),
+                "balance must hold: au={au_mb}MB rho={verify_ratio} m={margin}"
+            );
         }
+    }
 
-        /// Effort components are all positive and intro+remaining stays
-        /// within rounding of the total.
-        #[test]
-        fn components_partition_total(
-            verify_ratio in 0.05f64..0.85,
-            intro_fraction in 0.05f64..0.5,
-        ) {
+    /// Effort components are all positive and intro+remaining stays
+    /// within rounding of the total.
+    #[test]
+    fn components_partition_total() {
+        let mut rng = SimRng::seed_from_u64(0x6566_6602);
+        for _ in 0..256 {
+            let verify_ratio = uniform(&mut rng, 0.05, 0.85);
+            let intro_fraction = uniform(&mut rng, 0.05, 0.5);
             let m = CostModel {
                 verify_ratio,
                 intro_fraction,
                 ..CostModel::default()
             };
-            prop_assert!(!m.intro_gen().is_zero());
-            prop_assert!(!m.remaining_gen().is_zero());
+            assert!(!m.intro_gen().is_zero());
+            assert!(!m.remaining_gen().is_zero());
             let total = m.total_provable_effort().as_secs_f64();
             let sum = (m.intro_gen() + m.remaining_gen()).as_secs_f64();
-            prop_assert!((total - sum).abs() < 0.01, "{total} vs {sum}");
+            assert!((total - sum).abs() < 0.01, "{total} vs {sum}");
         }
+    }
 
-        /// Verification never costs more than generation.
-        #[test]
-        fn verify_leq_generate(verify_ratio in 0.05f64..0.95) {
-            let m = CostModel { verify_ratio, ..CostModel::default() };
-            prop_assert!(m.intro_verify() <= m.intro_gen());
-            prop_assert!(m.remaining_verify() <= m.remaining_gen());
-            prop_assert!(m.vote_proof_verify() <= m.vote_proof_gen());
+    /// Verification never costs more than generation.
+    #[test]
+    fn verify_leq_generate() {
+        let mut rng = SimRng::seed_from_u64(0x6566_6603);
+        for _ in 0..256 {
+            let verify_ratio = uniform(&mut rng, 0.05, 0.95);
+            let m = CostModel {
+                verify_ratio,
+                ..CostModel::default()
+            };
+            assert!(m.intro_verify() <= m.intro_gen());
+            assert!(m.remaining_verify() <= m.remaining_gen());
+            assert!(m.vote_proof_verify() <= m.vote_proof_gen());
         }
     }
 }

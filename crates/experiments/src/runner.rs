@@ -1,11 +1,20 @@
 //! Runs scenarios across seeds, in parallel, and condenses the metrics.
 
+use std::sync::{Mutex, MutexGuard};
+
 use lockss_core::World;
 use lockss_metrics::Summary;
 use lockss_sim::{Engine, SimTime};
-use parking_lot::Mutex;
 
 use crate::scenario::Scenario;
+
+/// Locks a mutex, recovering from poisoning: if a worker panicked while
+/// holding the lock, the queue/result state it protects is still valid (a
+/// pop or a push completed or didn't), so the surviving workers keep
+/// draining instead of cascading panics and wedging `run_batch`.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The measured result of one scenario (mean over seeds), with its matched
 /// baseline for the ratio metrics.
@@ -61,30 +70,39 @@ pub fn run_scenario(scenario: &Scenario, seeds: u64) -> Summary {
 
 /// Runs a batch of (key, scenario) jobs × seeds across worker threads;
 /// returns mean summaries in input order.
+///
+/// Results are slotted by seed index, not completion order, so the mean
+/// (a float reduction, hence order-sensitive) is byte-identical no matter
+/// how many threads raced — `threads = 1` and `threads = 4` agree exactly.
 pub fn run_batch(jobs: &[Scenario], seeds: u64, threads: usize) -> Vec<Summary> {
     // Expand into (job index, seed) work items.
     let work: Vec<(usize, u64)> = (0..jobs.len())
         .flat_map(|j| (0..seeds).map(move |s| (j, s + 1)))
         .collect();
     let queue = Mutex::new(work);
-    let results: Vec<Mutex<Vec<Summary>>> =
-        (0..jobs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let results: Vec<Mutex<Vec<Option<Summary>>>> = (0..jobs.len())
+        .map(|_| Mutex::new(vec![None; seeds as usize]))
+        .collect();
 
-    let threads = threads.max(1).min(queue.lock().len().max(1));
+    let threads = threads.max(1).min(lock(&queue).len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let item = queue.lock().pop();
+                let item = lock(&queue).pop();
                 let Some((j, seed)) = item else { break };
                 let summary = run_once(&jobs[j], seed);
-                results[j].lock().push(summary);
+                lock(&results[j])[(seed - 1) as usize] = Some(summary);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| Summary::mean_of(&m.into_inner()))
+        .map(|m| {
+            let slots = lock(&m);
+            let runs: Vec<Summary> = slots.iter().flatten().cloned().collect();
+            Summary::mean_of(&runs)
+        })
         .collect()
 }
 

@@ -297,23 +297,25 @@ mod tests {
     }
 }
 
+// Seeded randomized property sweeps (no proptest under the offline
+// dependency policy; cases are a pure function of the fixed seed).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lockss_sim::SimRng;
 
-    proptest! {
-        /// Transfer delay is monotone in payload size and bounded below by
-        /// the endpoint latencies.
-        #[test]
-        fn delay_monotone_in_bytes(
-            bw_a in proptest::sample::select(BANDWIDTH_CLASSES_BPS.to_vec()),
-            bw_b in proptest::sample::select(BANDWIDTH_CLASSES_BPS.to_vec()),
-            lat_a in 1u64..31,
-            lat_b in 1u64..31,
-            small in 0u64..100_000,
-            extra in 1u64..10_000_000,
-        ) {
+    /// Transfer delay is monotone in payload size and bounded below by
+    /// the endpoint latencies.
+    #[test]
+    fn delay_monotone_in_bytes() {
+        let mut rng = SimRng::seed_from_u64(0x6e65_7401);
+        for _ in 0..256 {
+            let bw_a = *rng.choose(&BANDWIDTH_CLASSES_BPS).unwrap();
+            let bw_b = *rng.choose(&BANDWIDTH_CLASSES_BPS).unwrap();
+            let lat_a = 1 + rng.below(30) as u64;
+            let lat_b = 1 + rng.below(30) as u64;
+            let small = rng.below(100_000) as u64;
+            let extra = 1 + rng.below(10_000_000) as u64;
             let mut net = Network::new();
             let a = net.add_node(LinkSpec {
                 bandwidth_bps: bw_a,
@@ -325,17 +327,19 @@ mod proptests {
             });
             let d_small = net.transfer_delay(a, b, small);
             let d_big = net.transfer_delay(a, b, small + extra);
-            prop_assert!(d_big >= d_small);
-            prop_assert!(d_small >= Duration::from_millis(lat_a + lat_b));
+            assert!(d_big >= d_small);
+            assert!(d_small >= Duration::from_millis(lat_a + lat_b));
         }
+    }
 
-        /// Delay is symmetric in direction.
-        #[test]
-        fn delay_symmetric(
-            lat_a in 1u64..31,
-            lat_b in 1u64..31,
-            bytes in 0u64..5_000_000,
-        ) {
+    /// Delay is symmetric in direction.
+    #[test]
+    fn delay_symmetric() {
+        let mut rng = SimRng::seed_from_u64(0x6e65_7402);
+        for _ in 0..256 {
+            let lat_a = 1 + rng.below(30) as u64;
+            let lat_b = 1 + rng.below(30) as u64;
+            let bytes = rng.below(5_000_000) as u64;
             let mut net = Network::new();
             let a = net.add_node(LinkSpec {
                 bandwidth_bps: 10_000_000,
@@ -345,7 +349,7 @@ mod proptests {
                 bandwidth_bps: 1_500_000,
                 latency: Duration::from_millis(lat_b),
             });
-            prop_assert_eq!(net.transfer_delay(a, b, bytes), net.transfer_delay(b, a, bytes));
+            assert_eq!(net.transfer_delay(a, b, bytes), net.transfer_delay(b, a, bytes));
         }
     }
 }

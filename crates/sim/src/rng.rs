@@ -1,38 +1,79 @@
 //! Seeded randomness helpers for simulations.
 //!
-//! Wraps a `StdRng` with the distributions the protocol and adversary models
+//! A self-hosted splitmix64 generator (the offline dependency policy bans
+//! `rand`) extended with the distributions the protocol and adversary models
 //! need (exponential inter-arrival times, jittered intervals, sampling
-//! without replacement), so model code never touches `rand` directly and the
+//! without replacement), so model code never touches raw bit streams and the
 //! whole run stays a pure function of the seed.
-
-use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
-use rand::{RngExt, SeedableRng};
 
 use crate::time::Duration;
 
-/// A deterministic simulation RNG.
+/// A deterministic simulation RNG over the splitmix64 sequence.
+///
+/// splitmix64 walks its state by a fixed odd increment (the golden-ratio
+/// constant) and passes it through an avalanching finalizer, so every
+/// 64-bit seed yields a full-period, statistically solid stream — more
+/// than enough for a simulation study, and dependency-free.
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
+}
+
+/// The splitmix64 state increment (2^64 / φ, forced odd).
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 output finalizer (same idiom as `lockss-crypto`'s
+/// content PRG): multiply-xorshift avalanche of Stafford's "mix13".
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> SimRng {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { state: seed }
+    }
+
+    /// The next raw splitmix64 output.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
     }
 
     /// Derives an independent child RNG; useful to give each peer its own
-    /// stream so adding a peer does not perturb the others' draws.
+    /// stream so adding a peer does not perturb the others' draws. The
+    /// child is seeded from a finalized output, so its state walk never
+    /// collides with the parent's within any realistic horizon.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.random())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)`: the top 53 bits scaled by 2^-53.
     pub fn f64(&mut self) -> f64 {
-        self.inner.random()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)`, unbiased via rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below: empty range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Reject draws past the largest multiple of n, so each residue is
+        // equally likely. The loop rejects less than half the time even in
+        // the worst case.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -41,13 +82,14 @@ impl SimRng {
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.random_range(0..n)
+        self.below_u64(n as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    /// `f64()` is in `[0, 1)`, so `p = 1.0` always succeeds and `p = 0.0`
+    /// never does.
     pub fn chance(&mut self, p: f64) -> bool {
-        let p = p.clamp(0.0, 1.0);
-        self.inner.random_bool(p)
+        self.f64() < p.clamp(0.0, 1.0)
     }
 
     /// Uniform duration in `[lo, hi]`.
@@ -55,7 +97,12 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        Duration(self.inner.random_range(lo.as_millis()..=hi.as_millis()))
+        // The +1 makes the range inclusive; it only overflows when the
+        // range covers the whole u64 domain, where any draw is valid.
+        match (hi.as_millis() - lo.as_millis()).checked_add(1) {
+            Some(span) => Duration(lo.as_millis() + self.below_u64(span)),
+            None => Duration(self.next_u64()),
+        }
     }
 
     /// `base` jittered multiplicatively by up to `±frac` (e.g. `0.1` for
@@ -92,28 +139,40 @@ impl SimRng {
 
     /// Chooses one element of a slice, or `None` if it is empty.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
-        items.choose(&mut self.inner)
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.below(items.len());
+            Some(&items[i])
+        }
     }
 
     /// Samples `k` distinct elements (cloned) uniformly without replacement;
     /// returns fewer if the slice is shorter than `k`. Order is random.
     pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
-        let mut picked: Vec<T> = items
-            .sample(&mut self.inner, k.min(items.len()))
-            .cloned()
-            .collect();
-        picked.shuffle(&mut self.inner);
-        picked
+        let k = k.min(items.len());
+        // Partial Fisher–Yates over an index vector: after k swap steps the
+        // prefix is a uniform k-permutation of 0..len, so the picks are
+        // distinct, uniform, and in random order.
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        for i in 0..k {
+            let j = i + self.below(items.len() - i);
+            idx.swap(i, j);
+        }
+        idx[..k].iter().map(|&i| items[i].clone()).collect()
     }
 
-    /// Shuffles a slice in place.
+    /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        items.shuffle(&mut self.inner);
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
     }
 
     /// A uniform `u64` (for deriving nonces and content seeds).
     pub fn u64(&mut self) -> u64 {
-        self.inner.random()
+        self.next_u64()
     }
 }
 
@@ -207,5 +266,16 @@ mod tests {
         let d = Duration::from_secs(5);
         assert_eq!(rng.duration_between(d, d), d);
         assert_eq!(rng.duration_between(d, Duration::SECOND), d);
+    }
+
+    #[test]
+    fn duration_between_full_domain_does_not_overflow() {
+        let mut rng = SimRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let d = rng.duration_between(Duration::ZERO, Duration(u64::MAX));
+            assert!(d <= Duration(u64::MAX));
+        }
+        let e = rng.duration_between(Duration(1), Duration(u64::MAX));
+        assert!(e >= Duration(1));
     }
 }

@@ -236,13 +236,13 @@ impl fmt::Display for Duration {
         if ms == 0 {
             return write!(f, "0ms");
         }
-        if ms % Duration::DAY.0 == 0 {
+        if ms.is_multiple_of(Duration::DAY.0) {
             write!(f, "{}d", ms / Duration::DAY.0)
-        } else if ms % Duration::HOUR.0 == 0 {
+        } else if ms.is_multiple_of(Duration::HOUR.0) {
             write!(f, "{}h", ms / Duration::HOUR.0)
-        } else if ms % Duration::MINUTE.0 == 0 {
+        } else if ms.is_multiple_of(Duration::MINUTE.0) {
             write!(f, "{}m", ms / Duration::MINUTE.0)
-        } else if ms % Duration::SECOND.0 == 0 {
+        } else if ms.is_multiple_of(Duration::SECOND.0) {
             write!(f, "{}s", ms / Duration::SECOND.0)
         } else if ms >= Duration::DAY.0 {
             write!(f, "{:.1}d", self.as_days_f64())

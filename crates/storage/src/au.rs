@@ -178,36 +178,59 @@ mod tests {
     }
 }
 
+// Seeded randomized property sweeps (no proptest under the offline
+// dependency policy; cases are a pure function of the fixed seed).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use lockss_sim::SimRng;
 
-    proptest! {
-        /// Disagreement is symmetric: A vs B's snapshot equals B vs A's.
-        #[test]
-        fn disagreement_symmetric(da in proptest::collection::btree_set(0u64..64, 0..16),
-                                  db in proptest::collection::btree_set(0u64..64, 0..16)) {
+    /// Up to 15 distinct damaged block indices in `0..64`.
+    fn random_damage(rng: &mut SimRng) -> Vec<u64> {
+        let blocks: Vec<u64> = (0..64).collect();
+        let k = rng.below(16);
+        rng.sample(&blocks, k)
+    }
+
+    /// Disagreement is symmetric: A vs B's snapshot equals B vs A's.
+    #[test]
+    fn disagreement_symmetric() {
+        let mut rng = SimRng::seed_from_u64(0x0061_7501);
+        for _ in 0..256 {
+            let da = random_damage(&mut rng);
+            let db = random_damage(&mut rng);
             let mut a = Replica::pristine();
-            for b in &da { a.damage(*b); }
+            for b in &da {
+                a.damage(*b);
+            }
             let mut b = Replica::pristine();
-            for x in &db { b.damage(*x); }
-            prop_assert_eq!(a.disagreeing_blocks(&b.snapshot()),
-                            b.disagreeing_blocks(&a.snapshot()));
+            for x in &db {
+                b.damage(*x);
+            }
+            assert_eq!(
+                a.disagreeing_blocks(&b.snapshot()),
+                b.disagreeing_blocks(&a.snapshot())
+            );
         }
+    }
 
-        /// Repairing every disagreeing block from an intact reference
-        /// restores agreement.
-        #[test]
-        fn repair_restores_agreement(da in proptest::collection::btree_set(0u64..64, 0..16)) {
+    /// Repairing every disagreeing block from an intact reference
+    /// restores agreement.
+    #[test]
+    fn repair_restores_agreement() {
+        let mut rng = SimRng::seed_from_u64(0x0061_7502);
+        for _ in 0..256 {
+            let da = random_damage(&mut rng);
             let mut a = Replica::pristine();
-            for b in &da { a.damage(*b); }
+            for b in &da {
+                a.damage(*b);
+            }
             let reference = Replica::pristine();
             for blk in a.disagreeing_blocks(&reference.snapshot()) {
                 a.repair(blk);
             }
-            prop_assert!(a.agrees_with(&reference.snapshot()));
-            prop_assert!(a.is_intact());
+            assert!(a.agrees_with(&reference.snapshot()));
+            assert!(a.is_intact());
         }
     }
 }

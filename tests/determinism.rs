@@ -1,0 +1,67 @@
+//! Determinism regression tests: a run is a pure function of its
+//! configuration and seed, and `run_batch`'s parallelism must not leak
+//! into the results (floating-point reductions are order-sensitive, so
+//! the runner slots results by seed, not by completion order).
+//!
+//! `Summary` derives `PartialEq`, which compares every field — including
+//! the `f64` effort accumulators — exactly, so these assertions demand
+//! byte-identical results, not epsilon closeness.
+
+use lockss::core::{World, WorldConfig};
+use lockss::experiments::runner::{run_batch, run_once};
+use lockss::experiments::scenario::{AttackSpec, Scenario};
+use lockss::experiments::Scale;
+use lockss::sim::{Duration, Engine, SimTime};
+
+fn quick(attack: AttackSpec) -> Scenario {
+    let mut s = Scenario::attacked(Scale::Quick, 2, attack);
+    s.run_length = Duration::from_days(120);
+    s
+}
+
+#[test]
+fn world_summary_identical_across_two_runs() {
+    let run = || {
+        let cfg = WorldConfig {
+            n_peers: 25,
+            n_aus: 2,
+            seed: 42,
+            ..WorldConfig::default()
+        };
+        let mut world = World::new(cfg);
+        let mut eng: Engine<World> = Engine::new();
+        world.start(&mut eng);
+        let end = SimTime::ZERO + Duration::from_days(120);
+        eng.run_until(&mut world, end);
+        world.metrics.summarize(end)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn run_once_identical_across_two_runs() {
+    let s = quick(AttackSpec::None);
+    assert_eq!(run_once(&s, 7), run_once(&s, 7));
+    let s = quick(AttackSpec::PipeStoppage {
+        coverage: 1.0,
+        days: 30,
+    });
+    assert_eq!(run_once(&s, 7), run_once(&s, 7));
+}
+
+#[test]
+fn run_batch_is_thread_count_invariant() {
+    let jobs = [
+        quick(AttackSpec::None),
+        quick(AttackSpec::AdmissionFlood {
+            coverage: 1.0,
+            days: 120,
+        }),
+    ];
+    let single = run_batch(&jobs, 3, 1);
+    let parallel = run_batch(&jobs, 3, 4);
+    assert_eq!(single, parallel);
+    // And the batch path agrees with the sequential per-seed path.
+    let repeat = run_batch(&jobs, 3, 4);
+    assert_eq!(parallel, repeat);
+}
