@@ -84,16 +84,16 @@ impl AdmissionFlood {
                 let jitter = world
                     .rng
                     .duration_between(Duration::SECOND, world.cfg.protocol.refractory);
-                schedule_adversary_timer(eng, jitter, burst_tag(v, au));
+                schedule_adversary_timer(world, eng, jitter, burst_tag(v, au));
             }
         }
-        schedule_adversary_timer(eng, self.attack_len, KIND_CYCLE_END);
+        schedule_adversary_timer(world, eng, self.attack_len, KIND_CYCLE_END);
     }
 
-    fn end_cycle(&mut self, eng: &mut Engine<World>) {
+    fn end_cycle(&mut self, world: &World, eng: &mut Engine<World>) {
         self.active = false;
         self.victim_flags.clear();
-        schedule_adversary_timer(eng, self.recuperation, KIND_CYCLE_START);
+        schedule_adversary_timer(world, eng, self.recuperation, KIND_CYCLE_START);
     }
 
     /// One flood burst against (victim, au): garbage invitations until one
@@ -113,6 +113,7 @@ impl AdmissionFlood {
         {
             if now < until {
                 schedule_adversary_timer(
+                    world,
                     eng,
                     until.since(now) + Duration::SECOND,
                     burst_tag(victim, au),
@@ -156,6 +157,7 @@ impl AdmissionFlood {
         }
         // Next burst at refractory expiry.
         schedule_adversary_timer(
+            world,
             eng,
             cfg.refractory + Duration::SECOND,
             burst_tag(victim, au),
@@ -175,7 +177,7 @@ impl Adversary for AdmissionFlood {
     fn on_timer(&mut self, world: &mut World, eng: &mut Engine<World>, tag: u64) {
         match tag & 0xF {
             KIND_CYCLE_START => self.start_cycle(world, eng),
-            KIND_CYCLE_END => self.end_cycle(eng),
+            KIND_CYCLE_END => self.end_cycle(world, eng),
             KIND_BURST => {
                 let (victim, au) = decode_burst(tag);
                 if victim < world.n_loyal() && (au as usize) < world.cfg.n_aus {

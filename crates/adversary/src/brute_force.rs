@@ -155,14 +155,14 @@ impl BruteForce {
                 vote_deadline,
             },
         );
-        schedule_adversary_timer(eng, Duration::MINUTE * 10, timeout_tag(poll));
+        schedule_adversary_timer(world, eng, Duration::MINUTE * 10, timeout_tag(poll));
     }
 
     /// Schedules the next admission burst against (victim, au) one
     /// refractory period out.
     fn schedule_next_burst(&self, world: &World, eng: &mut Engine<World>, victim: usize, au: u32) {
         let refractory = world.cfg.protocol.refractory;
-        schedule_adversary_timer(eng, refractory + Duration::MINUTE, burst_tag(victim, au));
+        schedule_adversary_timer(world, eng, refractory + Duration::MINUTE, burst_tag(victim, au));
     }
 
     fn on_ack_timeout(&mut self, world: &mut World, eng: &mut Engine<World>, poll: PollId) {
@@ -283,7 +283,7 @@ impl Adversary for BruteForce {
                 let jitter = world
                     .rng
                     .duration_between(Duration::SECOND, world.cfg.protocol.refractory);
-                schedule_adversary_timer(eng, jitter, burst_tag(victim, au));
+                schedule_adversary_timer(world, eng, jitter, burst_tag(victim, au));
             }
         }
     }
@@ -319,6 +319,7 @@ impl Adversary for BruteForce {
                     {
                         if now < until {
                             schedule_adversary_timer(
+                                world,
                                 eng,
                                 until.since(now) + Duration::SECOND,
                                 burst_tag(victim, au),

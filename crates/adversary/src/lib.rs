@@ -20,13 +20,31 @@
 
 //! - [`VoteFlood`]: the unsolicited bogus-vote flood (§5.1) — defeated for
 //!   free because votes can only be supplied in response to an invitation.
+//!
+//! Beyond the paper's evaluation, two dynamic-environment attacks:
+//!
+//! - [`ChurnStorm`]: mass departure/re-arrival synchronized with the poll
+//!   cadence (the §9 "more dynamic environment", sharpened into an attack);
+//! - [`SybilRamp`]: an admission flood that escalates its victim set over
+//!   time, minting a fresh sybil identity per invitation.
+//!
+//! And composition: [`Compose`] runs any number of the above against one
+//! world, concurrently or phased by per-child start offsets, so campaigns
+//! like "pipe stoppage, then admission flood during recovery" are a
+//! handful of lines.
 
 pub mod admission_flood;
 pub mod brute_force;
+pub mod churn_storm;
+pub mod compose;
 pub mod pipe_stoppage;
+pub mod sybil_ramp;
 pub mod vote_flood;
 
 pub use admission_flood::AdmissionFlood;
 pub use brute_force::{BruteForce, Defection};
+pub use churn_storm::ChurnStorm;
+pub use compose::Compose;
 pub use pipe_stoppage::PipeStoppage;
+pub use sybil_ramp::SybilRamp;
 pub use vote_flood::VoteFlood;

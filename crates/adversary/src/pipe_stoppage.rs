@@ -54,14 +54,14 @@ impl PipeStoppage {
         for node in &self.current_victims {
             world.net.set_stopped(*node, true);
         }
-        schedule_adversary_timer(eng, self.attack_len, TAG_END);
+        schedule_adversary_timer(world, eng, self.attack_len, TAG_END);
     }
 
     fn end_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
         for node in self.current_victims.drain(..) {
             world.net.set_stopped(node, false);
         }
-        schedule_adversary_timer(eng, self.recuperation, TAG_START);
+        schedule_adversary_timer(world, eng, self.recuperation, TAG_START);
     }
 }
 

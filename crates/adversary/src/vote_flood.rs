@@ -80,7 +80,7 @@ impl VoteFlood {
                 );
             }
         }
-        schedule_adversary_timer(eng, self.wave_interval, TAG_WAVE);
+        schedule_adversary_timer(world, eng, self.wave_interval, TAG_WAVE);
     }
 }
 

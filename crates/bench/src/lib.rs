@@ -19,7 +19,7 @@
 //! ```
 //!
 //! Timing model: one calibration call sizes the per-sample iteration count
-//! to roughly [`SAMPLE_BUDGET`], then [`SAMPLES`] samples run back to back;
+//! to roughly `SAMPLE_BUDGET`, then `SAMPLES` samples run back to back;
 //! the statistics are over per-iteration sample means. This is deliberately
 //! simpler than criterion — no outlier rejection, no bootstrap — because
 //! the benches exist to keep regressions visible, not to publish numbers.

@@ -48,9 +48,23 @@ pub trait Adversary {
 /// The event re-enters the adversary through [`Adversary::on_timer`] with
 /// the given tag; if no adversary is installed when it fires, it is a
 /// no-op.
-pub fn schedule_adversary_timer(eng: &mut Engine<World>, delay: lockss_sim::Duration, tag: u64) {
+///
+/// The world's current *adversary channel* is captured with the timer and
+/// restored when it fires, so a composite adversary can stamp a channel per
+/// child strategy, dispatch `on_timer` by [`World::adversary_channel`], and
+/// let children keep their strategy-private tag encodings without
+/// collisions. Simple (non-composite) adversaries run entirely on the
+/// default channel 0 and never notice any of this.
+pub fn schedule_adversary_timer(
+    world: &World,
+    eng: &mut Engine<World>,
+    delay: lockss_sim::Duration,
+    tag: u64,
+) {
+    let channel = world.adversary_channel();
     eng.schedule_in(delay, move |w: &mut World, e| {
         if let Some(mut adv) = w.adversary.take() {
+            w.set_adversary_channel(channel);
             adv.on_timer(w, e, tag);
             w.adversary = Some(adv);
         }

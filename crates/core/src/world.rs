@@ -34,6 +34,10 @@ pub struct World {
     pub metrics: RunMetrics,
     pub rng: SimRng,
     pub adversary: Option<Box<dyn Adversary>>,
+    /// Which sub-strategy of a composite adversary the current timer/event
+    /// belongs to (see [`crate::adversary::schedule_adversary_timer`]).
+    /// Always 0 for simple adversaries.
+    adversary_channel: u64,
     next_poll_id: u64,
     n_loyal: usize,
     /// Network node → loyal peer index (nodes absent here belong to the
@@ -82,6 +86,7 @@ impl World {
             metrics,
             rng,
             adversary: None,
+            adversary_channel: 0,
             next_poll_id: 0,
             n_loyal: nodes.len(),
             node_to_peer,
@@ -122,6 +127,26 @@ impl World {
     /// Installs an attack strategy (call before [`World::start`]).
     pub fn install_adversary(&mut self, adversary: Box<dyn Adversary>) {
         self.adversary = Some(adversary);
+    }
+
+    /// The adversary channel the current event is running on (0 unless a
+    /// composite adversary stamped a child channel).
+    pub fn adversary_channel(&self) -> u64 {
+        self.adversary_channel
+    }
+
+    /// Stamps the adversary channel for subsequently scheduled adversary
+    /// timers. Composite adversaries set this before entering a child
+    /// strategy so the child's timers come back routed to it.
+    pub fn set_adversary_channel(&mut self, channel: u64) {
+        self.adversary_channel = channel;
+    }
+
+    /// Records the start of a named attack phase in the run metrics (used
+    /// by phased composite adversaries; see
+    /// [`lockss_metrics::summary::RunMetrics::mark_phase`]).
+    pub fn mark_phase(&mut self, label: &str, eng: &Eng) {
+        self.metrics.mark_phase(label, eng.now());
     }
 
     /// Allocates a globally unique poll id (also used by adversaries for

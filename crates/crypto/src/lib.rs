@@ -3,7 +3,7 @@
 //! Everything here is implemented from scratch (the offline dependency
 //! policy bans third-party crypto crates):
 //!
-//! - [`sha256`]: FIPS 180-4 SHA-256, used for content hashing and votes in
+//! - [`mod@sha256`]: FIPS 180-4 SHA-256, used for content hashing and votes in
 //!   "real mode" (the simulator charges *time* for hashing instead, exactly
 //!   as the paper's Narses runs did, but the real thing exists and is
 //!   exercised by tests and examples).

@@ -21,8 +21,8 @@
 use lockss_adversary::Defection;
 use lockss_core::config::Ablation;
 use lockss_experiments::runner::{default_threads, run_batch};
-use lockss_experiments::scenario::{AttackSpec, Scenario};
-use lockss_experiments::{save_results, Scale};
+use lockss_experiments::scenario::AttackSpec;
+use lockss_experiments::{save_results, Scale, ScenarioRegistry};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::Table;
 
@@ -49,12 +49,12 @@ fn main() {
     let cases = vec![
         Case {
             name: "full defenses / admission flood",
-            attack: flood,
+            attack: flood.clone(),
             ablation: Ablation::default(),
         },
         Case {
             name: "no refractory / admission flood",
-            attack: flood,
+            attack: flood.clone(),
             ablation: Ablation {
                 no_refractory: true,
                 ..Ablation::default()
@@ -62,7 +62,7 @@ fn main() {
         },
         Case {
             name: "no introductions / admission flood",
-            attack: flood,
+            attack: flood.clone(),
             ablation: Ablation {
                 no_introductions: true,
                 ..Ablation::default()
@@ -70,12 +70,12 @@ fn main() {
         },
         Case {
             name: "full defenses / brute force",
-            attack: brute,
+            attack: brute.clone(),
             ablation: Ablation::default(),
         },
         Case {
             name: "no reputation / brute force",
-            attack: brute,
+            attack: brute.clone(),
             ablation: Ablation {
                 no_reputation: true,
                 ..Ablation::default()
@@ -83,7 +83,7 @@ fn main() {
         },
         Case {
             name: "no effort balancing / brute force",
-            attack: brute,
+            attack: brute.clone(),
             ablation: Ablation {
                 no_effort_balancing: true,
                 ..Ablation::default()
@@ -101,11 +101,16 @@ fn main() {
 
     // Baselines: the unattacked world with the same ablation, so each row's
     // ratios isolate the attack's effect under that protocol variant.
+    let registry = ScenarioRegistry::standard();
+    let base = registry
+        .build("baseline", scale)
+        .expect("'baseline' is registered")
+        .with_aus(n_aus);
     let mut jobs = Vec::new();
     for case in &cases {
-        let mut attacked = Scenario::attacked(scale, n_aus, case.attack);
+        let mut attacked = base.clone().with_attack(case.attack.clone());
         attacked.cfg.protocol.ablation = case.ablation;
-        let mut baseline = Scenario::baseline(scale, n_aus);
+        let mut baseline = base.clone();
         baseline.cfg.protocol.ablation = case.ablation;
         jobs.push(attacked);
         jobs.push(baseline);

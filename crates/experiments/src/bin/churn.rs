@@ -10,23 +10,20 @@
 
 use lockss_adversary::AdmissionFlood;
 use lockss_core::{World, WorldConfig};
-use lockss_effort::CostModel;
-use lockss_experiments::{save_results, Scale};
+use lockss_experiments::{save_results, Scale, ScenarioRegistry};
 use lockss_metrics::Table;
 use lockss_sim::{Duration, Engine, SimTime};
-use lockss_storage::{AuId, AuSpec};
+use lockss_storage::AuId;
 
 fn config(scale: Scale, seed: u64) -> WorldConfig {
-    let au_spec = AuSpec::default();
-    let mut cfg = WorldConfig {
-        n_peers: scale.n_peers(),
-        n_aus: scale.small_collection().min(8),
-        au_spec,
-        mtbf_years: 5.0,
-        seed,
-        cost: CostModel::default().with_au_bytes(au_spec.size_bytes),
-        ..WorldConfig::default()
-    };
+    // The registered baseline world, shrunk and sped up (monthly polls) so
+    // the one-year integration ramp has enough poll rounds to show.
+    let mut cfg = ScenarioRegistry::standard()
+        .build("baseline", scale)
+        .expect("'baseline' is registered")
+        .with_aus(scale.small_collection().min(8))
+        .cfg;
+    cfg.seed = seed;
     cfg.protocol.poll_interval = Duration::MONTH;
     cfg
 }

@@ -7,12 +7,11 @@
 //! up almost entirely in `Consider`/`VerifyIntro`, brute force in
 //! `ComputeVote`.
 
-use lockss_adversary::Defection;
 use lockss_core::World;
 use lockss_effort::ledger::ALL_PURPOSES;
 use lockss_effort::EffortLedger;
-use lockss_experiments::scenario::{AttackSpec, Scenario};
-use lockss_experiments::{save_results, Scale};
+use lockss_experiments::scenario::Scenario;
+use lockss_experiments::{save_results, Scale, ScenarioRegistry};
 use lockss_metrics::Table;
 use lockss_sim::{Engine, SimTime};
 
@@ -41,34 +40,22 @@ fn main() {
     );
     let n_aus = scale.small_collection().min(8); // this report needs no statistics
 
+    // The registry's representative scenario for each attack mechanism.
+    let registry = ScenarioRegistry::standard();
     let cases = [
-        ("baseline", AttackSpec::None),
-        (
-            "admission flood (100%, sustained)",
-            AttackSpec::AdmissionFlood {
-                coverage: 1.0,
-                days: 720,
-            },
-        ),
-        (
-            "brute force NONE",
-            AttackSpec::BruteForce {
-                defection: Defection::None_,
-            },
-        ),
-        (
-            "pipe stoppage (100% x 90d)",
-            AttackSpec::PipeStoppage {
-                coverage: 1.0,
-                days: 90,
-            },
-        ),
+        "baseline",
+        "admission-flood",
+        "brute-force-none",
+        "pipe-stoppage",
     ];
 
     let ledgers: Vec<(&str, EffortLedger)> = cases
         .iter()
-        .map(|(name, attack)| {
-            let scenario = Scenario::attacked(scale, n_aus, *attack);
+        .map(|name| {
+            let scenario = registry
+                .build(name, scale)
+                .unwrap_or_else(|| panic!("'{name}' is registered"))
+                .with_aus(n_aus);
             (*name, run_ledger(&scenario, 1))
         })
         .collect();

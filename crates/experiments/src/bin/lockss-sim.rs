@@ -1,129 +1,164 @@
-//! General-purpose scenario runner: build any world + attack combination
-//! from the command line and print the full metric report.
+//! Registry-driven scenario runner.
+//!
+//! Every runnable world — baselines, the paper's figure points, the
+//! dynamic-environment attacks, and composite campaigns — is a named entry
+//! in the [`ScenarioRegistry`]; this binary lists, describes, and runs
+//! them:
 //!
 //! ```sh
-//! cargo run --release -p lockss-experiments --bin lockss-sim -- \
-//!     --peers 100 --aus 20 --years 2 --seeds 3 \
-//!     --attack stoppage --coverage 0.7 --days 90
+//! cargo run --release --bin lockss-sim -- list
+//! cargo run --release --bin lockss-sim -- describe stoppage-then-flood
+//! cargo run --release --bin lockss-sim -- run churn-storm --scale quick --seed 1 --json
 //! ```
 //!
-//! Attacks: `none` (default), `stoppage`, `flood`,
-//! `brute-intro`, `brute-remaining`, `brute-none`.
+//! `run` executes the scenario (plus its matched no-attack baseline when an
+//! attack is installed, for the §6.1 ratio metrics), prints the metric
+//! report, and writes a JSON summary to `results/scenario-<name>.json`.
+//! Output is a pure function of `(name, scale, seeds)` — the same
+//! invocation reproduces the same bytes.
 
-use lockss_adversary::Defection;
-use lockss_experiments::runner::{default_threads, run_batch};
-use lockss_experiments::scenario::{AttackSpec, Scenario};
-use lockss_experiments::Scale;
+use lockss_experiments::runner::{default_threads, run_batch, run_once, run_once_with_phases};
+use lockss_experiments::{Scale, ScenarioRegistry};
 use lockss_metrics::table::{ratio, sci};
+use lockss_metrics::{PhaseSummary, Summary, Table};
 use lockss_sim::Duration;
 
-struct Args {
-    peers: usize,
-    aus: usize,
-    years: u64,
-    seeds: u64,
-    mtbf: f64,
-    interval_months: u64,
-    attack: String,
-    coverage: f64,
-    days: u64,
+fn usage() -> ! {
+    eprintln!(
+        "usage: lockss-sim <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                     all registered scenarios\n\
+         \x20 describe <name>          one scenario in detail\n\
+         \x20 run <name>               run a scenario and report the metrics\n\
+         \n\
+         options:\n\
+         \x20 --scale <quick|default|paper>   experiment scale (or LOCKSS_SCALE)\n\
+         \x20 --seed <N>                      run exactly one seed\n\
+         \x20 --seeds <K>                     run seeds 1..=K (default: the scale's)\n\
+         \x20 --json                          print the JSON summary to stdout"
+    );
+    std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut args = Args {
-        peers: 100,
-        aus: 20,
-        years: 2,
-        seeds: 3,
-        mtbf: 5.0,
-        interval_months: 3,
-        attack: "none".into(),
-        coverage: 1.0,
-        days: 90,
-    };
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    while i + 1 < argv.len() {
-        let val = &argv[i + 1];
-        match argv[i].as_str() {
-            "--peers" => args.peers = val.parse().expect("--peers N"),
-            "--aus" => args.aus = val.parse().expect("--aus N"),
-            "--years" => args.years = val.parse().expect("--years N"),
-            "--seeds" => args.seeds = val.parse().expect("--seeds N"),
-            "--mtbf" => args.mtbf = val.parse().expect("--mtbf YEARS"),
-            "--interval-months" => args.interval_months = val.parse().expect("--interval-months N"),
-            "--attack" => args.attack = val.clone(),
-            "--coverage" => args.coverage = val.parse().expect("--coverage F"),
-            "--days" => args.days = val.parse().expect("--days N"),
-            _ => {
-                i += 1;
-                continue;
-            }
-        }
-        i += 2;
-    }
-    args
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
-    let a = parse_args();
-    let attack = match a.attack.as_str() {
-        "none" => AttackSpec::None,
-        "stoppage" => AttackSpec::PipeStoppage {
-            coverage: a.coverage,
-            days: a.days,
-        },
-        "flood" => AttackSpec::AdmissionFlood {
-            coverage: a.coverage,
-            days: a.days,
-        },
-        "brute-intro" => AttackSpec::BruteForce {
-            defection: Defection::Intro,
-        },
-        "brute-remaining" => AttackSpec::BruteForce {
-            defection: Defection::Remaining,
-        },
-        "brute-none" => AttackSpec::BruteForce {
-            defection: Defection::None_,
-        },
-        other => {
-            eprintln!("unknown attack '{other}'");
-            std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = ScenarioRegistry::standard();
+    let scale = Scale::from_env_and_args();
+    match args.first().map(String::as_str) {
+        Some("list") => list(&registry, scale),
+        Some("describe") => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            describe(&registry, &name, scale);
         }
-    };
+        Some("run") => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            let seeds: Vec<u64> = if let Some(s) = flag_value(&args, "--seed") {
+                vec![s.parse().expect("--seed N")]
+            } else {
+                let k: u64 = flag_value(&args, "--seeds")
+                    .map(|s| s.parse().expect("--seeds K"))
+                    .unwrap_or_else(|| scale.seeds());
+                (1..=k).collect()
+            };
+            if seeds.is_empty() {
+                eprintln!("--seeds must be at least 1");
+                std::process::exit(2);
+            }
+            let json = args.iter().any(|a| a == "--json");
+            run(&registry, &name, scale, &seeds, json);
+        }
+        _ => usage(),
+    }
+}
 
-    let mut scenario = Scenario::attacked(Scale::Default, a.aus, attack);
-    scenario.cfg.n_peers = a.peers;
-    scenario.cfg.mtbf_years = a.mtbf;
-    scenario.cfg.protocol.poll_interval = Duration::MONTH * a.interval_months;
-    scenario.run_length = Duration::YEAR * a.years;
+fn resolve<'r>(
+    registry: &'r ScenarioRegistry,
+    name: &str,
+) -> &'r lockss_experiments::ScenarioEntry {
+    registry.get(name).unwrap_or_else(|| {
+        eprintln!("unknown scenario '{name}'; `lockss-sim list` shows the registry");
+        std::process::exit(2);
+    })
+}
 
-    let mut baseline = scenario.clone();
-    baseline.attack = AttackSpec::None;
-
+fn list(registry: &ScenarioRegistry, scale: Scale) {
     println!(
-        "scenario: {} peers x {} AUs, {}y, interval {}, mtbf {} disk-years, attack {}",
-        a.peers,
-        a.aus,
-        a.years,
-        scenario.cfg.protocol.poll_interval,
-        a.mtbf,
-        attack.label(),
+        "{} registered scenarios (scale '{}'):\n",
+        registry.len(),
+        scale.label()
+    );
+    let mut table = Table::new(vec!["scenario", "paper", "description"]);
+    for e in registry.entries() {
+        table.row(vec![e.name, e.paper_ref, e.description]);
+    }
+    print!("{}", table.render());
+}
+
+fn describe(registry: &ScenarioRegistry, name: &str, scale: Scale) {
+    let entry = resolve(registry, name);
+    let s = entry.build(scale);
+    println!("scenario     {}", entry.name);
+    println!("paper        {}", entry.paper_ref);
+    println!("description  {}", entry.description);
+    println!("attack       {}", s.attack.label());
+    println!(
+        "world        {} peers x {} AUs, mtbf {} disk-years, poll interval {}",
+        s.cfg.n_peers, s.cfg.n_aus, s.cfg.mtbf_years, s.cfg.protocol.poll_interval
     );
     println!(
-        "running {} seed(s) on {} threads...",
-        a.seeds,
-        default_threads()
+        "run          {} at scale '{}', {} seed(s)",
+        s.run_length,
+        scale.label(),
+        scale.seeds()
+    );
+}
+
+fn run(registry: &ScenarioRegistry, name: &str, scale: Scale, seeds: &[u64], json_out: bool) {
+    let entry = resolve(registry, name);
+    let scenario = entry.build(scale);
+    let attacked_label = scenario.attack.label();
+    println!(
+        "running '{}' at scale '{}' ({} seed(s), {} threads): {}",
+        entry.name,
+        scale.label(),
+        seeds.len(),
+        default_threads(),
+        attacked_label,
     );
 
-    let jobs = if attack == AttackSpec::None {
+    // Matched baseline for the ratio metrics, skipped for baselines.
+    let jobs = if scenario.attack.is_none() {
         vec![scenario.clone()]
     } else {
-        vec![scenario.clone(), baseline]
+        vec![scenario.clone(), scenario.matched_baseline()]
     };
-    let out = run_batch(&jobs, a.seeds, default_threads());
-    let attacked = &out[0];
-    let base = out.get(1).unwrap_or(attacked);
+    // run_batch means over a contiguous 1..=K seed range; an explicit
+    // --seed N runs that single seed directly. The per-phase breakdown is
+    // per-seed, reported for the first seed: free in the single-seed path,
+    // one extra (composite-only) run in the batch path.
+    let (attacked, baseline, phases) = if seeds.len() == 1 {
+        let (a, phases) = run_once_with_phases(&jobs[0], seeds[0]);
+        let b = jobs.get(1).map(|j| run_once(j, seeds[0]));
+        (a, b, phases)
+    } else {
+        let out = run_batch(&jobs, seeds.len() as u64, default_threads());
+        let mut it = out.into_iter();
+        let a = it.next().expect("attacked summary");
+        let phases = if scenario.attack.is_composite() {
+            run_once_with_phases(&scenario, seeds[0]).1
+        } else {
+            Vec::new()
+        };
+        (a, it.next(), phases)
+    };
+    let base = baseline.as_ref().unwrap_or(&attacked);
 
     println!();
     println!(
@@ -141,7 +176,7 @@ fn main() {
         "loyal effort                {:.0} CPU-s",
         attacked.loyal_effort_secs
     );
-    if attack != AttackSpec::None {
+    if !scenario.attack.is_none() {
         println!(
             "adversary effort            {:.0} CPU-s",
             attacked.adversary_effort_secs
@@ -159,4 +194,137 @@ fn main() {
             ratio(attacked.cost_ratio())
         );
     }
+    if !phases.is_empty() {
+        println!("\nper-phase breakdown (seed {}):", seeds[0]);
+        let mut table = Table::new(vec![
+            "phase",
+            "from",
+            "to",
+            "access failure",
+            "ok",
+            "failed",
+            "alarms",
+            "loyal CPU-s",
+            "adv CPU-s",
+        ]);
+        for p in &phases {
+            table.row(vec![
+                p.label.clone(),
+                format!("{:.0}d", p.start.as_days_f64()),
+                format!("{:.0}d", p.end.as_days_f64()),
+                sci(p.access_failure_probability),
+                p.successful_polls.to_string(),
+                p.failed_polls.to_string(),
+                p.alarms.to_string(),
+                format!("{:.0}", p.loyal_effort_secs),
+                format!("{:.0}", p.adversary_effort_secs),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    let json = render_json(
+        entry.name,
+        entry.paper_ref,
+        scale,
+        seeds,
+        &attacked_label,
+        &attacked,
+        baseline.as_ref(),
+        &phases,
+    );
+    let path = format!("results/scenario-{}.json", entry.name);
+    if std::fs::create_dir_all("results").is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nwrote {path}");
+    }
+    if json_out {
+        println!("{json}");
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+fn json_duration(d: Option<Duration>) -> String {
+    d.map(|d| d.as_millis().to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"access_failure_probability\": {}, \"mean_gap_ms\": {}, \
+         \"successful_polls\": {}, \"failed_polls\": {}, \"alarms\": {}, \
+         \"loyal_effort_secs\": {}, \"adversary_effort_secs\": {}}}",
+        json_f64(s.access_failure_probability),
+        json_duration(s.mean_time_between_successes),
+        s.successful_polls,
+        s.failed_polls,
+        s.alarms,
+        json_f64(s.loyal_effort_secs),
+        json_f64(s.adversary_effort_secs),
+    )
+}
+
+fn phase_json(p: &PhaseSummary) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"start_ms\": {}, \"end_ms\": {}, \
+         \"access_failure_probability\": {}, \"successful_polls\": {}, \
+         \"failed_polls\": {}, \"alarms\": {}, \"loyal_effort_secs\": {}, \
+         \"adversary_effort_secs\": {}}}",
+        p.label,
+        p.start.as_millis(),
+        p.end.as_millis(),
+        json_f64(p.access_failure_probability),
+        p.successful_polls,
+        p.failed_polls,
+        p.alarms,
+        json_f64(p.loyal_effort_secs),
+        json_f64(p.adversary_effort_secs),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    name: &str,
+    paper_ref: &str,
+    scale: Scale,
+    seeds: &[u64],
+    attack_label: &str,
+    attacked: &Summary,
+    baseline: Option<&Summary>,
+    phases: &[PhaseSummary],
+) -> String {
+    let seed_list: Vec<String> = seeds.iter().map(u64::to_string).collect();
+    let phase_list: Vec<String> = phases.iter().map(phase_json).collect();
+    let base_json = baseline
+        .map(summary_json)
+        .unwrap_or_else(|| "null".to_string());
+    let ratios = match baseline {
+        Some(b) => format!(
+            "{{\"delay_ratio\": {}, \"coefficient_of_friction\": {}, \"cost_ratio\": {}}}",
+            json_opt(attacked.delay_ratio(b)),
+            json_opt(attacked.coefficient_of_friction(b)),
+            json_opt(attacked.cost_ratio()),
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"scenario\": \"{name}\",\n  \"paper_ref\": \"{paper_ref}\",\n  \
+         \"scale\": \"{}\",\n  \"seeds\": [{}],\n  \"attack\": \"{attack_label}\",\n  \
+         \"summary\": {},\n  \"baseline\": {base_json},\n  \"ratios\": {ratios},\n  \
+         \"phases\": [{}]\n}}\n",
+        scale.label(),
+        seed_list.join(", "),
+        summary_json(attacked),
+        phase_list.join(", "),
+    )
 }

@@ -1,9 +1,17 @@
 //! The experiment harness: regenerates every table and figure of the
-//! paper's evaluation (§7).
+//! paper's evaluation (§7) and runs the scenario registry beyond it.
 //!
-//! Each binary (`fig2` … `fig8`, `table1`) builds the §6.3 world, installs
-//! the relevant adversary, runs several seeds in parallel, and prints the
-//! same rows/series the paper reports, plus a CSV copy under `results/`.
+//! Every runnable world is a named entry in the [`ScenarioRegistry`] —
+//! baselines, each figure point's representative scenario, the
+//! dynamic-environment attacks, and composite campaigns built from the
+//! composable [`AttackSpec`]. The `lockss-sim` binary lists, describes,
+//! and runs them (`list` / `describe <name>` / `run <name> --json`),
+//! writing per-scenario JSON summaries under `results/`.
+//!
+//! Each figure binary (`fig2` … `fig8`, `table1`) derives its sweep grid
+//! from the registered baseline, installs the relevant adversary, runs
+//! several seeds in parallel, and prints the same rows/series the paper
+//! reports, plus a CSV copy under `results/`.
 //!
 //! Scale is controlled by `LOCKSS_SCALE` (or a `--scale` argument):
 //! `quick` for CI smoke runs, `default` for laptop-scale shape
@@ -13,14 +21,16 @@
 
 pub mod cache;
 pub mod layering;
+pub mod registry;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
 pub mod sweeps;
 
+pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use runner::{run_scenario, MeasuredPoint};
 pub use scale::Scale;
-pub use scenario::{AttackSpec, Scenario};
+pub use scenario::{phased, AttackSpec, PhasedAttack, Scenario};
 
 use std::io::Write as _;
 use std::path::Path;

@@ -1,0 +1,446 @@
+//! The scenario registry: every runnable world as a named, self-describing
+//! entry.
+//!
+//! The paper's evaluation is a handful of fixed sweeps; the registry turns
+//! each evaluated point — and every scenario beyond them — into a named
+//! entry with a description, a paper-section reference, and a builder, so
+//! new worlds (including composite campaigns) are one-line registrations
+//! discoverable from the `lockss-sim` CLI (`list` / `describe` / `run`).
+//! Determinism makes the names meaningful: a registered scenario plus a
+//! seed identifies a byte-reproducible execution, the record-and-replay
+//! property that makes attack debugging tractable.
+
+use lockss_adversary::Defection;
+
+use crate::scale::Scale;
+use crate::scenario::{phased, AttackSpec, Scenario};
+
+/// One registered scenario: metadata plus a builder.
+#[derive(Clone)]
+pub struct ScenarioEntry {
+    /// Unique, CLI-addressable name (kebab-case).
+    pub name: &'static str,
+    /// One-line description of the world and what it demonstrates.
+    pub description: &'static str,
+    /// The paper figure/table/section the scenario reproduces or extends.
+    pub paper_ref: &'static str,
+    /// Builds the scenario at a given experiment scale.
+    pub builder: fn(Scale) -> Scenario,
+}
+
+impl ScenarioEntry {
+    /// Builds the scenario at `scale`.
+    pub fn build(&self, scale: Scale) -> Scenario {
+        (self.builder)(scale)
+    }
+}
+
+/// The registry: an ordered collection of named scenarios.
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> ScenarioRegistry {
+        ScenarioRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken — names are CLI addresses and
+    /// must be unique.
+    pub fn register(&mut self, entry: ScenarioEntry) {
+        assert!(
+            self.get(entry.name).is_none(),
+            "duplicate scenario name '{}'",
+            entry.name
+        );
+        self.entries.push(entry);
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Builds the named scenario at `scale`, if registered.
+    pub fn build(&self, name: &str, scale: Scale) -> Option<Scenario> {
+        self.get(name).map(|e| e.build(scale))
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scenario catalog as a markdown table (the README section; kept
+    /// in sync by `tests/scenario_catalog.rs`).
+    pub fn catalog_markdown(&self) -> String {
+        let mut out = String::from("| scenario | paper | description |\n|---|---|---|\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "| `{}` | {} | {} |\n",
+                e.name, e.paper_ref, e.description
+            ));
+        }
+        out
+    }
+
+    /// The standard registry: the paper's evaluated worlds plus the
+    /// dynamic-environment and composite campaigns.
+    pub fn standard() -> ScenarioRegistry {
+        let mut r = ScenarioRegistry::new();
+        r.register(ScenarioEntry {
+            name: "baseline",
+            description: "the §6.3 world, small collection, no attack",
+            paper_ref: "§6.3, Fig. 2",
+            builder: |scale| Scenario::baseline(scale, scale.small_collection()),
+        });
+        r.register(ScenarioEntry {
+            name: "baseline-large",
+            description: "the §6.3 world at the large collection size, no attack",
+            paper_ref: "§6.3, Fig. 2 (600-AU line)",
+            builder: |scale| Scenario::baseline(scale, scale.large_collection()),
+        });
+        r.register(ScenarioEntry {
+            name: "pipe-stoppage",
+            description: "total network blackout, 90-day cycles, 30-day recuperation",
+            paper_ref: "§7.2, Figs. 3-5",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::PipeStoppage {
+                        coverage: 1.0,
+                        days: 90,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "pipe-stoppage-partial",
+            description: "pipe stoppage against 40% of the population, 30-day cycles",
+            paper_ref: "§7.2, Figs. 3-5",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::PipeStoppage {
+                        coverage: 0.4,
+                        days: 30,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "admission-flood",
+            description: "garbage invitations to the whole population, sustained two years",
+            paper_ref: "§7.3, Figs. 6-8",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::AdmissionFlood {
+                        coverage: 1.0,
+                        days: 720,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "admission-flood-partial",
+            description: "admission flood against 40% of the population, 90-day cycles",
+            paper_ref: "§7.3, Figs. 6-8",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::AdmissionFlood {
+                        coverage: 0.4,
+                        days: 90,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "brute-force-intro",
+            description: "effortful reservation attack: valid intro efforts, desert after Poll",
+            paper_ref: "§7.4, Table 1 (INTRO)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::BruteForce {
+                        defection: Defection::Intro,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "brute-force-remaining",
+            description: "effortful wasteful attack: take the vote, never send the receipt",
+            paper_ref: "§7.4, Table 1 (REMAINING)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::BruteForce {
+                        defection: Defection::Remaining,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "brute-force-none",
+            description: "effortful full participation: indistinguishable but insatiable poller",
+            paper_ref: "§7.4, Table 1 (NONE)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::BruteForce {
+                        defection: Defection::None_,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "vote-flood",
+            description: "unsolicited bogus votes, four per victim every six hours",
+            paper_ref: "§5.1 (vote flood)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::VoteFlood {
+                        votes_per_wave: 4,
+                        wave_hours: 6,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "churn-storm",
+            description: "half the population departs each poll interval, timed over the \
+                          solicitation windows",
+            paper_ref: "§9 (dynamic environments)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::ChurnStorm {
+                        coverage: 0.5,
+                        duty: 0.7,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "sybil-ramp",
+            description: "sybil garbage invitations escalating +25% of the population every \
+                          45 days",
+            paper_ref: "§3.1 + §7.3 (unconstrained identities)",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::SybilRamp {
+                        step: 0.25,
+                        step_days: 45,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "stoppage-then-flood",
+            description: "composite: 60-day total blackout, then an admission flood timed \
+                          into the recovery window",
+            paper_ref: "§7.2 + §7.3 composed",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::Compose(vec![
+                        phased(
+                            0,
+                            AttackSpec::PipeStoppage {
+                                coverage: 1.0,
+                                days: 60,
+                            },
+                        ),
+                        phased(
+                            90,
+                            AttackSpec::AdmissionFlood {
+                                coverage: 1.0,
+                                days: 360,
+                            },
+                        ),
+                    ]),
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "storm-over-ramp",
+            description: "composite: churn storm and sybil admission ramp running \
+                          concurrently from the first instant",
+            paper_ref: "§9 + §7.3 composed",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::Compose(vec![
+                        phased(
+                            0,
+                            AttackSpec::ChurnStorm {
+                                coverage: 0.5,
+                                duty: 0.7,
+                            },
+                        ),
+                        phased(
+                            0,
+                            AttackSpec::SybilRamp {
+                                step: 0.25,
+                                step_days: 45,
+                            },
+                        ),
+                    ]),
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "stoppage-escalation",
+            description: "composite: partial pipe stoppage that escalates to a total \
+                          blackout after four months",
+            paper_ref: "§7.2 phased",
+            builder: |scale| {
+                Scenario::attacked(
+                    scale,
+                    scale.small_collection(),
+                    AttackSpec::Compose(vec![
+                        phased(
+                            0,
+                            AttackSpec::PipeStoppage {
+                                coverage: 0.4,
+                                days: 30,
+                            },
+                        ),
+                        phased(
+                            120,
+                            AttackSpec::PipeStoppage {
+                                coverage: 1.0,
+                                days: 60,
+                            },
+                        ),
+                    ]),
+                )
+            },
+        });
+        r
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> ScenarioRegistry {
+        ScenarioRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_is_rich_enough() {
+        let r = ScenarioRegistry::standard();
+        assert!(r.len() >= 10, "want >= 10 scenarios, have {}", r.len());
+        let composites = r
+            .entries()
+            .iter()
+            .filter(|e| e.build(Scale::Quick).attack.is_composite())
+            .count();
+        assert!(composites >= 2, "want >= 2 composite scenarios");
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique_and_kebab_case() {
+        let r = ScenarioRegistry::standard();
+        let names = r.names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate names");
+        for n in names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "name '{n}' is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn every_scenario_validates_at_every_scale() {
+        let r = ScenarioRegistry::standard();
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            for e in r.entries() {
+                let s = e.build(scale);
+                s.cfg
+                    .validate()
+                    .unwrap_or_else(|err| panic!("{} at {:?}: {err}", e.name, scale));
+                assert!(!s.run_length.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_and_build() {
+        let r = ScenarioRegistry::standard();
+        assert!(r.get("baseline").is_some());
+        assert!(r.get("no-such-scenario").is_none());
+        let s = r.build("pipe-stoppage", Scale::Quick).expect("registered");
+        assert!(!s.attack.is_none());
+        assert!(r.build("no-such-scenario", Scale::Quick).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_registration_panics() {
+        let mut r = ScenarioRegistry::standard();
+        r.register(ScenarioEntry {
+            name: "baseline",
+            description: "dup",
+            paper_ref: "-",
+            builder: |scale| Scenario::baseline(scale, 1),
+        });
+    }
+
+    #[test]
+    fn catalog_lists_every_entry() {
+        let r = ScenarioRegistry::standard();
+        let md = r.catalog_markdown();
+        for e in r.entries() {
+            assert!(md.contains(e.name), "catalog missing {}", e.name);
+        }
+        assert_eq!(md.lines().count(), r.len() + 2, "header + one row each");
+    }
+}

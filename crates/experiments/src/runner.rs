@@ -3,7 +3,7 @@
 use std::sync::{Mutex, MutexGuard};
 
 use lockss_core::World;
-use lockss_metrics::Summary;
+use lockss_metrics::{PhaseSummary, Summary};
 use lockss_sim::{Engine, SimTime};
 
 use crate::scenario::Scenario;
@@ -49,6 +49,13 @@ impl MeasuredPoint {
 
 /// Runs one seed of a scenario to completion.
 pub fn run_once(scenario: &Scenario, seed: u64) -> Summary {
+    run_once_with_phases(scenario, seed).0
+}
+
+/// Runs one seed and also returns the per-phase metric breakdown (empty
+/// unless the attack is a phased composite, which records a mark as each
+/// member starts).
+pub fn run_once_with_phases(scenario: &Scenario, seed: u64) -> (Summary, Vec<PhaseSummary>) {
     let mut cfg = scenario.cfg.clone();
     cfg.seed = seed;
     let mut world = World::new(cfg);
@@ -59,7 +66,10 @@ pub fn run_once(scenario: &Scenario, seed: u64) -> Summary {
     world.start(&mut eng);
     let end = SimTime::ZERO + scenario.run_length;
     eng.run_until(&mut world, end);
-    world.metrics.summarize(end)
+    (
+        world.metrics.summarize(end),
+        world.metrics.phase_summaries(end),
+    )
 }
 
 /// Runs `seeds` seeds of a scenario and returns the mean summary.

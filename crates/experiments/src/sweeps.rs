@@ -5,9 +5,20 @@ use lockss_metrics::Summary;
 use lockss_sim::Duration;
 
 use crate::cache;
+use crate::registry::ScenarioRegistry;
 use crate::runner::{default_threads, run_batch, MeasuredPoint};
 use crate::scale::Scale;
 use crate::scenario::{AttackSpec, Scenario};
+
+/// The registered baseline world resized to `n_aus`: every sweep point
+/// derives from the same `baseline` registry entry the CLI runs, so a
+/// figure point is always "a registered scenario plus a parameter tweak".
+fn registered_baseline(scale: Scale, n_aus: usize) -> Scenario {
+    ScenarioRegistry::standard()
+        .build("baseline", scale)
+        .expect("'baseline' is registered")
+        .with_aus(n_aus)
+}
 
 /// One point of an attack sweep.
 #[derive(Clone, Debug)]
@@ -37,9 +48,10 @@ pub fn baselines(scale: Scale) -> (Summary, Summary) {
             return (rows[0].1.clone(), rows[1].1.clone());
         }
     }
+    let registry = ScenarioRegistry::standard();
     let jobs = vec![
-        Scenario::baseline(scale, scale.small_collection()),
-        Scenario::baseline(scale, scale.large_collection()),
+        registry.build("baseline", scale).expect("registered"),
+        registry.build("baseline-large", scale).expect("registered"),
     ];
     let out = run_batch(&jobs, scale.seeds(), default_threads());
     cache::store(
@@ -85,7 +97,7 @@ fn attack_sweep(
                     } else {
                         scale.small_collection()
                     };
-                    Scenario::attacked(scale, n_aus, make(cov, d))
+                    registered_baseline(scale, n_aus).with_attack(make(cov, d))
                 })
                 .collect();
             let summaries = run_batch(&jobs, scale.seeds(), default_threads());
@@ -183,7 +195,7 @@ pub fn fig2_sweep(scale: Scale) -> Vec<BaselinePoint> {
                     } else {
                         scale.small_collection()
                     };
-                    Scenario::baseline(scale, n_aus)
+                    registered_baseline(scale, n_aus)
                         .with_poll_interval(Duration::MONTH * months)
                         .with_mtbf_years(years)
                 })
@@ -245,7 +257,8 @@ pub fn table1_rows(scale: Scale) -> Vec<Table1Row> {
                     } else {
                         scale.small_collection()
                     };
-                    Scenario::attacked(scale, n_aus, AttackSpec::BruteForce { defection })
+                    registered_baseline(scale, n_aus)
+                        .with_attack(AttackSpec::BruteForce { defection })
                 })
                 .collect();
             let summaries = run_batch(&jobs, scale.seeds(), default_threads());

@@ -62,6 +62,13 @@ impl DamageClock {
         self.total_replicas
     }
 
+    /// The damage integral (replica·milliseconds) accumulated up to `now`,
+    /// without mutating the clock. `now` must not precede the last recorded
+    /// transition.
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        self.integral + self.damaged_now as f64 * now.since(self.last_change).as_millis() as f64
+    }
+
     /// The access failure probability over `[start, end]`.
     ///
     /// Returns 0 for an empty interval or zero replicas.

@@ -16,6 +16,8 @@
 //! condenses them; ratio metrics divide an attack summary by a baseline
 //! summary of the same configuration.
 
+#![deny(missing_docs)]
+
 pub mod damage_clock;
 pub mod poll_stats;
 pub mod summary;
@@ -23,5 +25,5 @@ pub mod table;
 
 pub use damage_clock::DamageClock;
 pub use poll_stats::PollStats;
-pub use summary::{RunMetrics, Summary};
+pub use summary::{PhaseSummary, RunMetrics, Summary};
 pub use table::Table;

@@ -14,8 +14,11 @@ pub struct PollStats {
     last_success: HashMap<(u32, u32), SimTime>,
     gap_sum_ms: f64,
     gap_count: u64,
+    /// Polls that concluded in a landslide win.
     pub successful_polls: u64,
+    /// Polls that concluded inquorate or without a landslide win.
     pub failed_polls: u64,
+    /// Inconclusive-poll alarms (§4.3: operator attention required).
     pub alarms: u64,
 }
 

@@ -57,7 +57,11 @@ pub struct TrafficStats {
 
 struct Node {
     link: LinkSpec,
-    stopped: bool,
+    /// Suppression count: how many attackers currently pipe-stop this
+    /// node. A count, not a flag, so overlapping suppressors (e.g. two
+    /// composed pipe stoppages, or a stoppage plus a churn storm) cannot
+    /// clobber each other's state on release.
+    stopped: u32,
     traffic: TrafficStats,
 }
 
@@ -77,7 +81,7 @@ impl Network {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             link,
-            stopped: false,
+            stopped: 0,
             traffic: TrafficStats::default(),
         });
         id
@@ -109,15 +113,25 @@ impl Network {
         self.nodes[node.index()].link
     }
 
-    /// Marks `node` as pipe-stopped (victim of the DoS adversary) or
-    /// restores it.
+    /// Marks `node` as pipe-stopped (victim of a DoS adversary) or
+    /// releases one suppression. Suppression is *counted*: each
+    /// `set_stopped(node, true)` must be balanced by one
+    /// `set_stopped(node, false)`, and the node stays stopped while any
+    /// suppressor remains — overlapping attacks (composite campaigns)
+    /// cannot un-stop each other's victims. Releasing below zero
+    /// saturates.
     pub fn set_stopped(&mut self, node: NodeId, stopped: bool) {
-        self.nodes[node.index()].stopped = stopped;
+        let count = &mut self.nodes[node.index()].stopped;
+        if stopped {
+            *count += 1;
+        } else {
+            *count = count.saturating_sub(1);
+        }
     }
 
-    /// True if `node` is currently pipe-stopped.
+    /// True if `node` is currently pipe-stopped (by anyone).
     pub fn is_stopped(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].stopped
+        self.nodes[node.index()].stopped > 0
     }
 
     /// True if `a` and `b` can currently exchange traffic.
@@ -250,6 +264,24 @@ mod tests {
         net.set_stopped(b, false);
         assert!(net.send(a, b, 1).is_some());
         assert!(net.reachable(a, b));
+    }
+
+    #[test]
+    fn overlapping_suppressions_are_counted() {
+        let (mut net, a, b) = two_node_net(10_000_000, 1, 10_000_000, 1);
+        // Two independent attackers stop the same node...
+        net.set_stopped(b, true);
+        net.set_stopped(b, true);
+        // ...one releasing must not un-stop it for the other.
+        net.set_stopped(b, false);
+        assert!(net.is_stopped(b));
+        assert!(!net.reachable(a, b));
+        net.set_stopped(b, false);
+        assert!(!net.is_stopped(b));
+        assert!(net.reachable(a, b));
+        // Releasing below zero saturates.
+        net.set_stopped(b, false);
+        assert!(!net.is_stopped(b));
     }
 
     #[test]

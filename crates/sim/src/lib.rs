@@ -9,6 +9,8 @@
 //! parallelise across *seeds*, not within a run, so that every run is exactly
 //! reproducible from its seed.
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod rng;
 pub mod time;

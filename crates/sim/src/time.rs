@@ -16,11 +16,17 @@ pub struct SimTime(pub u64);
 pub struct Duration(pub u64);
 
 impl Duration {
+    /// The zero-length duration.
     pub const ZERO: Duration = Duration(0);
+    /// One millisecond (the clock's resolution).
     pub const MILLISECOND: Duration = Duration(1);
+    /// One second.
     pub const SECOND: Duration = Duration(1_000);
+    /// One minute.
     pub const MINUTE: Duration = Duration(60 * 1_000);
+    /// One hour.
     pub const HOUR: Duration = Duration(60 * 60 * 1_000);
+    /// One day.
     pub const DAY: Duration = Duration(24 * 60 * 60 * 1_000);
     /// A "month" is 30 days, the convention used throughout the paper's
     /// parameter descriptions (3-month inter-poll interval, 30-day
@@ -115,6 +121,7 @@ impl Duration {
 }
 
 impl SimTime {
+    /// The start of the run.
     pub const ZERO: SimTime = SimTime(0);
 
     /// The instant as milliseconds since the start of the run.

@@ -10,34 +10,25 @@
 //! cargo run --release --example brute_force_economics
 //! ```
 
-use lockss::adversary::{BruteForce, Defection};
-use lockss::core::{World, WorldConfig};
+use lockss::adversary::Defection;
+use lockss::core::World;
 use lockss::effort::CostModel;
+use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::metrics::Summary;
 use lockss::sim::{Duration, Engine, SimTime};
-use lockss::storage::AuSpec;
 
-fn config(seed: u64) -> WorldConfig {
-    let au_spec = AuSpec {
-        size_bytes: 100_000_000,
-        block_bytes: 1_000_000,
-    };
-    let mut cfg = WorldConfig {
-        n_peers: 50,
-        n_aus: 6,
-        au_spec,
-        mtbf_years: 5.0,
-        seed,
-        ..WorldConfig::default()
-    };
-    cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
-    cfg
-}
-
-fn run(defection: Option<Defection>, seed: u64) -> Summary {
-    let mut world = World::new(config(seed));
-    if let Some(d) = defection {
-        world.install_adversary(Box::new(BruteForce::new(d)));
+/// Runs one of the registered `brute-force-*` scenarios (or `baseline`),
+/// shrunk to demo size, for one simulated year.
+fn run(name: &str, seed: u64) -> Summary {
+    let mut s = ScenarioRegistry::standard()
+        .build(name, Scale::Default)
+        .unwrap_or_else(|| panic!("'{name}' is registered"));
+    s.cfg.n_peers = 50;
+    s.cfg.n_aus = 6;
+    s.cfg.seed = seed;
+    let mut world = World::new(s.cfg.clone());
+    if let Some(adv) = s.attack.build() {
+        world.install_adversary(adv);
     }
     let mut eng = Engine::new();
     world.start(&mut eng);
@@ -66,14 +57,18 @@ fn main() {
         cost.balance_holds()
     );
 
-    let baseline = run(None, 3);
+    let baseline = run("baseline", 3);
 
     println!(
         "{:<11} {:>15} {:>12} {:>12} {:>16}",
         "defection", "coeff.friction", "cost ratio", "delay ratio", "access failure"
     );
-    for d in [Defection::Intro, Defection::Remaining, Defection::None_] {
-        let s = run(Some(d), 3);
+    for (d, scenario) in [
+        (Defection::Intro, "brute-force-intro"),
+        (Defection::Remaining, "brute-force-remaining"),
+        (Defection::None_, "brute-force-none"),
+    ] {
+        let s = run(scenario, 3);
         println!(
             "{:<11} {:>15} {:>12} {:>12} {:>16}",
             d.label(),

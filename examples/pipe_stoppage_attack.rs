@@ -9,38 +9,30 @@
 //! cargo run --release --example pipe_stoppage_attack
 //! ```
 
-use lockss::adversary::PipeStoppage;
-use lockss::core::{World, WorldConfig};
-use lockss::effort::CostModel;
+use lockss::core::World;
+use lockss::experiments::{AttackSpec, Scale, Scenario, ScenarioRegistry};
 use lockss::metrics::Summary;
-use lockss::sim::{Duration, Engine, SimTime};
-use lockss::storage::AuSpec;
+use lockss::sim::{Engine, SimTime};
 
-fn world_config(seed: u64) -> WorldConfig {
-    let au_spec = AuSpec {
-        size_bytes: 100_000_000,
-        block_bytes: 1_000_000,
-    };
-    let mut cfg = WorldConfig {
-        n_peers: 60,
-        n_aus: 8,
-        au_spec,
-        mtbf_years: 5.0,
-        seed,
-        ..WorldConfig::default()
-    };
-    cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
-    cfg
+/// The registered `pipe-stoppage` scenario, shrunk to demo size.
+fn scenario() -> Scenario {
+    let mut s = ScenarioRegistry::standard()
+        .build("pipe-stoppage", Scale::Default)
+        .expect("'pipe-stoppage' is registered");
+    s.cfg.n_peers = 60;
+    s.cfg.n_aus = 8;
+    s.cfg.seed = 1;
+    s
 }
 
-fn run(attack: Option<PipeStoppage>, seed: u64, years: u64) -> (Summary, usize) {
-    let mut world = World::new(world_config(seed));
-    if let Some(a) = attack {
-        world.install_adversary(Box::new(a));
+fn run(s: &Scenario) -> (Summary, usize) {
+    let mut world = World::new(s.cfg.clone());
+    if let Some(a) = s.attack.build() {
+        world.install_adversary(a);
     }
     let mut eng = Engine::new();
     world.start(&mut eng);
-    let end = SimTime::ZERO + Duration::YEAR * years;
+    let end = SimTime::ZERO + s.run_length;
     eng.run_until(&mut world, end);
     let damaged: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
     (world.metrics.summarize(end), damaged)
@@ -50,12 +42,13 @@ fn main() {
     println!("Pipe-stoppage attack demo (paper §7.2)");
     println!("60 peers x 8 AUs, two simulated years, 3-month polls.\n");
 
-    let (baseline, _) = run(None, 1, 2);
+    let (baseline, _) = run(&scenario().with_attack(AttackSpec::None));
     println!("baseline:");
     print_summary(&baseline, &baseline);
 
     for (coverage, days) in [(0.4, 30), (1.0, 30), (1.0, 120)] {
-        let (attacked, damaged_now) = run(Some(PipeStoppage::new(coverage, days)), 1, 2);
+        let attacked_scenario = scenario().with_attack(AttackSpec::PipeStoppage { coverage, days });
+        let (attacked, damaged_now) = run(&attacked_scenario);
         println!(
             "\npipe stoppage, {:.0}% coverage, {days}-day attacks, 30-day recuperation:",
             coverage * 100.0

@@ -5,28 +5,31 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lockss::core::{World, WorldConfig};
+use lockss::core::World;
 use lockss::effort::CostModel;
+use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::sim::{Duration, Engine, SimTime};
 use lockss::storage::AuSpec;
 
 fn main() {
-    // A 40-peer network preserving 5 archival units of 100 MB each,
-    // polling every month, with storage damaged at one block per
-    // 2 disk-years — deliberately harsher than the paper's defaults so a
-    // short run shows the repair machinery working.
+    // The registered `baseline` scenario, shrunk to a 40-peer network
+    // preserving 5 archival units of 100 MB each, polling every month,
+    // with storage damaged at one block per 2 disk-years — deliberately
+    // harsher than the paper's defaults so a short run shows the repair
+    // machinery working.
     let au_spec = AuSpec {
         size_bytes: 100_000_000,
         block_bytes: 1_000_000,
     };
-    let mut cfg = WorldConfig {
-        n_peers: 40,
-        n_aus: 5,
-        au_spec,
-        mtbf_years: 2.0,
-        seed: 2026,
-        ..WorldConfig::default()
-    };
+    let mut cfg = ScenarioRegistry::standard()
+        .build("baseline", Scale::Default)
+        .expect("'baseline' is registered")
+        .cfg;
+    cfg.n_peers = 40;
+    cfg.n_aus = 5;
+    cfg.au_spec = au_spec;
+    cfg.mtbf_years = 2.0;
+    cfg.seed = 2026;
     cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
     cfg.protocol.poll_interval = Duration::MONTH;
 

@@ -10,34 +10,31 @@
 //! cargo run --release --example tuning_admission_control
 //! ```
 
-use lockss::adversary::AdmissionFlood;
 use lockss::core::{World, WorldConfig};
-use lockss::effort::CostModel;
+use lockss::experiments::{AttackSpec, Scale, ScenarioRegistry};
 use lockss::metrics::Summary;
 use lockss::sim::{Duration, Engine, SimTime};
-use lockss::storage::AuSpec;
 
+/// The registered `admission-flood` world, shrunk to demo size.
 fn config(seed: u64) -> WorldConfig {
-    let au_spec = AuSpec {
-        size_bytes: 100_000_000,
-        block_bytes: 1_000_000,
-    };
-    let mut cfg = WorldConfig {
-        n_peers: 50,
-        n_aus: 6,
-        au_spec,
-        mtbf_years: 5.0,
-        seed,
-        ..WorldConfig::default()
-    };
-    cfg.cost = CostModel::default().with_au_bytes(au_spec.size_bytes);
+    let mut cfg = ScenarioRegistry::standard()
+        .build("admission-flood", Scale::Default)
+        .expect("'admission-flood' is registered")
+        .cfg;
+    cfg.n_peers = 50;
+    cfg.n_aus = 6;
+    cfg.seed = seed;
     cfg
 }
 
 fn run(cfg: WorldConfig, attack: bool) -> Summary {
     let mut world = World::new(cfg);
     if attack {
-        world.install_adversary(Box::new(AdmissionFlood::new(1.0, 360)));
+        let spec = AttackSpec::AdmissionFlood {
+            coverage: 1.0,
+            days: 360,
+        };
+        world.install_adversary(spec.build().expect("an attack"));
     }
     let mut eng = Engine::new();
     world.start(&mut eng);

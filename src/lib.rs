@@ -9,9 +9,11 @@
 //! - [`effort`]: the calibrated effort cost model and ledgers;
 //! - [`storage`]: archival units, replicas, bit-rot damage;
 //! - [`core`]: the audit/repair protocol with the attrition defenses;
-//! - [`adversary`]: pipe stoppage, admission flood, brute force;
+//! - [`adversary`]: pipe stoppage, admission flood, brute force, churn
+//!   storm, sybil ramp, and composite campaigns;
 //! - [`metrics`]: the §6.1 evaluation metrics;
-//! - [`experiments`]: the scenario runner regenerating every figure/table.
+//! - [`experiments`]: the scenario registry and runner regenerating every
+//!   figure/table and running named campaigns.
 //!
 //! # Examples
 //!

@@ -10,7 +10,7 @@
 use lockss::core::{World, WorldConfig};
 use lockss::experiments::runner::{run_batch, run_once};
 use lockss::experiments::scenario::{AttackSpec, Scenario};
-use lockss::experiments::Scale;
+use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::sim::{Duration, Engine, SimTime};
 
 fn quick(attack: AttackSpec) -> Scenario {
@@ -47,6 +47,49 @@ fn run_once_identical_across_two_runs() {
         days: 30,
     });
     assert_eq!(run_once(&s, 7), run_once(&s, 7));
+}
+
+/// Every registered scenario, shrunk to a smoke-test world: 30 peers,
+/// 2 AUs, 150 simulated days (enough to cover every composite's latest
+/// phase offset, 120 days).
+fn shrunken_registry_jobs() -> Vec<(&'static str, Scenario)> {
+    ScenarioRegistry::standard()
+        .entries()
+        .iter()
+        .map(|e| {
+            let mut s = e.build(Scale::Quick);
+            s.cfg.n_peers = 30;
+            s.cfg.n_aus = 2;
+            s.run_length = Duration::from_days(150);
+            (e.name, s)
+        })
+        .collect()
+}
+
+#[test]
+fn every_registered_scenario_runs_and_reproduces() {
+    for (name, s) in shrunken_registry_jobs() {
+        let a = run_once(&s, 7);
+        let b = run_once(&s, 7);
+        assert_eq!(a, b, "scenario '{name}' is not byte-reproducible");
+        assert!(
+            a.successful_polls + a.failed_polls > 0,
+            "scenario '{name}' concluded no polls at all"
+        );
+    }
+}
+
+#[test]
+fn every_registered_scenario_is_thread_count_invariant() {
+    let jobs: Vec<Scenario> = shrunken_registry_jobs().into_iter().map(|(_, s)| s).collect();
+    let single = run_batch(&jobs, 2, 1);
+    let parallel = run_batch(&jobs, 2, 4);
+    for (i, (name, _)) in shrunken_registry_jobs().iter().enumerate() {
+        assert_eq!(
+            single[i], parallel[i],
+            "scenario '{name}' varies with the thread count"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,36 @@
+//! Keeps the README's scenario catalog in sync with the registry: the
+//! table between the `scenario-catalog` markers must be exactly what
+//! `ScenarioRegistry::catalog_markdown()` generates today.
+
+use lockss::experiments::ScenarioRegistry;
+
+#[test]
+fn readme_catalog_matches_registry() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is readable");
+    let begin = "<!-- scenario-catalog:begin -->";
+    let end = "<!-- scenario-catalog:end -->";
+    let start = readme
+        .find(begin)
+        .expect("README carries the scenario-catalog begin marker")
+        + begin.len();
+    let stop = readme
+        .find(end)
+        .expect("README carries the scenario-catalog end marker");
+    let in_readme = readme[start..stop].trim();
+    let generated = ScenarioRegistry::standard().catalog_markdown();
+    assert_eq!(
+        in_readme,
+        generated.trim(),
+        "README scenario catalog is stale — replace the table between the \
+         markers with ScenarioRegistry::catalog_markdown()"
+    );
+}
+
+#[test]
+fn catalog_names_resolve_in_the_registry() {
+    let registry = ScenarioRegistry::standard();
+    for name in registry.names() {
+        assert!(registry.get(name).is_some());
+    }
+}
