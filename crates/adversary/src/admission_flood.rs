@@ -87,12 +87,15 @@ impl AdmissionFlood {
                 schedule_adversary_timer(world, eng, jitter, burst_tag(v, au));
             }
         }
+        world.note_adversary_action(eng, "admission-flood/cycle-start", k as u64);
         schedule_adversary_timer(world, eng, self.attack_len, KIND_CYCLE_END);
     }
 
-    fn end_cycle(&mut self, world: &World, eng: &mut Engine<World>) {
+    fn end_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        let cleared = self.victim_flags.iter().filter(|&&f| f).count() as u64;
         self.active = false;
         self.victim_flags.clear();
+        world.note_adversary_action(eng, "admission-flood/cycle-end", cleared);
         schedule_adversary_timer(world, eng, self.recuperation, KIND_CYCLE_START);
     }
 
@@ -131,6 +134,7 @@ impl AdmissionFlood {
         let no_refractory = cfg.ablation.no_refractory;
         let consider = world.cost().consider_cost();
         let detect = world.balanced_effort(world.cost().bogus_intro_detect());
+        let sent_before = self.invitations_sent;
         for _ in 0..1_000 {
             self.invitations_sent += 1;
             let id = self.fresh_identity();
@@ -155,6 +159,14 @@ impl AdmissionFlood {
                 }
             }
         }
+        // The burst short-circuits the message layer (the invitations are
+        // modelled directly against the admission filter), so this
+        // provenance tag is the trace's only witness of it.
+        world.note_adversary_action(
+            eng,
+            "admission-flood/burst",
+            self.invitations_sent - sent_before,
+        );
         // Next burst at refractory expiry.
         schedule_adversary_timer(
             world,

@@ -130,6 +130,9 @@ impl BruteForce {
         self.invitations_sent += 1;
 
         let poll = world.alloc_poll_id();
+        // Provenance: the trace ties this bogus poll id to the strategy
+        // before its Poll message appears in the stream.
+        world.note_adversary_action(eng, "brute-force/poll", poll.0);
         let minion = self.minion_for(victim, au);
         let identity = self.identity_for(victim, au, world.cfg.n_aus);
         let victim_node = world.peers[victim].node;

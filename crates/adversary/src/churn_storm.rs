@@ -71,15 +71,18 @@ impl ChurnStorm {
             world.net.set_stopped(*node, true);
         }
         self.departures += self.departed.len() as u64;
+        world.note_adversary_action(eng, "churn-storm/depart", self.departed.len() as u64);
         let interval = world.cfg.protocol.poll_interval;
         schedule_adversary_timer(world, eng, interval.mul_f64(self.duty), TAG_RETURN);
     }
 
     fn rejoin(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        let returned = self.departed.len() as u64;
         for node in self.departed.drain(..) {
             world.net.set_stopped(node, false);
         }
         self.cycles += 1;
+        world.note_adversary_action(eng, "churn-storm/rejoin", returned);
         let interval = world.cfg.protocol.poll_interval;
         schedule_adversary_timer(
             world,

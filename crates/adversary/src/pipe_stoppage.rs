@@ -54,13 +54,16 @@ impl PipeStoppage {
         for node in &self.current_victims {
             world.net.set_stopped(*node, true);
         }
+        world.note_adversary_action(eng, "pipe-stoppage/stop", self.current_victims.len() as u64);
         schedule_adversary_timer(world, eng, self.attack_len, TAG_END);
     }
 
     fn end_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
+        let restored = self.current_victims.len() as u64;
         for node in self.current_victims.drain(..) {
             world.net.set_stopped(node, false);
         }
+        world.note_adversary_action(eng, "pipe-stoppage/restore", restored);
         schedule_adversary_timer(world, eng, self.recuperation, TAG_START);
     }
 }

@@ -95,6 +95,7 @@ impl SybilRamp {
             }
         }
         self.active = new_active;
+        world.note_adversary_action(eng, "sybil-ramp/escalate", new_active as u64);
         if self.active < n {
             schedule_adversary_timer(world, eng, self.step_interval, KIND_STEP);
         }
@@ -124,6 +125,7 @@ impl SybilRamp {
         let no_refractory = cfg.ablation.no_refractory;
         let consider = world.cost().consider_cost();
         let detect = world.balanced_effort(world.cost().bogus_intro_detect());
+        let sent_before = self.invitations_sent;
         for _ in 0..1_000 {
             self.invitations_sent += 1;
             let id = self.fresh_identity();
@@ -146,6 +148,13 @@ impl SybilRamp {
                 }
             }
         }
+        // Sybil bursts also bypass the message layer; tag them so the
+        // trace shows which victim waves the escalation produced.
+        world.note_adversary_action(
+            eng,
+            "sybil-ramp/burst",
+            self.invitations_sent - sent_before,
+        );
         schedule_adversary_timer(
             world,
             eng,

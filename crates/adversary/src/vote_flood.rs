@@ -49,6 +49,11 @@ impl VoteFlood {
     fn wave(&mut self, world: &mut World, eng: &mut Engine<World>) {
         let n = world.n_loyal();
         let n_aus = world.cfg.n_aus as u32;
+        world.note_adversary_action(
+            eng,
+            "vote-flood/wave",
+            n as u64 * u64::from(self.votes_per_wave),
+        );
         for victim in 0..n {
             // Insider information: target the victim's *live* polls where
             // they exist, otherwise invent ids — either way the votes are

@@ -1,0 +1,144 @@
+//! Trace-layer benchmarks: recording overhead against the untraced run,
+//! plus the encode/decode substrate.
+//!
+//! The `TraceSink` contract is that untraced runs pay one `Option` null
+//! check per emission point and traced runs stay within a few percent of
+//! untraced wall-clock (the ISSUE bar: <5%). `trace/record overhead %` is
+//! the measured number; it is printed explicitly and written into
+//! `results/BENCH_trace.json` alongside the raw timings so the perf
+//! trajectory keeps it visible.
+
+use std::hint::black_box;
+
+use lockss_bench::Harness;
+use lockss_core::World;
+use lockss_crypto::sha256::sha256;
+use lockss_experiments::runner::{replay_once, run_once, run_once_recorded};
+use lockss_experiments::scenario::{AttackSpec, Scenario};
+use lockss_experiments::Scale;
+use lockss_sim::{Duration, Engine, SimTime};
+use lockss_trace::{trace_stats, Recorder, TraceMeta};
+
+fn smoke(attack: AttackSpec) -> Scenario {
+    let mut s = Scenario::attacked(Scale::Quick, 2, attack);
+    s.cfg.n_peers = 30;
+    s.run_length = Duration::from_days(120);
+    s
+}
+
+fn meta(s: &Scenario) -> TraceMeta {
+    TraceMeta {
+        scenario: "bench".to_string(),
+        scale: "quick".to_string(),
+        seed: 1,
+        run_length_ms: s.run_length.as_millis(),
+    }
+}
+
+/// Runs one seed with a recorder streaming into its buffer but without
+/// sealing the trace — the pure record-path cost the `<5%` bar is about.
+/// (The seal — one SHA-256 over the finished bytes — is a per-trace,
+/// post-run cost, benched separately as `trace/seal`.) Ends with the same
+/// summarize/phase passes as `run_once` so the pair differs *only* in the
+/// recording.
+fn run_streaming(scenario: &Scenario, seed: u64, m: &TraceMeta) {
+    let recorder = Recorder::new(m);
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    world.set_trace_sink(Box::new(recorder));
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = Engine::new();
+    world.start(&mut eng);
+    let end = SimTime::ZERO + scenario.run_length;
+    eng.run_until(&mut world, end);
+    black_box(world.metrics.summarize(end));
+    black_box(world.metrics.phase_summaries(end));
+}
+
+fn main() {
+    let mut h = Harness::new("trace");
+
+    // The overhead pair: identical (scenario, seed), with and without a
+    // recorder streaming — interleaved so clock drift cancels out of the
+    // overhead ratio.
+    let s = smoke(AttackSpec::None);
+    let m = meta(&s);
+    {
+        let sa = s.clone();
+        let sb = s.clone();
+        let m = m.clone();
+        h.bench_pair(
+            "run/untraced",
+            move || black_box(run_once(&sa, 1)),
+            "run/recording",
+            move || run_streaming(&sb, 1, &m),
+        );
+    }
+    {
+        let s = s.clone();
+        let m = m.clone();
+        h.bench("run/record-and-seal", move || {
+            black_box(run_once_recorded(&s, 1, &m))
+        });
+    }
+
+    // Replay verification cost (decodes + compares every event).
+    let (_, _, trace) = run_once_recorded(&s, 1, &m);
+    {
+        let s = s.clone();
+        let trace = trace.clone();
+        h.bench("run/replay-verify", move || {
+            black_box(replay_once(&s, 1, &trace).expect("replay decodes"))
+        });
+    }
+
+    // The seal: one SHA-256 over the trace body (amortizes with run
+    // length; dominates nothing but the tiniest bench worlds).
+    let events = trace.decode_all().expect("decodes").len() as u64;
+    {
+        let body: Vec<u8> = trace.as_bytes()[..trace.as_bytes().len() - 32].to_vec();
+        h.bench_bytes("trace/seal", body.len() as u64, move || {
+            black_box(sha256(&body))
+        });
+    }
+
+    // Decode/stats substrate over the recorded stream.
+    {
+        let trace = trace.clone();
+        h.bench_bytes("trace/decode-all", trace.as_bytes().len() as u64, move || {
+            black_box(trace.decode_all().expect("decodes"))
+        });
+    }
+    {
+        let trace = trace.clone();
+        h.bench("trace/stats-pass", move || {
+            black_box(trace_stats(&trace).expect("stats"))
+        });
+    }
+
+    let results = h.finish();
+
+    let mean = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let untraced = mean("run/untraced");
+    let recording = mean("run/recording");
+    let sealed = mean("run/record-and-seal");
+    let overhead_pct = (recording - untraced) / untraced * 100.0;
+    println!(
+        "\ntrace/record overhead: {overhead_pct:+.2}% while running \
+         ({events} events, {} bytes, target < 5%); \
+         seal adds {:+.2}% on this {:.0}ms world (one SHA-256, amortizes \
+         with run length)",
+        trace.as_bytes().len(),
+        (sealed - recording) / untraced * 100.0,
+        untraced / 1e6,
+    );
+}

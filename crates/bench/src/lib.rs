@@ -93,6 +93,48 @@ impl Harness {
         self.run(name, Some(bytes), &mut f);
     }
 
+    /// Benchmarks two routines interleaved — `a, b, a, b, …` with
+    /// per-call timing — so slow clock drift (thermal throttling,
+    /// frequency scaling) affects both equally and cancels out of their
+    /// *difference*. This is the right tool when the quantity of interest
+    /// is an overhead ratio between two variants of the same work (e.g.
+    /// traced vs. untraced runs); sequential `bench` calls can easily show
+    /// a 10% phantom delta from drift alone. Per-call `Instant` overhead
+    /// is tens of nanoseconds, so keep the routines at ≥ ~100µs per call.
+    pub fn bench_pair<RA, RB>(
+        &mut self,
+        name_a: &str,
+        mut a: impl FnMut() -> RA,
+        name_b: &str,
+        mut b: impl FnMut() -> RB,
+    ) {
+        let one = {
+            let t = Instant::now();
+            std::hint::black_box(a());
+            t.elapsed()
+        };
+        // Each interleaved iteration runs both routines; halve the budget.
+        let iters = calibrate(one + one).max(1);
+        let mut means_a = Vec::with_capacity(SAMPLES as usize);
+        let mut means_b = Vec::with_capacity(SAMPLES as usize);
+        for _ in 0..SAMPLES {
+            let mut elapsed_a: u128 = 0;
+            let mut elapsed_b: u128 = 0;
+            for _ in 0..iters {
+                let t = Instant::now();
+                std::hint::black_box(a());
+                elapsed_a += t.elapsed().as_nanos();
+                let t = Instant::now();
+                std::hint::black_box(b());
+                elapsed_b += t.elapsed().as_nanos();
+            }
+            means_a.push(elapsed_a as f64 / iters as f64);
+            means_b.push(elapsed_b as f64 / iters as f64);
+        }
+        self.record(name_a, iters, None, &means_a);
+        self.record(name_b, iters, None, &means_b);
+    }
+
     /// Benchmarks `routine` on a fresh `setup()` value each iteration
     /// (criterion's `iter_batched`); setup time is excluded by building
     /// inputs before the clock starts, in bounded batches so a cheap

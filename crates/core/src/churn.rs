@@ -61,6 +61,9 @@ impl World {
         let rng = self.rng.fork();
         self.peers.push(Peer::new(node, me, per_au, rng));
         self.bump_loyal_count();
+        self.trace(eng, || crate::trace::TraceEvent::PeerJoin {
+            peer: index as u32,
+        });
 
         // The newcomer's replicas are pristine (fresh from the publisher)
         // and begin their own audit schedule immediately, at random

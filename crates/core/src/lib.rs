@@ -42,6 +42,7 @@ pub mod realproto;
 pub mod reflist;
 pub mod reputation;
 pub mod schedule;
+pub mod trace;
 pub mod types;
 pub mod voter;
 pub mod world;
@@ -49,5 +50,8 @@ pub mod world;
 pub use adversary::{Adversary, NullAdversary};
 pub use config::{ProtocolConfig, WorldConfig};
 pub use msg::Message;
+pub use trace::{
+    AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind, TraceSink,
+};
 pub use types::{Identity, PollId};
 pub use world::World;

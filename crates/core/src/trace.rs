@@ -1,0 +1,572 @@
+//! The structured event-trace layer: the causal event taxonomy and the
+//! zero-cost sink trait the world emits through.
+//!
+//! Every consequential state transition of a run — poll lifecycle, every
+//! message send with its suppression verdict, admission-control verdicts,
+//! storage damage and repair, adversary timers and provenance-tagged
+//! actions, churn arrivals, and phase marks — is describable as a
+//! [`TraceEvent`]. A run that has a [`TraceSink`] installed (see
+//! [`crate::world::World::set_trace_sink`]) receives the full causal
+//! stream; a run without one pays only an `Option` null check per emission
+//! point, because event payloads are built inside closures that never run
+//! untraced.
+//!
+//! The sink is deliberately defined here, next to the types it describes,
+//! while everything *about* traces — the varint binary format, the
+//! recorder, replay verification, diffing, and statistics — lives in the
+//! `lockss-trace` crate, which depends on this one.
+
+use lockss_sim::SimTime;
+
+use crate::msg::Message;
+
+/// The stable event kind codes (also the wire codes in `lockss-trace`).
+///
+/// Codes are append-only: new kinds take fresh numbers, existing numbers
+/// are never reused, so traces recorded by older builds stay decodable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// A poll opened at a loyal poller.
+    PollStart = 1,
+    /// A poll concluded, with its outcome.
+    PollOutcome = 2,
+    /// A message was handed to the network (or suppressed at the source).
+    MessageSend = 3,
+    /// An admission-control verdict on an incoming invitation.
+    Admission = 4,
+    /// A storage-damage arrival hit a replica block.
+    Damage = 5,
+    /// A repair block was applied at a poller.
+    Repair = 6,
+    /// An adversary timer fired (channel + strategy-private tag).
+    AdversaryTimer = 7,
+    /// A provenance-tagged adversary action (strategy-declared).
+    AdversaryAction = 8,
+    /// A loyal peer joined the population after the start of the run.
+    PeerJoin = 9,
+    /// A named phase boundary was recorded in the run metrics.
+    PhaseMark = 10,
+}
+
+impl TraceEventKind {
+    /// All kinds, in code order.
+    pub const ALL: [TraceEventKind; 10] = [
+        TraceEventKind::PollStart,
+        TraceEventKind::PollOutcome,
+        TraceEventKind::MessageSend,
+        TraceEventKind::Admission,
+        TraceEventKind::Damage,
+        TraceEventKind::Repair,
+        TraceEventKind::AdversaryTimer,
+        TraceEventKind::AdversaryAction,
+        TraceEventKind::PeerJoin,
+        TraceEventKind::PhaseMark,
+    ];
+
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<TraceEventKind> {
+        Self::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::PollStart => "poll-start",
+            TraceEventKind::PollOutcome => "poll-outcome",
+            TraceEventKind::MessageSend => "message-send",
+            TraceEventKind::Admission => "admission",
+            TraceEventKind::Damage => "damage",
+            TraceEventKind::Repair => "repair",
+            TraceEventKind::AdversaryTimer => "adversary-timer",
+            TraceEventKind::AdversaryAction => "adversary-action",
+            TraceEventKind::PeerJoin => "peer-join",
+            TraceEventKind::PhaseMark => "phase-mark",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a poll concluded (the [`TraceEvent::PollOutcome`] payload).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PollConclusion {
+    /// Landslide agreement: the replica was audited clean (§4.3).
+    Win = 0,
+    /// Landslide disagreement: repairs were needed (alarm raised).
+    Loss = 1,
+    /// Quorate but no landslide either way (alarm raised).
+    Inconclusive = 2,
+    /// Fewer votes than the quorum: the poll failed silently.
+    Inquorate = 3,
+}
+
+impl PollConclusion {
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<PollConclusion> {
+        match code {
+            0 => Some(PollConclusion::Win),
+            1 => Some(PollConclusion::Loss),
+            2 => Some(PollConclusion::Inconclusive),
+            3 => Some(PollConclusion::Inquorate),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PollConclusion::Win => "win",
+            PollConclusion::Loss => "loss",
+            PollConclusion::Inconclusive => "inconclusive",
+            PollConclusion::Inquorate => "inquorate",
+        }
+    }
+}
+
+/// An admission-control verdict (the [`TraceEvent::Admission`] payload),
+/// mirroring [`crate::admission::AdmissionOutcome`] plus the introduction
+/// bypass distinction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum AdmissionVerdict {
+    /// Admitted through the ordinary reputation path.
+    Admitted = 0,
+    /// Admitted by consuming an introduction.
+    AdmittedIntroduced = 1,
+    /// Silently dropped by the random-drop filter.
+    RandomDrop = 2,
+    /// Auto-rejected by an active refractory period.
+    Refractory = 3,
+    /// Rate-limited: the identity already used its admission slot.
+    RateLimited = 4,
+}
+
+impl AdmissionVerdict {
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<AdmissionVerdict> {
+        match code {
+            0 => Some(AdmissionVerdict::Admitted),
+            1 => Some(AdmissionVerdict::AdmittedIntroduced),
+            2 => Some(AdmissionVerdict::RandomDrop),
+            3 => Some(AdmissionVerdict::Refractory),
+            4 => Some(AdmissionVerdict::RateLimited),
+            _ => None,
+        }
+    }
+
+    /// True for either admitted variant.
+    pub fn is_admitted(self) -> bool {
+        matches!(
+            self,
+            AdmissionVerdict::Admitted | AdmissionVerdict::AdmittedIntroduced
+        )
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionVerdict::Admitted => "admitted",
+            AdmissionVerdict::AdmittedIntroduced => "admitted-introduced",
+            AdmissionVerdict::RandomDrop => "random-drop",
+            AdmissionVerdict::Refractory => "refractory",
+            AdmissionVerdict::RateLimited => "rate-limited",
+        }
+    }
+}
+
+/// A protocol-message kind code (the compact form of
+/// [`Message::kind`] used in [`TraceEvent::MessageSend`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// A poll invitation.
+    Poll = 0,
+    /// Acceptance/refusal of an invitation.
+    PollAck = 1,
+    /// The remaining effort proof.
+    PollProof = 2,
+    /// A vote.
+    Vote = 3,
+    /// A repair-block request.
+    RepairRequest = 4,
+    /// A repair block.
+    Repair = 5,
+    /// An evaluation receipt.
+    EvaluationReceipt = 6,
+}
+
+impl MsgKind {
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<MsgKind> {
+        match code {
+            0 => Some(MsgKind::Poll),
+            1 => Some(MsgKind::PollAck),
+            2 => Some(MsgKind::PollProof),
+            3 => Some(MsgKind::Vote),
+            4 => Some(MsgKind::RepairRequest),
+            5 => Some(MsgKind::Repair),
+            6 => Some(MsgKind::EvaluationReceipt),
+            _ => None,
+        }
+    }
+
+    /// Short label (matches [`Message::kind`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Poll => "Poll",
+            MsgKind::PollAck => "PollAck",
+            MsgKind::PollProof => "PollProof",
+            MsgKind::Vote => "Vote",
+            MsgKind::RepairRequest => "RepairRequest",
+            MsgKind::Repair => "Repair",
+            MsgKind::EvaluationReceipt => "EvaluationReceipt",
+        }
+    }
+}
+
+impl From<&Message> for MsgKind {
+    fn from(msg: &Message) -> MsgKind {
+        match msg {
+            Message::Poll { .. } => MsgKind::Poll,
+            Message::PollAck { .. } => MsgKind::PollAck,
+            Message::PollProof { .. } => MsgKind::PollProof,
+            Message::Vote { .. } => MsgKind::Vote,
+            Message::RepairRequest { .. } => MsgKind::RepairRequest,
+            Message::Repair { .. } => MsgKind::Repair,
+            Message::EvaluationReceipt { .. } => MsgKind::EvaluationReceipt,
+        }
+    }
+}
+
+/// One causal event of a run.
+///
+/// Identities, nodes, and polls are carried as their raw integer forms so
+/// the taxonomy encodes compactly and compares exactly; the semantic
+/// wrappers ([`crate::types::Identity`], [`crate::types::PollId`],
+/// `lockss_net::NodeId`) all expose these integers losslessly.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// A poll opened at loyal peer `peer` on `au`.
+    PollStart {
+        /// Poller peer index.
+        peer: u32,
+        /// Archival unit index.
+        au: u32,
+        /// The globally unique poll id.
+        poll: u64,
+    },
+    /// The poll concluded.
+    PollOutcome {
+        /// Poller peer index.
+        peer: u32,
+        /// Archival unit index.
+        au: u32,
+        /// The poll id.
+        poll: u64,
+        /// How it concluded.
+        conclusion: PollConclusion,
+        /// Valid votes recorded when it concluded.
+        votes: u32,
+    },
+    /// `World::send_message` was invoked.
+    MessageSend {
+        /// Source network node index.
+        from: u32,
+        /// Destination network node index.
+        to: u32,
+        /// Message kind.
+        kind: MsgKind,
+        /// The AU the message concerns.
+        au: u32,
+        /// The poll the message belongs to.
+        poll: u64,
+        /// True if the network suppressed the send at the source (pipe
+        /// stoppage): the suppression verdict.
+        suppressed: bool,
+    },
+    /// An invitation hit the admission filter at a voter.
+    Admission {
+        /// The filtering peer index.
+        peer: u32,
+        /// The raw identity the poller presented.
+        poller: u64,
+        /// The verdict.
+        verdict: AdmissionVerdict,
+    },
+    /// A storage-damage arrival.
+    Damage {
+        /// The hit peer index.
+        peer: u32,
+        /// Archival unit index.
+        au: u32,
+        /// Damaged block index.
+        block: u64,
+        /// True if the replica was intact before this hit.
+        was_intact: bool,
+    },
+    /// A repair block was applied.
+    Repair {
+        /// The repairing poller's peer index.
+        peer: u32,
+        /// Archival unit index.
+        au: u32,
+        /// The poll that planned the repair.
+        poll: u64,
+        /// The repaired block index.
+        block: u64,
+        /// True if the replica became fully intact with this repair.
+        intact_after: bool,
+    },
+    /// An adversary timer fired and is about to dispatch.
+    AdversaryTimer {
+        /// The adversary channel the timer was scheduled on.
+        channel: u64,
+        /// The strategy-private tag.
+        tag: u64,
+    },
+    /// A strategy-declared adversary action (provenance tag).
+    AdversaryAction {
+        /// The adversary channel active when the action was declared.
+        channel: u64,
+        /// Strategy-chosen label, e.g. `"churn-storm/depart"`.
+        label: String,
+        /// Strategy-chosen magnitude (victims this wave, sybils minted...).
+        magnitude: u64,
+    },
+    /// A loyal peer joined mid-run (churn arrival).
+    PeerJoin {
+        /// The new peer's index.
+        peer: u32,
+    },
+    /// A metrics phase boundary.
+    PhaseMark {
+        /// The phase label.
+        label: String,
+    },
+}
+
+impl TraceEvent {
+    /// This event's kind code.
+    pub fn kind(&self) -> TraceEventKind {
+        match self {
+            TraceEvent::PollStart { .. } => TraceEventKind::PollStart,
+            TraceEvent::PollOutcome { .. } => TraceEventKind::PollOutcome,
+            TraceEvent::MessageSend { .. } => TraceEventKind::MessageSend,
+            TraceEvent::Admission { .. } => TraceEventKind::Admission,
+            TraceEvent::Damage { .. } => TraceEventKind::Damage,
+            TraceEvent::Repair { .. } => TraceEventKind::Repair,
+            TraceEvent::AdversaryTimer { .. } => TraceEventKind::AdversaryTimer,
+            TraceEvent::AdversaryAction { .. } => TraceEventKind::AdversaryAction,
+            TraceEvent::PeerJoin { .. } => TraceEventKind::PeerJoin,
+            TraceEvent::PhaseMark { .. } => TraceEventKind::PhaseMark,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::PollStart { peer, au, poll } => {
+                write!(f, "poll-start peer#{peer} au{au} poll{poll}")
+            }
+            TraceEvent::PollOutcome {
+                peer,
+                au,
+                poll,
+                conclusion,
+                votes,
+            } => write!(
+                f,
+                "poll-outcome peer#{peer} au{au} poll{poll} {} ({votes} votes)",
+                conclusion.label()
+            ),
+            TraceEvent::MessageSend {
+                from,
+                to,
+                kind,
+                au,
+                poll,
+                suppressed,
+            } => write!(
+                f,
+                "send {} node{from}->node{to} au{au} poll{poll}{}",
+                kind.label(),
+                if *suppressed { " SUPPRESSED" } else { "" }
+            ),
+            TraceEvent::Admission {
+                peer,
+                poller,
+                verdict,
+            } => write!(f, "admission peer#{peer} <- id{poller}: {}", verdict.label()),
+            TraceEvent::Damage {
+                peer,
+                au,
+                block,
+                was_intact,
+            } => write!(
+                f,
+                "damage peer#{peer} au{au} block{block}{}",
+                if *was_intact { " (first hit)" } else { "" }
+            ),
+            TraceEvent::Repair {
+                peer,
+                au,
+                poll,
+                block,
+                intact_after,
+            } => write!(
+                f,
+                "repair peer#{peer} au{au} poll{poll} block{block}{}",
+                if *intact_after { " (now intact)" } else { "" }
+            ),
+            TraceEvent::AdversaryTimer { channel, tag } => {
+                write!(f, "adversary-timer ch{channel} tag{tag}")
+            }
+            TraceEvent::AdversaryAction {
+                channel,
+                label,
+                magnitude,
+            } => write!(f, "adversary ch{channel} {label} x{magnitude}"),
+            TraceEvent::PeerJoin { peer } => write!(f, "peer-join peer#{peer}"),
+            TraceEvent::PhaseMark { label } => write!(f, "phase-mark '{label}'"),
+        }
+    }
+}
+
+/// Receives the causal event stream of a traced run.
+///
+/// Implementations live in `lockss-trace` (the binary recorder, the replay
+/// verifier); the world calls [`TraceSink::record`] once per emitted event
+/// with the simulated instant and the engine's executed-event ordinal, a
+/// causal position that a faithful replay must reproduce exactly.
+pub trait TraceSink {
+    /// One event, in causal order. `seq` is the engine's executed-event
+    /// count at emission (all events emitted by one engine event share it).
+    fn record(&mut self, at: SimTime, seq: u64, event: &TraceEvent);
+
+    /// Polled after each [`TraceSink::record`]; returning true makes the
+    /// world abort the run via `Engine::request_stop` (used by replay
+    /// verification to stop at the first divergence).
+    fn wants_stop(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in TraceEventKind::ALL {
+            assert_eq!(TraceEventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(TraceEventKind::from_code(0), None);
+        assert_eq!(TraceEventKind::from_code(200), None);
+    }
+
+    #[test]
+    fn payload_codes_roundtrip() {
+        for c in [
+            PollConclusion::Win,
+            PollConclusion::Loss,
+            PollConclusion::Inconclusive,
+            PollConclusion::Inquorate,
+        ] {
+            assert_eq!(PollConclusion::from_code(c.code()), Some(c));
+        }
+        assert_eq!(PollConclusion::from_code(9), None);
+        for v in [
+            AdmissionVerdict::Admitted,
+            AdmissionVerdict::AdmittedIntroduced,
+            AdmissionVerdict::RandomDrop,
+            AdmissionVerdict::Refractory,
+            AdmissionVerdict::RateLimited,
+        ] {
+            assert_eq!(AdmissionVerdict::from_code(v.code()), Some(v));
+        }
+        assert!(AdmissionVerdict::AdmittedIntroduced.is_admitted());
+        assert!(!AdmissionVerdict::Refractory.is_admitted());
+        for k in [
+            MsgKind::Poll,
+            MsgKind::PollAck,
+            MsgKind::PollProof,
+            MsgKind::Vote,
+            MsgKind::RepairRequest,
+            MsgKind::Repair,
+            MsgKind::EvaluationReceipt,
+        ] {
+            assert_eq!(MsgKind::from_code(k.code()), Some(k));
+        }
+    }
+
+    #[test]
+    fn msg_kind_matches_message_kind_labels() {
+        use crate::types::{Identity, PollId};
+        use lockss_storage::AuId;
+        let msg = Message::PollAck {
+            au: AuId(0),
+            poll: PollId(1),
+            accept: true,
+        };
+        assert_eq!(MsgKind::from(&msg).label(), msg.kind());
+        let msg = Message::Vote {
+            au: AuId(0),
+            poll: PollId(1),
+            voter: Identity::loyal(3),
+            damage: vec![],
+            nominations: vec![],
+            proof_valid: true,
+        };
+        assert_eq!(MsgKind::from(&msg).label(), msg.kind());
+    }
+
+    #[test]
+    fn events_display_compactly() {
+        let e = TraceEvent::PollOutcome {
+            peer: 3,
+            au: 1,
+            poll: 99,
+            conclusion: PollConclusion::Win,
+            votes: 7,
+        };
+        assert_eq!(e.kind(), TraceEventKind::PollOutcome);
+        let s = e.to_string();
+        assert!(s.contains("poll99") && s.contains("win") && s.contains("7 votes"));
+        let e = TraceEvent::MessageSend {
+            from: 1,
+            to: 2,
+            kind: MsgKind::Poll,
+            au: 0,
+            poll: 5,
+            suppressed: true,
+        };
+        assert!(e.to_string().contains("SUPPRESSED"));
+    }
+}

@@ -20,6 +20,7 @@ use crate::peer::{AuState, Peer};
 use crate::poller::{InviteeStatus, PollPhase, PollState};
 use crate::reflist::RefList;
 use crate::reputation::Grade;
+use crate::trace::{AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceSink};
 use crate::types::{Identity, PollId};
 use crate::voter::{VoterSession, VoterStage};
 
@@ -38,6 +39,10 @@ pub struct World {
     /// belongs to (see [`crate::adversary::schedule_adversary_timer`]).
     /// Always 0 for simple adversaries.
     adversary_channel: u64,
+    /// The installed trace sink, if this run is being traced. Untraced runs
+    /// pay one `Option` null check per emission point and never construct
+    /// event payloads (see [`World::trace`]).
+    trace_sink: Option<Box<dyn TraceSink>>,
     next_poll_id: u64,
     n_loyal: usize,
     /// Network node → loyal peer index (nodes absent here belong to the
@@ -87,6 +92,7 @@ impl World {
             rng,
             adversary: None,
             adversary_channel: 0,
+            trace_sink: None,
             next_poll_id: 0,
             n_loyal: nodes.len(),
             node_to_peer,
@@ -142,11 +148,62 @@ impl World {
         self.adversary_channel = channel;
     }
 
+    /// Installs a trace sink: every causal event of the run from here on is
+    /// delivered to it (see [`crate::trace`]). Install before
+    /// [`World::start`] to capture the complete stream.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_sink.take()
+    }
+
+    /// True if a trace sink is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_sink.is_some()
+    }
+
+    /// Emits one trace event. The payload closure only runs when a sink is
+    /// installed, so untraced runs pay exactly one null check here; a sink
+    /// that asks to stop (replay divergence) aborts the engine's run loop.
+    #[inline]
+    pub(crate) fn trace(&mut self, eng: &mut Eng, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.trace_sink.as_deref_mut() {
+            sink.record(eng.now(), eng.executed(), &make());
+            if sink.wants_stop() {
+                eng.request_stop();
+            }
+        }
+    }
+
+    /// Declares a provenance-tagged adversary action in the trace (a no-op
+    /// untraced). Strategies call this at their decision points — a
+    /// stoppage cycle starting, a flood wave launching, a sybil escalation
+    /// step — so a trace names *which* adversary move caused what follows.
+    pub fn note_adversary_action(
+        &mut self,
+        eng: &mut Eng,
+        label: &'static str,
+        magnitude: u64,
+    ) {
+        let channel = self.adversary_channel;
+        self.trace(eng, || TraceEvent::AdversaryAction {
+            channel,
+            label: label.to_string(),
+            magnitude,
+        });
+    }
+
     /// Records the start of a named attack phase in the run metrics (used
     /// by phased composite adversaries; see
     /// [`lockss_metrics::summary::RunMetrics::mark_phase`]).
-    pub fn mark_phase(&mut self, label: &str, eng: &Eng) {
+    pub fn mark_phase(&mut self, label: &str, eng: &mut Eng) {
         self.metrics.mark_phase(label, eng.now());
+        self.trace(eng, || TraceEvent::PhaseMark {
+            label: label.to_string(),
+        });
     }
 
     /// Allocates a globally unique poll id (also used by adversaries for
@@ -228,6 +285,12 @@ impl World {
         let replica = &mut self.peers[peer].per_au[au as usize].replica;
         let was_intact = replica.is_intact();
         replica.damage(block);
+        self.trace(eng, || TraceEvent::Damage {
+            peer: peer as u32,
+            au,
+            block,
+            was_intact,
+        });
         if was_intact {
             self.metrics.damage.on_damaged(eng.now());
         }
@@ -243,7 +306,16 @@ impl World {
     /// in-flight messages too.
     pub fn send_message(&mut self, eng: &mut Eng, from: NodeId, to: NodeId, msg: Message) -> bool {
         let bytes = msg.wire_bytes(&self.cfg.cost);
-        match self.net.send(from, to, bytes) {
+        let delay = self.net.send(from, to, bytes);
+        self.trace(eng, || TraceEvent::MessageSend {
+            from: from.0,
+            to: to.0,
+            kind: MsgKind::from(&msg),
+            au: msg.au().0,
+            poll: msg.poll().0,
+            suppressed: delay.is_none(),
+        });
+        match delay {
             None => false,
             Some(delay) => {
                 eng.schedule_in(delay, move |w: &mut World, e| {
@@ -316,6 +388,11 @@ impl World {
         let now = eng.now();
         self.metrics.polls.register(p as u32, au.0, now);
         let id = self.alloc_poll_id();
+        self.trace(eng, || TraceEvent::PollStart {
+            peer: p as u32,
+            au: au.0,
+            poll: id.0,
+        });
         let solicit_deadline = now + cfg.solicit_window();
         let conclude_at = now + cfg.poll_interval;
         let mut poll = PollState::new(id, au, now, solicit_deadline, conclude_at);
@@ -728,6 +805,13 @@ impl World {
             au_state.replica.repair(block);
             !was_intact && au_state.replica.is_intact()
         };
+        self.trace(eng, || TraceEvent::Repair {
+            peer: p as u32,
+            au: au.0,
+            poll: id.0,
+            block,
+            intact_after: became_intact,
+        });
         if became_intact {
             self.metrics.damage.on_repaired(eng.now());
         }
@@ -978,6 +1062,22 @@ impl World {
         let landslide_win = quorate && disagreeing <= cfg.max_disagree;
         let landslide_loss = quorate && disagreeing >= inner_votes.saturating_sub(cfg.max_disagree);
         let inconclusive = quorate && !landslide_win && !landslide_loss;
+        let n_votes = poll.votes.len() as u32;
+        self.trace(eng, || TraceEvent::PollOutcome {
+            peer: p as u32,
+            au: au.0,
+            poll: id.0,
+            conclusion: if landslide_win {
+                PollConclusion::Win
+            } else if landslide_loss {
+                PollConclusion::Loss
+            } else if inconclusive {
+                PollConclusion::Inconclusive
+            } else {
+                PollConclusion::Inquorate
+            },
+            votes: n_votes,
+        });
 
         // Grades: every voter that supplied a valid vote is raised (§5.1).
         {
@@ -1067,6 +1167,21 @@ impl World {
                 .admission
                 .filter(poller, &au_state.known, now, &cfg, &mut peer.rng)
         };
+        self.trace(eng, || TraceEvent::Admission {
+            peer: p as u32,
+            poller: poller.0,
+            verdict: match outcome {
+                AdmissionOutcome::Admitted {
+                    via_introduction: true,
+                } => AdmissionVerdict::AdmittedIntroduced,
+                AdmissionOutcome::Admitted {
+                    via_introduction: false,
+                } => AdmissionVerdict::Admitted,
+                AdmissionOutcome::RandomDrop => AdmissionVerdict::RandomDrop,
+                AdmissionOutcome::Refractory => AdmissionVerdict::Refractory,
+                AdmissionOutcome::RateLimited => AdmissionVerdict::RateLimited,
+            },
+        });
         let via_introduction = match outcome {
             AdmissionOutcome::Admitted { via_introduction } => via_introduction,
             // Silent for the sender; free for us.

@@ -9,19 +9,32 @@
 //! cargo run --release --bin lockss-sim -- list
 //! cargo run --release --bin lockss-sim -- describe stoppage-then-flood
 //! cargo run --release --bin lockss-sim -- run churn-storm --scale quick --seed 1 --json
+//! cargo run --release --bin lockss-sim -- run baseline --scale quick --record t.bin
+//! cargo run --release --bin lockss-sim -- replay t.bin
+//! cargo run --release --bin lockss-sim -- trace diff a.bin b.bin
+//! cargo run --release --bin lockss-sim -- trace stats t.bin
 //! ```
 //!
 //! `run` executes the scenario (plus its matched no-attack baseline when an
 //! attack is installed, for the §6.1 ratio metrics), prints the metric
 //! report, and writes a JSON summary to `results/scenario-<name>.json`.
 //! Output is a pure function of `(name, scale, seeds)` — the same
-//! invocation reproduces the same bytes.
+//! invocation reproduces the same bytes, which is what makes the trace
+//! verbs sound: `--record` captures the full causal event stream, `replay`
+//! re-drives the recorded scenario and verifies event-for-event
+//! equivalence (a perturbed `--seed` shows the first divergence instead),
+//! `trace diff` aligns two recordings, and `trace stats` rebuilds
+//! per-poll/per-phase timelines from one.
 
-use lockss_experiments::runner::{default_threads, run_batch, run_once, run_once_with_phases};
+use lockss_experiments::runner::{
+    default_threads, replay_once, run_batch, run_once, run_once_recorded, run_once_with_phases,
+};
 use lockss_experiments::{Scale, ScenarioRegistry};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
 use lockss_sim::Duration;
+use lockss_trace::{diff_traces, trace_stats, Trace, TraceMeta};
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
@@ -31,11 +44,17 @@ fn usage() -> ! {
          \x20 list                     all registered scenarios\n\
          \x20 describe <name>          one scenario in detail\n\
          \x20 run <name>               run a scenario and report the metrics\n\
+         \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
+         \x20                          event-for-event equivalence\n\
+         \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
+         \x20 trace stats <trace>      per-poll/per-phase timelines from a trace\n\
          \n\
          options:\n\
          \x20 --scale <quick|default|paper>   experiment scale (or LOCKSS_SCALE)\n\
-         \x20 --seed <N>                      run exactly one seed\n\
+         \x20 --seed <N>                      run exactly one seed (replay: perturb\n\
+         \x20                                 the recorded seed to find the fork)\n\
          \x20 --seeds <K>                     run seeds 1..=K (default: the scale's)\n\
+         \x20 --record <path>                 record the run's event trace (one seed)\n\
          \x20 --json                          print the JSON summary to stdout"
     );
     std::process::exit(2);
@@ -72,9 +91,75 @@ fn main() {
                 std::process::exit(2);
             }
             let json = args.iter().any(|a| a == "--json");
-            run(&registry, &name, scale, &seeds, json);
+            let record = flag_value(&args, "--record");
+            if record.is_some() && seeds.len() != 1 {
+                eprintln!("--record captures exactly one run; pass --seed N (or --seeds 1)");
+                std::process::exit(2);
+            }
+            run(&registry, &name, scale, &seeds, json, record.as_deref());
         }
+        Some("replay") => {
+            let path = args.get(1).cloned().unwrap_or_else(|| usage());
+            let seed = flag_value(&args, "--seed").map(|s| s.parse().expect("--seed N"));
+            replay(&registry, &path, seed);
+        }
+        Some("trace") => match args.get(1).map(String::as_str) {
+            Some("diff") => {
+                let (a, b) = match (args.get(2), args.get(3)) {
+                    (Some(a), Some(b)) => (a.clone(), b.clone()),
+                    _ => usage(),
+                };
+                let diff = diff_traces(&load_trace(&a), &load_trace(&b))
+                    .unwrap_or_else(|e| fail(&format!("diffing: {e}")));
+                print!("{diff}");
+            }
+            Some("stats") => {
+                let path = args.get(2).cloned().unwrap_or_else(|| usage());
+                let stats = trace_stats(&load_trace(&path))
+                    .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+                print!("{stats}");
+            }
+            _ => usage(),
+        },
         _ => usage(),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("lockss-sim: {msg}");
+    std::process::exit(2);
+}
+
+fn load_trace(path: &str) -> Trace {
+    Trace::read_from(Path::new(path)).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+}
+
+/// Re-drives a recorded trace's scenario and verifies equivalence. Exits 0
+/// on zero divergence, 1 with the first divergence otherwise.
+fn replay(registry: &ScenarioRegistry, path: &str, seed_override: Option<u64>) {
+    let trace = load_trace(path);
+    let meta = trace.meta().unwrap_or_else(|e| fail(&format!("header: {e}")));
+    let entry = registry.get(&meta.scenario).unwrap_or_else(|| {
+        fail(&format!(
+            "trace records scenario '{}', which is not in this build's registry",
+            meta.scenario
+        ))
+    });
+    let scenario = entry.build(Scale::parse(&meta.scale));
+    let seed = seed_override.unwrap_or(meta.seed);
+    println!(
+        "replaying {path}: {meta}{}",
+        if seed == meta.seed {
+            String::new()
+        } else {
+            format!(" (perturbed to seed {seed})")
+        }
+    );
+    let report = replay_once(&scenario, seed, &trace)
+        .unwrap_or_else(|e| fail(&format!("replaying: {e}")));
+    println!("{report}");
+    if !report.is_equivalent() {
+        std::process::exit(1);
     }
 }
 
@@ -120,7 +205,14 @@ fn describe(registry: &ScenarioRegistry, name: &str, scale: Scale) {
     );
 }
 
-fn run(registry: &ScenarioRegistry, name: &str, scale: Scale, seeds: &[u64], json_out: bool) {
+fn run(
+    registry: &ScenarioRegistry,
+    name: &str,
+    scale: Scale,
+    seeds: &[u64],
+    json_out: bool,
+    record: Option<&str>,
+) {
     let entry = resolve(registry, name);
     let scenario = entry.build(scale);
     let attacked_label = scenario.attack.label();
@@ -143,7 +235,27 @@ fn run(registry: &ScenarioRegistry, name: &str, scale: Scale, seeds: &[u64], jso
     // --seed N runs that single seed directly. The per-phase breakdown is
     // per-seed, reported for the first seed: free in the single-seed path,
     // one extra (composite-only) run in the batch path.
-    let (attacked, baseline, phases) = if seeds.len() == 1 {
+    let (attacked, baseline, phases) = if let Some(path) = record {
+        // Recording is single-seed (enforced by the caller): the recorded
+        // run doubles as the report run, since the sink never perturbs it.
+        let meta = TraceMeta {
+            scenario: entry.name.to_string(),
+            scale: scale.label().to_string(),
+            seed: seeds[0],
+            run_length_ms: scenario.run_length.as_millis(),
+        };
+        let (a, phases, trace) = run_once_recorded(&jobs[0], seeds[0], &meta);
+        match trace.write_to(Path::new(path)) {
+            Ok(()) => println!(
+                "recorded {} event(s) to {path} (content hash {})",
+                trace.events(),
+                trace.content_hash()
+            ),
+            Err(e) => fail(&format!("writing {path}: {e}")),
+        }
+        let b = jobs.get(1).map(|j| run_once(j, seeds[0]));
+        (a, b, phases)
+    } else if seeds.len() == 1 {
         let (a, phases) = run_once_with_phases(&jobs[0], seeds[0]);
         let b = jobs.get(1).map(|j| run_once(j, seeds[0]));
         (a, b, phases)

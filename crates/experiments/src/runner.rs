@@ -1,10 +1,13 @@
-//! Runs scenarios across seeds, in parallel, and condenses the metrics.
+//! Runs scenarios across seeds, in parallel, and condenses the metrics —
+//! plus the traced variants: record a run's full event stream, or replay
+//! one against a recorded trace and verify event-for-event equivalence.
 
 use std::sync::{Mutex, MutexGuard};
 
 use lockss_core::World;
 use lockss_metrics::{PhaseSummary, Summary};
 use lockss_sim::{Engine, SimTime};
+use lockss_trace::{Recorder, ReplayReport, Trace, TraceError, TraceMeta, Verifier};
 
 use crate::scenario::Scenario;
 
@@ -70,6 +73,63 @@ pub fn run_once_with_phases(scenario: &Scenario, seed: u64) -> (Summary, Vec<Pha
         world.metrics.summarize(end),
         world.metrics.phase_summaries(end),
     )
+}
+
+/// Runs one seed with a trace recorder installed; returns the summary, the
+/// per-phase breakdown, and the sealed trace.
+///
+/// Recording does not perturb the run: emission never touches the RNG or
+/// the event queue, so the summary is byte-identical to an untraced
+/// [`run_once`] of the same `(scenario, seed)`.
+pub fn run_once_recorded(
+    scenario: &Scenario,
+    seed: u64,
+    meta: &TraceMeta,
+) -> (Summary, Vec<PhaseSummary>, Trace) {
+    let recorder = Recorder::new(meta);
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    world.set_trace_sink(Box::new(recorder.clone()));
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = Engine::new();
+    world.start(&mut eng);
+    let end = SimTime::ZERO + scenario.run_length;
+    eng.run_until(&mut world, end);
+    (
+        world.metrics.summarize(end),
+        world.metrics.phase_summaries(end),
+        recorder.finish(),
+    )
+}
+
+/// Replays a scenario at `seed` against a recorded trace, verifying
+/// event-for-event equivalence; the run aborts at the first divergence.
+///
+/// The scenario and seed are the caller's to choose: pass the recorded
+/// ones for a faithfulness check (zero divergence expected), or perturb
+/// either to locate exactly where two executions fork.
+pub fn replay_once(
+    scenario: &Scenario,
+    seed: u64,
+    trace: &Trace,
+) -> Result<ReplayReport, TraceError> {
+    let verifier = Verifier::new(trace);
+    let meta = trace.meta()?;
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    world.set_trace_sink(Box::new(verifier.clone()));
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = Engine::new();
+    world.start(&mut eng);
+    let end = SimTime::ZERO + scenario.run_length;
+    eng.run_until(&mut world, end);
+    verifier.finish(meta)
 }
 
 /// Runs `seeds` seeds of a scenario and returns the mean summary.
@@ -142,6 +202,46 @@ mod tests {
         let b = run_once(&s, 7);
         assert_eq!(a.successful_polls, b.successful_polls);
         assert!((a.loyal_effort_secs - b.loyal_effort_secs).abs() < 1e-9);
+    }
+
+    fn tiny_meta(seed: u64) -> TraceMeta {
+        TraceMeta {
+            scenario: "tiny".into(),
+            scale: "quick".into(),
+            seed,
+            run_length_ms: tiny().run_length.as_millis(),
+        }
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_run() {
+        let s = tiny();
+        let plain = run_once(&s, 5);
+        let (recorded, _phases, trace) = run_once_recorded(&s, 5, &tiny_meta(5));
+        assert_eq!(plain, recorded, "recording must be invisible to the run");
+        assert!(trace.decode_all().unwrap().len() > 100, "stream captured");
+    }
+
+    #[test]
+    fn faithful_replay_is_equivalent() {
+        let s = tiny();
+        let (_, _, trace) = run_once_recorded(&s, 5, &tiny_meta(5));
+        let report = replay_once(&s, 5, &trace).unwrap();
+        assert!(report.is_equivalent(), "{report}");
+        assert!(report.events_matched > 100);
+    }
+
+    #[test]
+    fn perturbed_replay_reports_the_first_divergence() {
+        let s = tiny();
+        let (_, _, trace) = run_once_recorded(&s, 5, &tiny_meta(5));
+        let report = replay_once(&s, 6, &trace).unwrap();
+        assert!(!report.is_equivalent(), "different seed must fork");
+        let d = report.divergence.clone().expect("divergence");
+        assert!(d.expected.is_some() || d.actual.is_some());
+        // The report names the time and kind of the fork.
+        let text = report.to_string();
+        assert!(text.contains("day"), "{text}");
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct Engine<W> {
     /// Hard stop; events scheduled past this instant are silently dropped at
     /// pop time (they stay queued but never run).
     horizon: Option<SimTime>,
+    /// Set by [`Engine::request_stop`] from inside an event; cleared when a
+    /// run loop is entered.
+    stop_requested: bool,
 }
 
 impl<W> Default for Engine<W> {
@@ -81,6 +84,7 @@ impl<W> Engine<W> {
             executed: 0,
             queue: BinaryHeap::new(),
             horizon: None,
+            stop_requested: false,
         }
     }
 
@@ -102,6 +106,23 @@ impl<W> Engine<W> {
     /// The stop horizon, if one was set by `run_until`.
     pub fn horizon(&self) -> Option<SimTime> {
         self.horizon
+    }
+
+    /// Asks the current run loop to stop after the executing event returns.
+    ///
+    /// Only meaningful from inside an event handler: the flag is cleared
+    /// when `run_until` / `run_to_exhaustion` is entered, so a request made
+    /// between runs has no effect. Observers that verify a run as it
+    /// executes (e.g. a trace-replay sink) use this to abort at the first
+    /// divergence instead of simulating months past it; queued events stay
+    /// queued, and the clock stays at the stopping event's instant.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// True if [`Engine::request_stop`] fired during the last run loop.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -137,6 +158,7 @@ impl<W> Engine<W> {
     /// clock finishes at `until`.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
         self.horizon = Some(until);
+        self.stop_requested = false;
         let before = self.executed;
         while let Some(head) = self.queue.peek() {
             if head.at >= until {
@@ -147,6 +169,9 @@ impl<W> Engine<W> {
             self.now = ev.at;
             self.executed += 1;
             (ev.run)(world, self);
+            if self.stop_requested {
+                return self.executed - before;
+            }
         }
         self.now = self.now.max(until);
         self.executed - before
@@ -156,11 +181,15 @@ impl<W> Engine<W> {
     /// periodic events make this diverge; prefer `run_until`).
     pub fn run_to_exhaustion(&mut self, world: &mut W) -> u64 {
         let before = self.executed;
+        self.stop_requested = false;
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.at >= self.now, "time must be monotone");
             self.now = ev.at;
             self.executed += 1;
             (ev.run)(world, self);
+            if self.stop_requested {
+                break;
+            }
         }
         self.executed - before
     }
@@ -232,6 +261,27 @@ mod tests {
         eng.run_to_exhaustion(&mut w);
         assert_eq!(w, vec!["late", "same"]);
         assert_eq!(eng.now(), SimTime(50));
+    }
+
+    #[test]
+    fn request_stop_halts_the_run_loop() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime(10), |w: &mut Vec<u32>, e| {
+            w.push(1);
+            e.request_stop();
+        });
+        eng.schedule_at(SimTime(20), |w: &mut Vec<u32>, _| w.push(2));
+        let mut w = Vec::new();
+        let ran = eng.run_until(&mut w, SimTime(100));
+        assert_eq!(ran, 1);
+        assert_eq!(w, vec![1]);
+        assert!(eng.stop_requested());
+        assert_eq!(eng.now(), SimTime(10), "clock stays at the stop event");
+        assert_eq!(eng.queued(), 1, "later events stay queued");
+        // A fresh run clears the flag and resumes from the queue.
+        eng.run_until(&mut w, SimTime(100));
+        assert_eq!(w, vec![1, 2]);
+        assert!(!eng.stop_requested());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Trace diffing: align two recorded runs and summarize where their
+//! behaviors fork.
+//!
+//! Two traces of the same scenario at different seeds (or a baseline vs.
+//! an attacked run of the same world) share structure but not bytes. The
+//! diff reports three views at increasing altitude:
+//!
+//! 1. the **first fork** — the first record index where the streams
+//!    disagree, with both records;
+//! 2. **per-kind totals** — which event kinds the runs produced more or
+//!    less of;
+//! 3. **activity windows** — the 30-day window where the runs' event
+//!    activity differs the most, which localizes *when* behavior forked
+//!    even after the streams have long stopped aligning record-by-record.
+
+use lockss_core::trace::TraceEventKind;
+use lockss_metrics::timeline::TimelineSummary;
+
+use crate::format::{Trace, TraceMeta, TraceRecord};
+use crate::stats::{trace_stats, TraceStats};
+use crate::wire::TraceError;
+
+/// The first record index where two traces disagree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fork {
+    /// Zero-based record index.
+    pub index: u64,
+    /// Trace A's record there (`None`: A ended first).
+    pub a: Option<TraceRecord>,
+    /// Trace B's record there (`None`: B ended first).
+    pub b: Option<TraceRecord>,
+}
+
+/// The condensed comparison of two traces.
+#[derive(Clone, Debug)]
+pub struct TraceDiff {
+    /// Trace A's metadata.
+    pub a_meta: TraceMeta,
+    /// Trace B's metadata.
+    pub b_meta: TraceMeta,
+    /// Total events in trace A.
+    pub a_events: u64,
+    /// Total events in trace B.
+    pub b_events: u64,
+    /// Where the streams first disagree (`None`: byte-equivalent streams).
+    pub first_fork: Option<Fork>,
+    /// Per-kind totals `(kind, a count, b count)`, kinds with any activity.
+    pub kind_counts: Vec<(TraceEventKind, u64, u64)>,
+    /// Poll-timeline summaries of both sides.
+    pub a_summary: TimelineSummary,
+    /// Trace B's poll-timeline summary.
+    pub b_summary: TimelineSummary,
+    /// Suppressed sends in A / B.
+    pub suppressed_sends: (u64, u64),
+    /// The 30-day window with the widest activity gap, as
+    /// `(window start day, window end day, a count − b count)`.
+    pub widest_activity_gap: Option<(f64, f64, i64)>,
+}
+
+impl TraceDiff {
+    /// True when the two streams are record-for-record identical.
+    pub fn is_identical(&self) -> bool {
+        self.first_fork.is_none() && self.a_events == self.b_events
+    }
+}
+
+/// Compares two traces.
+pub fn diff_traces(a: &Trace, b: &Trace) -> Result<TraceDiff, TraceError> {
+    let first_fork = find_fork(a, b)?;
+    let sa = trace_stats(a)?;
+    let sb = trace_stats(b)?;
+    Ok(summarize(sa, sb, first_fork))
+}
+
+fn find_fork(a: &Trace, b: &Trace) -> Result<Option<Fork>, TraceError> {
+    let mut ra = a.records();
+    let mut rb = b.records();
+    let mut index = 0u64;
+    loop {
+        let na = ra.next().transpose()?;
+        let nb = rb.next().transpose()?;
+        match (na, nb) {
+            (None, None) => return Ok(None),
+            (a, b) if a == b => index += 1,
+            (a, b) => return Ok(Some(Fork { index, a, b })),
+        }
+    }
+}
+
+fn summarize(sa: TraceStats, sb: TraceStats, first_fork: Option<Fork>) -> TraceDiff {
+    let kind_counts = TraceEventKind::ALL
+        .iter()
+        .map(|&k| (k, sa.count(k), sb.count(k)))
+        .filter(|(_, ca, cb)| *ca > 0 || *cb > 0)
+        .collect();
+    let widest_activity_gap = sa.buckets.widest_gap(&sb.buckets).map(|(idx, delta)| {
+        let (start, end) = sa.buckets.span(idx);
+        (start.as_days_f64(), end.as_days_f64(), delta)
+    });
+    TraceDiff {
+        a_meta: sa.meta,
+        b_meta: sb.meta,
+        a_events: sa.events,
+        b_events: sb.events,
+        first_fork,
+        kind_counts,
+        a_summary: sa.summary,
+        b_summary: sb.summary,
+        suppressed_sends: (sa.suppressed_sends, sb.suppressed_sends),
+        widest_activity_gap,
+    }
+}
+
+impl std::fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trace A: {} ({} events)", self.a_meta, self.a_events)?;
+        writeln!(f, "trace B: {} ({} events)", self.b_meta, self.b_events)?;
+        match &self.first_fork {
+            None => writeln!(f, "\nstreams are identical record-for-record")?,
+            Some(fork) => {
+                writeln!(f, "\nstreams fork at record #{}:", fork.index)?;
+                match &fork.a {
+                    Some(r) => writeln!(f, "  A: {r}")?,
+                    None => writeln!(f, "  A: <ended>")?,
+                }
+                match &fork.b {
+                    Some(r) => writeln!(f, "  B: {r}")?,
+                    None => writeln!(f, "  B: <ended>")?,
+                }
+            }
+        }
+        writeln!(f, "\nevents by kind (A / B / Δ):")?;
+        for (kind, ca, cb) in &self.kind_counts {
+            writeln!(
+                f,
+                "  {:<18} {ca:>9} {cb:>9} {:>+8}",
+                kind.label(),
+                *ca as i64 - *cb as i64
+            )?;
+        }
+        let (a, b) = (&self.a_summary, &self.b_summary);
+        writeln!(f, "\npoll outcomes (A / B):")?;
+        writeln!(
+            f,
+            "  win {}/{}  loss {}/{}  inconclusive {}/{}  inquorate {}/{}",
+            a.wins, b.wins, a.losses, b.losses, a.inconclusive, b.inconclusive, a.inquorate,
+            b.inquorate
+        )?;
+        if let (Some(da), Some(db)) = (a.mean_poll_duration, b.mean_poll_duration) {
+            writeln!(
+                f,
+                "  mean poll duration {:.2}d / {:.2}d, mean votes {:.1} / {:.1}",
+                da.as_days_f64(),
+                db.as_days_f64(),
+                a.mean_votes,
+                b.mean_votes
+            )?;
+        }
+        if self.suppressed_sends != (0, 0) {
+            writeln!(
+                f,
+                "  suppressed sends {} / {}",
+                self.suppressed_sends.0, self.suppressed_sends.1
+            )?;
+        }
+        if let Some((start, end, delta)) = self.widest_activity_gap {
+            writeln!(
+                f,
+                "\nwidest activity gap: days {start:.0}–{end:.0} ({delta:+} events A−B)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Recorder, TraceMeta};
+    use lockss_core::trace::{PollConclusion, TraceEvent, TraceSink};
+    use lockss_sim::{Duration, SimTime};
+
+    fn t(days: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_days(days)
+    }
+
+    fn trace_with(polls: &[(u64, u64, PollConclusion)], seed: u64) -> Trace {
+        let rec = Recorder::new(&TraceMeta {
+            scenario: "baseline".into(),
+            scale: "quick".into(),
+            seed,
+            run_length_ms: Duration::from_days(360).as_millis(),
+        });
+        let mut sink: Box<dyn TraceSink> = Box::new(rec.clone());
+        let mut seq = 0;
+        for (poll, start_day, conclusion) in polls {
+            seq += 1;
+            sink.record(
+                t(*start_day),
+                seq,
+                &TraceEvent::PollStart {
+                    peer: 0,
+                    au: 0,
+                    poll: *poll,
+                },
+            );
+            seq += 1;
+            sink.record(
+                t(start_day + 3),
+                seq,
+                &TraceEvent::PollOutcome {
+                    peer: 0,
+                    au: 0,
+                    poll: *poll,
+                    conclusion: *conclusion,
+                    votes: 5,
+                },
+            );
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn identical_traces_diff_clean() {
+        let a = trace_with(&[(0, 1, PollConclusion::Win)], 1);
+        let b = trace_with(&[(0, 1, PollConclusion::Win)], 1);
+        let d = diff_traces(&a, &b).unwrap();
+        assert!(d.is_identical());
+        assert!(d.to_string().contains("identical record-for-record"));
+    }
+
+    #[test]
+    fn forked_traces_report_the_fork_and_the_totals() {
+        let a = trace_with(
+            &[(0, 1, PollConclusion::Win), (1, 40, PollConclusion::Win)],
+            1,
+        );
+        let b = trace_with(
+            &[(0, 1, PollConclusion::Win), (1, 95, PollConclusion::Loss)],
+            2,
+        );
+        let d = diff_traces(&a, &b).unwrap();
+        assert!(!d.is_identical());
+        let fork = d.first_fork.as_ref().unwrap();
+        assert_eq!(fork.index, 2, "first two records match");
+        assert_eq!(d.a_summary.wins, 2);
+        assert_eq!(d.b_summary.wins, 1);
+        assert_eq!(d.b_summary.losses, 1);
+        let (start, _end, delta) = d.widest_activity_gap.unwrap();
+        // A's second poll lives in days 30-60, B's in days 90-120.
+        assert!(start == 30.0 || start == 90.0);
+        assert_eq!(delta.abs(), 2);
+        let text = d.to_string();
+        assert!(text.contains("fork at record #2"), "{text}");
+        assert!(text.contains("poll-start"), "{text}");
+    }
+
+    #[test]
+    fn prefix_trace_forks_at_the_end() {
+        let a = trace_with(&[(0, 1, PollConclusion::Win)], 1);
+        let b = trace_with(
+            &[(0, 1, PollConclusion::Win), (1, 40, PollConclusion::Win)],
+            1,
+        );
+        let d = diff_traces(&a, &b).unwrap();
+        let fork = d.first_fork.unwrap();
+        assert_eq!(fork.index, 2);
+        assert!(fork.a.is_none());
+        assert!(fork.b.is_some());
+    }
+}

@@ -1,0 +1,515 @@
+//! The trace container: header, delta-coded records, content-hash trailer.
+//!
+//! ```text
+//! magic    "LTRC1\n"
+//! header   str scenario · str scale · varint seed · varint run_length_ms
+//! records  kind u8 (≥1) · varint Δtime_ms · varint Δengine_seq · payload
+//! end      0x00 · u64-le record count
+//! trailer  32-byte SHA-256 over everything above
+//! ```
+//!
+//! Timestamps and engine ordinals are monotone, so both are delta-coded
+//! against the previous record and almost always fit one varint byte. The
+//! trailing hash is the trace's *content hash*: byte-stable across runs
+//! and thread counts for a deterministic `(scenario, seed)`, which is what
+//! the golden-trace regression tests pin.
+
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+use lockss_core::trace::{TraceEvent, TraceEventKind, TraceSink};
+use lockss_crypto::sha256::sha256;
+use lockss_sim::SimTime;
+
+use crate::wire::{get_event, put_event, put_str, put_varint, Cursor, TraceError};
+
+/// The file magic (format version 1).
+pub const MAGIC: &[u8; 6] = b"LTRC1\n";
+
+/// The end-of-records marker (kind codes start at 1).
+const END: u8 = 0;
+
+/// Identifies the execution a trace captured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Registered scenario name.
+    pub scenario: String,
+    /// Experiment scale label (`quick` / `default` / `paper`).
+    pub scale: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Simulated run length in milliseconds.
+    pub run_length_ms: u64,
+}
+
+impl std::fmt::Display for TraceMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario '{}' at scale '{}', seed {}, {:.0} simulated days",
+            self.scenario,
+            self.scale,
+            self.seed,
+            self.run_length_ms as f64 / (24.0 * 3600.0 * 1000.0)
+        )
+    }
+}
+
+/// One decoded record: the event plus its causal position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// The simulated instant of emission.
+    pub at: SimTime,
+    /// The engine's executed-event ordinal at emission.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[day {:.2}, engine event {}] {}",
+            self.at.as_days_f64(),
+            self.seq,
+            self.event
+        )
+    }
+}
+
+struct RecorderInner {
+    buf: Vec<u8>,
+    prev_at: u64,
+    prev_seq: u64,
+    events: u64,
+}
+
+/// Records a run's event stream into the binary trace format.
+///
+/// The recorder is a shared handle (`Clone`): install one clone as the
+/// world's sink and keep the other to [`Recorder::finish`] the trace after
+/// the run. Single-threaded by design, like the runs it records.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<RecorderInner>>,
+}
+
+impl Recorder {
+    /// A recorder with the header already encoded.
+    pub fn new(meta: &TraceMeta) -> Recorder {
+        let mut buf = Vec::with_capacity(64 * 1024);
+        buf.extend_from_slice(MAGIC);
+        put_str(&mut buf, &meta.scenario);
+        put_str(&mut buf, &meta.scale);
+        put_varint(&mut buf, meta.seed);
+        put_varint(&mut buf, meta.run_length_ms);
+        Recorder {
+            inner: Rc::new(RefCell::new(RecorderInner {
+                buf,
+                prev_at: 0,
+                prev_seq: 0,
+                events: 0,
+            })),
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.inner.borrow().events
+    }
+
+    /// Seals the trace: appends the end marker, the record count, and the
+    /// content hash.
+    pub fn finish(self) -> Trace {
+        let mut inner = self.inner.borrow_mut();
+        let mut bytes = std::mem::take(&mut inner.buf);
+        let events = inner.events;
+        drop(inner);
+        bytes.push(END);
+        bytes.extend_from_slice(&events.to_le_bytes());
+        let digest = sha256(&bytes);
+        bytes.extend_from_slice(&digest);
+        Trace { bytes }
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, at: SimTime, seq: u64, event: &TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.buf.push(event.kind().code());
+        let at = at.as_millis();
+        put_varint(&mut inner.buf, at - inner.prev_at);
+        put_varint(&mut inner.buf, seq - inner.prev_seq);
+        inner.prev_at = at;
+        inner.prev_seq = seq;
+        put_event(&mut inner.buf, event);
+        inner.events += 1;
+    }
+}
+
+/// A sealed, hash-verified trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    bytes: Vec<u8>,
+}
+
+impl Trace {
+    /// Bytes of trailer past the records: end marker + count + hash.
+    const TAIL: usize = 1 + 8 + 32;
+
+    /// Validates raw bytes (magic, trailer hash, decodable header) into a
+    /// trace.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Trace, TraceError> {
+        if bytes.len() < MAGIC.len() + Trace::TAIL || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let body_len = bytes.len() - 32;
+        let digest = sha256(&bytes[..body_len]);
+        if digest != bytes[body_len..] {
+            return Err(TraceError::HashMismatch);
+        }
+        let trace = Trace { bytes };
+        trace.meta()?; // header must decode
+        Ok(trace)
+    }
+
+    /// Number of records, read from the trailer in O(1).
+    pub fn events(&self) -> u64 {
+        let start = self.bytes.len() - 32 - 8;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[start..start + 8]);
+        u64::from_le_bytes(raw)
+    }
+
+    /// The raw encoded bytes (header + records + trailer).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The trailing SHA-256 content hash, hex-encoded.
+    pub fn content_hash(&self) -> String {
+        self.bytes[self.bytes.len() - 32..]
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    }
+
+    /// Decodes the header.
+    pub fn meta(&self) -> Result<TraceMeta, TraceError> {
+        let mut cur = Cursor::new(&self.bytes[MAGIC.len()..self.bytes.len() - 32]);
+        Ok(TraceMeta {
+            scenario: cur.str()?,
+            scale: cur.str()?,
+            seed: cur.varint()?,
+            run_length_ms: cur.varint()?,
+        })
+    }
+
+    /// An iterator over the decoded records.
+    pub fn records(&self) -> TraceReader<'_> {
+        TraceReader::new(self)
+    }
+
+    /// Decodes every record into memory.
+    pub fn decode_all(&self) -> Result<Vec<TraceRecord>, TraceError> {
+        self.records().collect()
+    }
+
+    /// Writes the trace to `path`, creating parent directories on demand.
+    pub fn write_to(&self, path: &Path) -> Result<(), TraceError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, &self.bytes)?;
+        Ok(())
+    }
+
+    /// Reads and validates a trace file.
+    pub fn read_from(path: &Path) -> Result<Trace, TraceError> {
+        Trace::from_bytes(std::fs::read(path)?)
+    }
+}
+
+/// Decodes one framed record (or the end marker) at the cursor,
+/// delta-accumulating against `prev_at`/`prev_seq`.
+fn decode_next(
+    cur: &mut Cursor<'_>,
+    prev_at: &mut u64,
+    prev_seq: &mut u64,
+) -> Result<Option<TraceRecord>, TraceError> {
+    let code = cur.u8()?;
+    if code == END {
+        return Ok(None);
+    }
+    let kind = TraceEventKind::from_code(code).ok_or(TraceError::UnknownKind(code))?;
+    *prev_at += cur.varint()?;
+    *prev_seq += cur.varint()?;
+    let event = get_event(cur, kind)?;
+    Ok(Some(TraceRecord {
+        at: SimTime(*prev_at),
+        seq: *prev_seq,
+        event,
+    }))
+}
+
+/// Streaming decoder over a trace's records.
+pub struct TraceReader<'a> {
+    cur: Cursor<'a>,
+    prev_at: u64,
+    prev_seq: u64,
+    done: bool,
+}
+
+impl<'a> TraceReader<'a> {
+    fn new(trace: &'a Trace) -> TraceReader<'a> {
+        let body = &trace.bytes[..trace.bytes.len() - 32];
+        let mut cur = Cursor::new(body);
+        // Skip the magic + header (validated at construction).
+        cur.skip_header();
+        TraceReader {
+            cur,
+            prev_at: 0,
+            prev_seq: 0,
+            done: false,
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let rec = decode_next(&mut self.cur, &mut self.prev_at, &mut self.prev_seq)?;
+        if rec.is_none() {
+            self.done = true;
+        }
+        Ok(rec)
+    }
+}
+
+/// A streaming decoder that *owns* its trace, for consumers that must be
+/// `'static` (the replay `Verifier` is installed as a boxed `TraceSink`
+/// and cannot borrow). Decodes one record at a time — O(1) memory no
+/// matter how large the trace — where [`Trace::decode_all`] materializes
+/// millions of records for a default-scale run.
+pub struct OwnedTraceReader {
+    trace: Trace,
+    pos: usize,
+    prev_at: u64,
+    prev_seq: u64,
+    done: bool,
+    decoded: u64,
+}
+
+impl OwnedTraceReader {
+    /// A reader positioned at the first record.
+    pub fn new(trace: Trace) -> OwnedTraceReader {
+        let mut cur = Cursor::new(&trace.bytes);
+        cur.skip_header();
+        let pos = cur.pos();
+        OwnedTraceReader {
+            trace,
+            pos,
+            prev_at: 0,
+            prev_seq: 0,
+            done: false,
+            decoded: 0,
+        }
+    }
+
+    /// Total records in the trace (from the trailer, O(1)).
+    pub fn total(&self) -> u64 {
+        self.trace.events()
+    }
+
+    /// Records decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Decodes the next record, or `None` at the end marker.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let body_end = self.trace.bytes.len() - 32;
+        let mut cur = Cursor::new(&self.trace.bytes[self.pos..body_end]);
+        let rec = decode_next(&mut cur, &mut self.prev_at, &mut self.prev_seq)?;
+        self.pos += cur.pos();
+        match rec {
+            Some(r) => {
+                self.decoded += 1;
+                Ok(Some(r))
+            }
+            None => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl Cursor<'_> {
+    /// Skips the magic and the four header fields (only valid at offset 0
+    /// of a validated trace body).
+    fn skip_header(&mut self) {
+        for _ in 0..MAGIC.len() {
+            let _ = self.u8();
+        }
+        let _ = self.str();
+        let _ = self.str();
+        let _ = self.varint();
+        let _ = self.varint();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockss_core::trace::{MsgKind, PollConclusion};
+    use lockss_sim::Duration;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            scenario: "baseline".into(),
+            scale: "quick".into(),
+            seed: 7,
+            run_length_ms: Duration::from_days(360).as_millis(),
+        }
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at: SimTime(1_000),
+                seq: 1,
+                event: TraceEvent::PollStart {
+                    peer: 0,
+                    au: 0,
+                    poll: 0,
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_000),
+                seq: 1,
+                event: TraceEvent::MessageSend {
+                    from: 0,
+                    to: 3,
+                    kind: MsgKind::Poll,
+                    au: 0,
+                    poll: 0,
+                    suppressed: false,
+                },
+            },
+            TraceRecord {
+                at: SimTime(90_000),
+                seq: 17,
+                event: TraceEvent::PollOutcome {
+                    peer: 0,
+                    au: 0,
+                    poll: 0,
+                    conclusion: PollConclusion::Win,
+                    votes: 5,
+                },
+            },
+        ]
+    }
+
+    fn record_all(records: &[TraceRecord]) -> Trace {
+        let recorder = Recorder::new(&meta());
+        let mut sink: Box<dyn TraceSink> = Box::new(recorder.clone());
+        for r in records {
+            sink.record(r.at, r.seq, &r.event);
+        }
+        assert_eq!(recorder.events(), records.len() as u64);
+        recorder.finish()
+    }
+
+    #[test]
+    fn record_decode_roundtrip() {
+        let records = sample_records();
+        let trace = record_all(&records);
+        assert_eq!(trace.meta().unwrap(), meta());
+        let decoded = trace.decode_all().unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn bytes_validate_and_hash_is_stable() {
+        let trace = record_all(&sample_records());
+        let again = record_all(&sample_records());
+        assert_eq!(trace.content_hash(), again.content_hash());
+        assert_eq!(trace.content_hash().len(), 64);
+        let reparsed = Trace::from_bytes(trace.as_bytes().to_vec()).unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let trace = record_all(&sample_records());
+        let mut bytes = trace.as_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            Trace::from_bytes(bytes),
+            Err(TraceError::HashMismatch)
+        ));
+        assert!(matches!(
+            Trace::from_bytes(b"nonsense".to_vec()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_creates_directories() {
+        let trace = record_all(&sample_records());
+        let dir = std::env::temp_dir().join(format!("lockss-trace-test-{}", std::process::id()));
+        let path = dir.join("nested/t.bin");
+        trace.write_to(&path).unwrap();
+        let back = Trace::read_from(&path).unwrap();
+        assert_eq!(back, trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailer_count_and_owned_reader_agree_with_decode_all() {
+        let records = sample_records();
+        let trace = record_all(&records);
+        assert_eq!(trace.events(), records.len() as u64);
+        let mut owned = OwnedTraceReader::new(trace.clone());
+        assert_eq!(owned.total(), records.len() as u64);
+        let mut streamed = Vec::new();
+        while let Some(rec) = owned.next_record().unwrap() {
+            streamed.push(rec);
+        }
+        assert_eq!(streamed, trace.decode_all().unwrap());
+        assert_eq!(owned.decoded(), records.len() as u64);
+        assert!(owned.next_record().unwrap().is_none(), "stays done");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = Recorder::new(&meta()).finish();
+        assert_eq!(trace.decode_all().unwrap(), Vec::new());
+        assert_eq!(trace.meta().unwrap().scenario, "baseline");
+    }
+}

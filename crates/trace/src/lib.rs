@@ -1,0 +1,37 @@
+//! Structured event-trace record, replay, diff, and stats.
+//!
+//! The engine is byte-deterministic per `(scenario, seed)`, which makes a
+//! recorded event stream a *complete, checkable* description of a run —
+//! the record-and-replay property argued for in O'Callahan et al.,
+//! *Lightweight User-Space Record And Replay*. This crate turns the
+//! [`lockss_core::trace::TraceSink`] stream into four tools:
+//!
+//! - **record** ([`Recorder`]): capture the full causal stream into a
+//!   compact self-hosted binary format — varint-framed records, delta-coded
+//!   timestamps, a SHA-256 content hash in the trailer, no external
+//!   dependencies;
+//! - **replay** ([`Verifier`]): re-drive the same scenario and verify
+//!   event-for-event equivalence against a recorded trace, aborting the run
+//!   at the first divergence and reporting it with full context (time,
+//!   engine event ordinal, event kind, payload delta);
+//! - **diff** ([`diff_traces`]): align two traces — two seeds, or baseline
+//!   vs. attacked — and summarize where their behaviors fork;
+//! - **stats** ([`trace_stats`]): rebuild per-poll timelines and per-phase
+//!   activity the live metric counters cannot see after the fact.
+//!
+//! The `lockss-sim` CLI exposes all four: `run <name> --record <path>`,
+//! `replay <path>`, `trace diff <a> <b>`, `trace stats <path>`.
+
+#![deny(missing_docs)]
+
+pub mod diff;
+pub mod format;
+pub mod replay;
+pub mod stats;
+pub mod wire;
+
+pub use diff::{diff_traces, Fork, TraceDiff};
+pub use format::{OwnedTraceReader, Recorder, Trace, TraceMeta, TraceReader, TraceRecord};
+pub use replay::{Divergence, ReplayReport, Verifier};
+pub use stats::{trace_stats, PhaseSegment, TraceStats};
+pub use wire::TraceError;

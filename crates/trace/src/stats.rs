@@ -1,0 +1,393 @@
+//! The trace stats pass: rebuild per-poll and per-phase timelines from a
+//! recorded stream.
+//!
+//! The live metric counters condense a run as it executes and forget the
+//! individual polls; the trace keeps everything, so this pass can answer
+//! the questions the summaries cannot — how long polls actually ran, how
+//! many invitations each needed, which phase concluded which polls, and
+//! how many sends the adversary suppressed.
+
+use lockss_core::trace::{AdmissionVerdict, MsgKind, TraceEvent, TraceEventKind};
+use lockss_metrics::timeline::{PollTimeline, TimeBuckets, TimelineSummary};
+use lockss_sim::{Duration, SimTime};
+
+use crate::format::{Trace, TraceMeta};
+use crate::wire::TraceError;
+
+/// Bucket width for activity histograms (diffing aligns on these).
+pub(crate) const BUCKET: Duration = Duration::from_days(30);
+
+/// One phase of activity, split by the recorded phase marks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSegment {
+    /// The phase label (`"(pre)"` before the first mark).
+    pub label: String,
+    /// When the phase began.
+    pub start: SimTime,
+    /// Events emitted during the phase.
+    pub events: u64,
+    /// Polls concluded during the phase.
+    pub polls_concluded: u64,
+}
+
+/// Everything the stats pass derives from one trace.
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    /// The trace's metadata.
+    pub meta: TraceMeta,
+    /// Total recorded events.
+    pub events: u64,
+    /// Simulated instant of the last event (ZERO when empty).
+    pub last_event_at: SimTime,
+    /// Events per kind, in kind-code order (zero counts included).
+    pub kind_counts: Vec<(TraceEventKind, u64)>,
+    /// One timeline per poll, in open order.
+    pub polls: Vec<PollTimeline>,
+    /// The condensed poll-timeline view.
+    pub summary: TimelineSummary,
+    /// Admission verdict counts, indexed by verdict code.
+    pub admissions: [u64; 5],
+    /// Sends suppressed at the source (pipe stoppage).
+    pub suppressed_sends: u64,
+    /// Activity split by recorded phase marks (empty without marks).
+    pub phases: Vec<PhaseSegment>,
+    /// 30-day activity histogram over all events.
+    pub(crate) buckets: TimeBuckets,
+}
+
+/// Derives [`TraceStats`] from a trace.
+pub fn trace_stats(trace: &Trace) -> Result<TraceStats, TraceError> {
+    let meta = trace.meta()?;
+    let mut kind_counts: Vec<(TraceEventKind, u64)> =
+        TraceEventKind::ALL.iter().map(|&k| (k, 0)).collect();
+    let mut polls: Vec<PollTimeline> = Vec::new();
+    let mut poll_index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut admissions = [0u64; 5];
+    let mut suppressed_sends = 0u64;
+    let mut phases: Vec<PhaseSegment> = Vec::new();
+    let mut buckets = TimeBuckets::new(BUCKET);
+    let mut events = 0u64;
+    let mut last_event_at = SimTime::ZERO;
+
+    for rec in trace.records() {
+        let rec = rec?;
+        events += 1;
+        last_event_at = rec.at;
+        buckets.add(rec.at);
+        let kind = rec.event.kind();
+        kind_counts[kind.code() as usize - 1].1 += 1;
+        // Phase marks open their own segment below; every other event
+        // counts into the segment currently open.
+        if kind != TraceEventKind::PhaseMark {
+            if let Some(seg) = phases.last_mut() {
+                seg.events += 1;
+            }
+        }
+        match &rec.event {
+            TraceEvent::PollStart { peer, au, poll } => {
+                poll_index.insert(*poll, polls.len());
+                polls.push(PollTimeline::open(*poll, *peer, *au, rec.at));
+            }
+            TraceEvent::PollOutcome {
+                poll,
+                conclusion,
+                votes,
+                ..
+            } => {
+                if let Some(&i) = poll_index.get(poll) {
+                    polls[i].concluded = Some(rec.at);
+                    polls[i].outcome = Some(conclusion.label());
+                    polls[i].votes = *votes;
+                }
+                if let Some(seg) = phases.last_mut() {
+                    seg.polls_concluded += 1;
+                }
+            }
+            TraceEvent::MessageSend {
+                kind: msg_kind,
+                poll,
+                suppressed,
+                ..
+            } => {
+                if *suppressed {
+                    suppressed_sends += 1;
+                }
+                if *msg_kind == MsgKind::Poll {
+                    if let Some(&i) = poll_index.get(poll) {
+                        polls[i].invites_sent += 1;
+                    }
+                }
+            }
+            TraceEvent::Admission { verdict, .. } => {
+                admissions[verdict.code() as usize] += 1;
+            }
+            TraceEvent::Repair { poll, .. } => {
+                if let Some(&i) = poll_index.get(poll) {
+                    polls[i].repairs += 1;
+                }
+            }
+            TraceEvent::PhaseMark { label } => {
+                if phases.is_empty() && rec.at > SimTime::ZERO {
+                    phases.push(PhaseSegment {
+                        label: "(pre)".to_string(),
+                        start: SimTime::ZERO,
+                        // Everything before this mark, this mark included
+                        // in the new segment below.
+                        events: events - 1,
+                        polls_concluded: polls
+                            .iter()
+                            .filter(|p| p.concluded.is_some())
+                            .count() as u64,
+                    });
+                }
+                phases.push(PhaseSegment {
+                    label: label.clone(),
+                    start: rec.at,
+                    events: 1, // the mark itself
+                    polls_concluded: 0,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let summary = TimelineSummary::from_polls(&polls);
+    Ok(TraceStats {
+        meta,
+        events,
+        last_event_at,
+        kind_counts,
+        polls,
+        summary,
+        admissions,
+        suppressed_sends,
+        phases,
+        buckets,
+    })
+}
+
+impl TraceStats {
+    /// The count recorded for `kind`.
+    pub fn count(&self, kind: TraceEventKind) -> u64 {
+        self.kind_counts[kind.code() as usize - 1].1
+    }
+
+    /// Admission verdict count.
+    pub fn admission_count(&self, verdict: AdmissionVerdict) -> u64 {
+        self.admissions[verdict.code() as usize]
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trace of {}", self.meta)?;
+        writeln!(
+            f,
+            "{} event(s), last at day {:.1}",
+            self.events,
+            self.last_event_at.as_days_f64()
+        )?;
+        writeln!(f, "\nevents by kind:")?;
+        for (kind, count) in &self.kind_counts {
+            if *count > 0 {
+                writeln!(f, "  {:<18} {count}", kind.label())?;
+            }
+        }
+        let s = &self.summary;
+        writeln!(f, "\npoll timelines:")?;
+        writeln!(
+            f,
+            "  started {}, concluded {} ({} win / {} loss / {} inconclusive / {} inquorate)",
+            s.polls_started, s.polls_concluded, s.wins, s.losses, s.inconclusive, s.inquorate
+        )?;
+        if let Some(d) = s.mean_poll_duration {
+            writeln!(
+                f,
+                "  mean poll duration {:.1}d, mean votes {:.1}, mean invites {:.1}",
+                d.as_days_f64(),
+                s.mean_votes,
+                s.mean_invites
+            )?;
+        }
+        writeln!(f, "  repairs applied {}", s.repairs)?;
+        if self.admissions.iter().any(|&c| c > 0) {
+            writeln!(f, "\nadmission verdicts:")?;
+            for code in 0..5u8 {
+                let verdict = AdmissionVerdict::from_code(code).expect("code in range");
+                let count = self.admissions[code as usize];
+                if count > 0 {
+                    writeln!(f, "  {:<20} {count}", verdict.label())?;
+                }
+            }
+        }
+        if self.suppressed_sends > 0 {
+            writeln!(f, "\nsuppressed sends (pipe stoppage): {}", self.suppressed_sends)?;
+        }
+        if !self.phases.is_empty() {
+            writeln!(f, "\nphases:")?;
+            for seg in &self.phases {
+                writeln!(
+                    f,
+                    "  from day {:>6.1}  {:<28} {} event(s), {} poll(s) concluded",
+                    seg.start.as_days_f64(),
+                    seg.label,
+                    seg.events,
+                    seg.polls_concluded
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Recorder, TraceMeta};
+    use lockss_core::trace::{PollConclusion, TraceSink};
+
+    fn t(days: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_days(days)
+    }
+
+    fn build_trace() -> Trace {
+        let rec = Recorder::new(&TraceMeta {
+            scenario: "x".into(),
+            scale: "quick".into(),
+            seed: 3,
+            run_length_ms: Duration::from_days(200).as_millis(),
+        });
+        let mut sink: Box<dyn TraceSink> = Box::new(rec.clone());
+        let mut seq = 0u64;
+        let mut emit = |at: SimTime, e: TraceEvent| {
+            seq += 1;
+            sink.record(at, seq, &e);
+        };
+        emit(
+            t(0),
+            TraceEvent::PollStart {
+                peer: 0,
+                au: 0,
+                poll: 0,
+            },
+        );
+        for _ in 0..3 {
+            emit(
+                t(1),
+                TraceEvent::MessageSend {
+                    from: 0,
+                    to: 2,
+                    kind: MsgKind::Poll,
+                    au: 0,
+                    poll: 0,
+                    suppressed: false,
+                },
+            );
+        }
+        emit(
+            t(2),
+            TraceEvent::Admission {
+                peer: 2,
+                poller: 0,
+                verdict: AdmissionVerdict::Admitted,
+            },
+        );
+        emit(
+            t(3),
+            TraceEvent::Repair {
+                peer: 0,
+                au: 0,
+                poll: 0,
+                block: 5,
+                intact_after: true,
+            },
+        );
+        emit(
+            t(10),
+            TraceEvent::PollOutcome {
+                peer: 0,
+                au: 0,
+                poll: 0,
+                conclusion: PollConclusion::Win,
+                votes: 4,
+            },
+        );
+        emit(
+            t(40),
+            TraceEvent::PhaseMark {
+                label: "admission-flood".into(),
+            },
+        );
+        emit(
+            t(50),
+            TraceEvent::PollStart {
+                peer: 1,
+                au: 0,
+                poll: 1,
+            },
+        );
+        emit(
+            t(60),
+            TraceEvent::MessageSend {
+                from: 1,
+                to: 3,
+                kind: MsgKind::Poll,
+                au: 0,
+                poll: 1,
+                suppressed: true,
+            },
+        );
+        emit(
+            t(80),
+            TraceEvent::PollOutcome {
+                peer: 1,
+                au: 0,
+                poll: 1,
+                conclusion: PollConclusion::Inquorate,
+                votes: 0,
+            },
+        );
+        rec.finish()
+    }
+
+    #[test]
+    fn stats_rebuild_poll_timelines() {
+        let stats = trace_stats(&build_trace()).unwrap();
+        assert_eq!(stats.events, 11);
+        assert_eq!(stats.count(TraceEventKind::PollStart), 2);
+        assert_eq!(stats.count(TraceEventKind::MessageSend), 4);
+        assert_eq!(stats.polls.len(), 2);
+        let p0 = &stats.polls[0];
+        assert_eq!(p0.invites_sent, 3);
+        assert_eq!(p0.repairs, 1);
+        assert_eq!(p0.outcome, Some("win"));
+        assert_eq!(p0.votes, 4);
+        assert_eq!(p0.concluded, Some(t(10)));
+        assert_eq!(stats.summary.wins, 1);
+        assert_eq!(stats.summary.inquorate, 1);
+        assert_eq!(stats.suppressed_sends, 1);
+        assert_eq!(stats.admission_count(AdmissionVerdict::Admitted), 1);
+    }
+
+    #[test]
+    fn stats_split_phases_with_a_pre_segment() {
+        let stats = trace_stats(&build_trace()).unwrap();
+        assert_eq!(stats.phases.len(), 2);
+        assert_eq!(stats.phases[0].label, "(pre)");
+        assert_eq!(stats.phases[0].events, 7);
+        assert_eq!(stats.phases[0].polls_concluded, 1);
+        assert_eq!(stats.phases[1].label, "admission-flood");
+        assert_eq!(stats.phases[1].start, t(40));
+        assert_eq!(stats.phases[1].events, 4);
+        assert_eq!(stats.phases[1].polls_concluded, 1);
+    }
+
+    #[test]
+    fn display_names_the_load_bearing_numbers() {
+        let text = trace_stats(&build_trace()).unwrap().to_string();
+        assert!(text.contains("poll-start"), "{text}");
+        assert!(text.contains("1 win"), "{text}");
+        assert!(text.contains("suppressed sends"), "{text}");
+        assert!(text.contains("admission-flood"), "{text}");
+    }
+}

@@ -1,0 +1,454 @@
+//! The varint wire layer: LEB128 integers, length-prefixed strings, and
+//! the per-event payload codecs.
+//!
+//! Everything in a trace file above the magic bytes is built from three
+//! primitives — unsigned LEB128 varints, `varint length + UTF-8 bytes`
+//! strings, and single bytes for enum codes — so the format needs no
+//! external serialization dependency and stays byte-stable across
+//! platforms.
+
+use lockss_core::trace::{
+    AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind,
+};
+
+/// A malformed or corrupt trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The byte stream ended inside a record or header.
+    Truncated,
+    /// A varint ran past 10 bytes (not a valid u64).
+    BadVarint,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An unknown event kind code (trace from a newer build, or corrupt).
+    UnknownKind(u8),
+    /// An unknown enum payload code for the named field.
+    UnknownCode {
+        /// Which field carried the code.
+        field: &'static str,
+        /// The offending byte.
+        code: u8,
+    },
+    /// The trailer hash does not match the content (corrupt or tampered).
+    HashMismatch,
+    /// Reading or writing the trace file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a lockss trace (bad magic)"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceError::BadVarint => write!(f, "malformed varint"),
+            TraceError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            TraceError::UnknownKind(code) => write!(f, "unknown event kind code {code}"),
+            TraceError::UnknownCode { field, code } => {
+                write!(f, "unknown {field} code {code}")
+            }
+            TraceError::HashMismatch => {
+                write!(f, "content hash mismatch: trace corrupt or tampered")
+            }
+            TraceError::Io(e) => write!(f, "trace i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over an encoded byte slice.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, TraceError> {
+        let b = *self.bytes.get(self.pos).ok_or(TraceError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            if shift == 9 && byte > 0x01 {
+                return Err(TraceError::BadVarint);
+            }
+            v |= u64::from(byte & 0x7f) << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::BadVarint)
+    }
+
+    /// Reads a varint and narrows it to u32.
+    pub fn varint_u32(&mut self) -> Result<u32, TraceError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| TraceError::BadVarint)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, TraceError> {
+        let len = self.varint()? as usize;
+        let end = self.pos.checked_add(len).ok_or(TraceError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(TraceError::Truncated)?;
+        self.pos = end;
+        String::from_utf8(slice.to_vec()).map_err(|_| TraceError::BadUtf8)
+    }
+
+    /// Reads a bool byte (0 or 1; anything nonzero reads as true).
+    pub fn bool(&mut self) -> Result<bool, TraceError> {
+        Ok(self.u8()? != 0)
+    }
+}
+
+/// Encodes one event payload (the kind byte is framed by the caller).
+pub fn put_event(buf: &mut Vec<u8>, event: &TraceEvent) {
+    match event {
+        TraceEvent::PollStart { peer, au, poll } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *poll);
+        }
+        TraceEvent::PollOutcome {
+            peer,
+            au,
+            poll,
+            conclusion,
+            votes,
+        } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *poll);
+            buf.push(conclusion.code());
+            put_varint(buf, u64::from(*votes));
+        }
+        TraceEvent::MessageSend {
+            from,
+            to,
+            kind,
+            au,
+            poll,
+            suppressed,
+        } => {
+            put_varint(buf, u64::from(*from));
+            put_varint(buf, u64::from(*to));
+            buf.push(kind.code());
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *poll);
+            buf.push(u8::from(*suppressed));
+        }
+        TraceEvent::Admission {
+            peer,
+            poller,
+            verdict,
+        } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, *poller);
+            buf.push(verdict.code());
+        }
+        TraceEvent::Damage {
+            peer,
+            au,
+            block,
+            was_intact,
+        } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *block);
+            buf.push(u8::from(*was_intact));
+        }
+        TraceEvent::Repair {
+            peer,
+            au,
+            poll,
+            block,
+            intact_after,
+        } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *poll);
+            put_varint(buf, *block);
+            buf.push(u8::from(*intact_after));
+        }
+        TraceEvent::AdversaryTimer { channel, tag } => {
+            put_varint(buf, *channel);
+            put_varint(buf, *tag);
+        }
+        TraceEvent::AdversaryAction {
+            channel,
+            label,
+            magnitude,
+        } => {
+            put_varint(buf, *channel);
+            put_str(buf, label);
+            put_varint(buf, *magnitude);
+        }
+        TraceEvent::PeerJoin { peer } => {
+            put_varint(buf, u64::from(*peer));
+        }
+        TraceEvent::PhaseMark { label } => {
+            put_str(buf, label);
+        }
+    }
+}
+
+/// Decodes one event payload of the given kind.
+pub fn get_event(cur: &mut Cursor<'_>, kind: TraceEventKind) -> Result<TraceEvent, TraceError> {
+    Ok(match kind {
+        TraceEventKind::PollStart => TraceEvent::PollStart {
+            peer: cur.varint_u32()?,
+            au: cur.varint_u32()?,
+            poll: cur.varint()?,
+        },
+        TraceEventKind::PollOutcome => TraceEvent::PollOutcome {
+            peer: cur.varint_u32()?,
+            au: cur.varint_u32()?,
+            poll: cur.varint()?,
+            conclusion: {
+                let code = cur.u8()?;
+                PollConclusion::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "poll conclusion",
+                    code,
+                })?
+            },
+            votes: cur.varint_u32()?,
+        },
+        TraceEventKind::MessageSend => TraceEvent::MessageSend {
+            from: cur.varint_u32()?,
+            to: cur.varint_u32()?,
+            kind: {
+                let code = cur.u8()?;
+                MsgKind::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "message kind",
+                    code,
+                })?
+            },
+            au: cur.varint_u32()?,
+            poll: cur.varint()?,
+            suppressed: cur.bool()?,
+        },
+        TraceEventKind::Admission => TraceEvent::Admission {
+            peer: cur.varint_u32()?,
+            poller: cur.varint()?,
+            verdict: {
+                let code = cur.u8()?;
+                AdmissionVerdict::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "admission verdict",
+                    code,
+                })?
+            },
+        },
+        TraceEventKind::Damage => TraceEvent::Damage {
+            peer: cur.varint_u32()?,
+            au: cur.varint_u32()?,
+            block: cur.varint()?,
+            was_intact: cur.bool()?,
+        },
+        TraceEventKind::Repair => TraceEvent::Repair {
+            peer: cur.varint_u32()?,
+            au: cur.varint_u32()?,
+            poll: cur.varint()?,
+            block: cur.varint()?,
+            intact_after: cur.bool()?,
+        },
+        TraceEventKind::AdversaryTimer => TraceEvent::AdversaryTimer {
+            channel: cur.varint()?,
+            tag: cur.varint()?,
+        },
+        TraceEventKind::AdversaryAction => TraceEvent::AdversaryAction {
+            channel: cur.varint()?,
+            label: cur.str()?,
+            magnitude: cur.varint()?,
+        },
+        TraceEventKind::PeerJoin => TraceEvent::PeerJoin {
+            peer: cur.varint_u32()?,
+        },
+        TraceEventKind::PhaseMark => TraceEvent::PhaseMark { label: cur.str()? },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_roundtrip() {
+        let cases = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for v in cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.varint().unwrap(), v, "value {v}");
+            assert!(cur.at_end());
+        }
+    }
+
+    #[test]
+    fn varint_sizes_are_compact() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 10_000);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0xffu8; 11];
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(cur.varint(), Err(TraceError::BadVarint)));
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "churn-storm/depart");
+        put_str(&mut buf, "");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.str().unwrap(), "churn-storm/depart");
+        assert_eq!(cur.str().unwrap(), "");
+        assert!(cur.at_end());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        let mut cur = Cursor::new(&buf[..3]);
+        assert!(matches!(cur.str(), Err(TraceError::Truncated)));
+        let mut empty = Cursor::new(&[]);
+        assert!(matches!(empty.u8(), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn every_event_payload_roundtrips() {
+        let events = vec![
+            TraceEvent::PollStart {
+                peer: 3,
+                au: 1,
+                poll: 900,
+            },
+            TraceEvent::PollOutcome {
+                peer: 3,
+                au: 1,
+                poll: 900,
+                conclusion: PollConclusion::Inconclusive,
+                votes: 9,
+            },
+            TraceEvent::MessageSend {
+                from: 10,
+                to: 99,
+                kind: MsgKind::RepairRequest,
+                au: 0,
+                poll: 17,
+                suppressed: true,
+            },
+            TraceEvent::Admission {
+                peer: 5,
+                poller: 1 << 33,
+                verdict: AdmissionVerdict::Refractory,
+            },
+            TraceEvent::Damage {
+                peer: 7,
+                au: 2,
+                block: 499,
+                was_intact: true,
+            },
+            TraceEvent::Repair {
+                peer: 7,
+                au: 2,
+                poll: 31,
+                block: 499,
+                intact_after: false,
+            },
+            TraceEvent::AdversaryTimer {
+                channel: 2,
+                tag: u64::MAX,
+            },
+            TraceEvent::AdversaryAction {
+                channel: 2,
+                label: "sybil-ramp/escalate".into(),
+                magnitude: 25,
+            },
+            TraceEvent::PeerJoin { peer: 101 },
+            TraceEvent::PhaseMark {
+                label: "admission-flood".into(),
+            },
+        ];
+        for event in events {
+            let mut buf = Vec::new();
+            put_event(&mut buf, &event);
+            let mut cur = Cursor::new(&buf);
+            let back = get_event(&mut cur, event.kind()).unwrap();
+            assert_eq!(back, event);
+            assert!(cur.at_end(), "trailing bytes after {event}");
+        }
+    }
+
+    #[test]
+    fn unknown_payload_codes_are_reported() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1); // peer
+        put_varint(&mut buf, 2); // poller
+        buf.push(99); // bogus verdict code
+        let mut cur = Cursor::new(&buf);
+        match get_event(&mut cur, TraceEventKind::Admission) {
+            Err(TraceError::UnknownCode { field, code: 99 }) => {
+                assert_eq!(field, "admission verdict");
+            }
+            other => panic!("expected UnknownCode, got {other:?}"),
+        }
+    }
+}

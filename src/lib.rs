@@ -11,7 +11,9 @@
 //! - [`core`]: the audit/repair protocol with the attrition defenses;
 //! - [`adversary`]: pipe stoppage, admission flood, brute force, churn
 //!   storm, sybil ramp, and composite campaigns;
-//! - [`metrics`]: the §6.1 evaluation metrics;
+//! - [`metrics`]: the §6.1 evaluation metrics and trace-derived timelines;
+//! - [`trace`]: structured event-trace record, replay verification, diff,
+//!   and stats over deterministic runs;
 //! - [`experiments`]: the scenario registry and runner regenerating every
 //!   figure/table and running named campaigns.
 //!
@@ -44,3 +46,4 @@ pub use lockss_metrics as metrics;
 pub use lockss_net as net;
 pub use lockss_sim as sim;
 pub use lockss_storage as storage;
+pub use lockss_trace as trace;

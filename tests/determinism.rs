@@ -8,10 +8,11 @@
 //! byte-identical results, not epsilon closeness.
 
 use lockss::core::{World, WorldConfig};
-use lockss::experiments::runner::{run_batch, run_once};
+use lockss::experiments::runner::{run_batch, run_once, run_once_recorded};
 use lockss::experiments::scenario::{AttackSpec, Scenario};
 use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::sim::{Duration, Engine, SimTime};
+use lockss::trace::TraceMeta;
 
 fn quick(attack: AttackSpec) -> Scenario {
     let mut s = Scenario::attacked(Scale::Quick, 2, attack);
@@ -89,6 +90,61 @@ fn every_registered_scenario_is_thread_count_invariant() {
             single[i], parallel[i],
             "scenario '{name}' varies with the thread count"
         );
+    }
+}
+
+/// Records one shrunken scenario and returns the trace's content hash.
+fn record_hash(name: &str, scenario: &Scenario, seed: u64) -> String {
+    let meta = TraceMeta {
+        scenario: name.to_string(),
+        scale: "quick".to_string(),
+        seed,
+        run_length_ms: scenario.run_length.as_millis(),
+    };
+    let (_, _, trace) = run_once_recorded(scenario, seed, &meta);
+    trace.content_hash()
+}
+
+/// Golden-trace regression: for pinned `(scenario, seed)` pairs the trace
+/// content hash must be byte-stable across repeated recordings. Any change
+/// here means the causal event stream moved — either a deliberate protocol
+/// change (fine: the hash follows it deterministically) or a determinism
+/// leak (the bug this test exists to catch).
+#[test]
+fn golden_trace_hashes_are_stable_across_runs() {
+    let pinned = ["baseline", "pipe-stoppage", "stoppage-then-flood"];
+    for (name, s) in shrunken_registry_jobs() {
+        if !pinned.contains(&name) {
+            continue;
+        }
+        for seed in [7u64, 11] {
+            let a = record_hash(name, &s, seed);
+            let b = record_hash(name, &s, seed);
+            assert_eq!(a, b, "trace hash of '{name}' seed {seed} not reproducible");
+        }
+    }
+}
+
+/// The same pinned traces recorded on concurrently running threads must
+/// hash identically: nothing about recording may depend on scheduling.
+#[test]
+fn golden_trace_hashes_are_thread_invariant() {
+    let (name, s) = shrunken_registry_jobs()
+        .into_iter()
+        .find(|(n, _)| *n == "stoppage-then-flood")
+        .expect("registered");
+    let sequential = record_hash(name, &s, 7);
+    let concurrent: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                scope.spawn(move || record_hash(name, &s, 7))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for hash in concurrent {
+        assert_eq!(hash, sequential, "'{name}' trace hash varies across threads");
     }
 }
 
