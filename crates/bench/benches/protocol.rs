@@ -59,6 +59,24 @@ fn bench_real_exchange(h: &mut Harness) {
         let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
         black_box(run_real_exchange(&mut poller, &mut voter, b"bench-nonce"))
     });
+    // The poll-level hash cache at work: ten votes against one poller, one
+    // AU hashing pass shared by all evaluations.
+    let params = RealParams::small();
+    let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
+    let votes: Vec<_> = (0..10)
+        .map(|i| {
+            let mut voter = RealVoter::new(Identity::loyal(1 + i), 2 + i as u64, &params);
+            let (challenge, intro) = poller.solicit_effort(b"bench-nonce", voter.identity);
+            voter
+                .solicit(&challenge, &intro, b"bench-nonce")
+                .expect("honest voter")
+        })
+        .collect();
+    h.bench("realproto/evaluate 10 votes (one poll)", move || {
+        for v in &votes {
+            black_box(poller.evaluate(b"bench-nonce", v).expect("valid vote"));
+        }
+    });
 }
 
 fn sim_config(n_peers: usize, n_aus: usize) -> WorldConfig {

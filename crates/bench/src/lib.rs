@@ -24,6 +24,8 @@
 //! simpler than criterion — no outlier rejection, no bootstrap — because
 //! the benches exist to keep regressions visible, not to publish numbers.
 
+pub mod diff;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;

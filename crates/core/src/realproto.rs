@@ -16,9 +16,77 @@ use lockss_crypto::mbf::{MbfParams, MbfProof, MbfPuzzle};
 use lockss_crypto::sha256::Digest;
 use lockss_net::session::Session;
 use lockss_storage::au::{AuId, AuSpec, Replica};
-use lockss_storage::content::{canonical_block, running_hashes};
+use lockss_storage::content::{canonical_block, running_hashes_into};
 
 use crate::types::Identity;
+
+/// Per-poll cache of one endpoint's own running-hash vector.
+///
+/// The nonce and the local replica are fixed for the lifetime of a poll, so
+/// the §4.1 hash vector is a poll-level invariant: computing it per *vote*
+/// (as the naive datapath did) multiplies the dominant
+/// O(blocks × block-bytes) hashing cost by the number of voters for no
+/// informational gain. The cache holds one vector, keyed by the nonce plus
+/// a snapshot of the replica's damage set; [`RealPoller::apply_repair`]
+/// invalidates it eagerly, and the damage-snapshot key catches direct
+/// `replica` mutations (the field is public) so a stale vector can never be
+/// served. Hash values are byte-identical to the uncached computation.
+#[derive(Default)]
+struct PollHashCache {
+    valid: bool,
+    nonce: Vec<u8>,
+    /// Damage snapshot the vector was computed under.
+    damage: Vec<u64>,
+    hashes: Vec<Digest>,
+    /// Block-content scratch reused across refills.
+    scratch: Vec<u8>,
+}
+
+impl PollHashCache {
+    /// True if the cached vector is current for `(nonce, replica)`.
+    fn fresh(&self, nonce: &[u8], replica: &Replica) -> bool {
+        self.valid
+            && self.nonce == nonce
+            && replica.damaged_count() == self.damage.len()
+            && replica.damaged_blocks().eq(self.damage.iter().copied())
+    }
+
+    /// Returns the hash vector for `(nonce, replica)`, recomputing only
+    /// when stale.
+    #[allow(clippy::too_many_arguments)]
+    fn get(
+        &mut self,
+        seed: u64,
+        au: AuId,
+        spec: &AuSpec,
+        replica: &Replica,
+        salt: u64,
+        nonce: &[u8],
+    ) -> &[Digest] {
+        if !self.fresh(nonce, replica) {
+            running_hashes_into(
+                seed,
+                au,
+                spec,
+                replica,
+                salt,
+                nonce,
+                &mut self.scratch,
+                &mut self.hashes,
+            );
+            self.nonce.clear();
+            self.nonce.extend_from_slice(nonce);
+            self.damage.clear();
+            self.damage.extend(replica.damaged_blocks());
+            self.valid = true;
+        }
+        &self.hashes
+    }
+
+    fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
 
 /// Shared real-mode parameters (in deployment these are protocol
 /// constants; the MBF table seed is public).
@@ -94,6 +162,11 @@ pub struct RealVoter {
     pub salt: u64,
     params: RealParams,
     puzzle: MbfPuzzle,
+    /// The vote-effort puzzle, built once: the MBF table is a function of
+    /// the public `(params, table seed)` only, never of the challenge.
+    vote_puzzle: MbfPuzzle,
+    /// Block-content scratch reused across solicitations.
+    scratch: Vec<u8>,
     /// Remembered byproduct of the vote effort, awaiting the receipt.
     expected_receipt: Option<[u8; 20]>,
 }
@@ -107,6 +180,8 @@ impl RealVoter {
             salt,
             params: params.clone(),
             puzzle: MbfPuzzle::new(params.intro_mbf, params.mbf_table_seed),
+            vote_puzzle: MbfPuzzle::new(params.vote_mbf, params.mbf_table_seed),
+            scratch: Vec::new(),
             expected_receipt: None,
         }
     }
@@ -123,18 +198,20 @@ impl RealVoter {
         self.puzzle
             .verify(poll_challenge, intro)
             .ok_or(RealError::BadIntroEffort)?;
-        let hashes = running_hashes(
+        let mut hashes = Vec::new();
+        running_hashes_into(
             self.params.content_seed,
             self.params.au,
             &self.params.spec,
             &self.replica,
             self.salt,
             nonce,
+            &mut self.scratch,
+            &mut hashes,
         );
-        let vote_puzzle = MbfPuzzle::new(self.params.vote_mbf, self.params.mbf_table_seed);
         let mut challenge = Vec::from(nonce);
         challenge.extend_from_slice(&self.identity.0.to_le_bytes());
-        let effort = vote_puzzle.prove(&challenge);
+        let effort = self.vote_puzzle.prove(&challenge);
         self.expected_receipt = Some(effort.byproduct);
         Ok(RealVote {
             voter: self.identity,
@@ -182,6 +259,12 @@ pub struct RealPoller {
     pub salt: u64,
     params: RealParams,
     puzzle: MbfPuzzle,
+    /// The vote-effort puzzle, built once (the MBF table depends only on
+    /// the public `(params, table seed)`, never on the challenge).
+    vote_puzzle: MbfPuzzle,
+    /// This poll's own hash vector, computed once and shared by every
+    /// vote evaluation.
+    hash_cache: PollHashCache,
 }
 
 impl RealPoller {
@@ -193,6 +276,8 @@ impl RealPoller {
             salt,
             params: params.clone(),
             puzzle: MbfPuzzle::new(params.intro_mbf, params.mbf_table_seed),
+            vote_puzzle: MbfPuzzle::new(params.vote_mbf, params.mbf_table_seed),
+            hash_cache: PollHashCache::default(),
         }
     }
 
@@ -208,14 +293,18 @@ impl RealPoller {
     /// Evaluates a vote block by block (§4.3): verifies the embedded
     /// effort (obtaining the receipt byproduct) and finds the first
     /// disagreeing block, if any.
-    pub fn evaluate(&self, nonce: &[u8], vote: &RealVote) -> Result<Evaluation, RealError> {
-        let vote_puzzle = MbfPuzzle::new(self.params.vote_mbf, self.params.mbf_table_seed);
+    ///
+    /// The poller's own hash vector is a per-poll invariant (the nonce and
+    /// the replica are fixed until a repair lands), so it is computed once
+    /// in the poll hash cache and shared by every vote of the poll.
+    pub fn evaluate(&mut self, nonce: &[u8], vote: &RealVote) -> Result<Evaluation, RealError> {
         let mut challenge = Vec::from(nonce);
         challenge.extend_from_slice(&vote.voter.0.to_le_bytes());
-        let receipt = vote_puzzle
+        let receipt = self
+            .vote_puzzle
             .verify(&challenge, &vote.effort)
             .ok_or(RealError::BadVoteEffort)?;
-        let mine = running_hashes(
+        let mine = self.hash_cache.get(
             self.params.content_seed,
             self.params.au,
             &self.params.spec,
@@ -236,7 +325,8 @@ impl RealPoller {
 
     /// Applies a repair block after re-verifying it against the canonical
     /// content hashing (§4.3: the poller re-evaluates the block, hoping to
-    /// join the landslide majority).
+    /// join the landslide majority). Mutating the replica invalidates the
+    /// poll hash cache; the next evaluation recomputes the vector.
     pub fn apply_repair(&mut self, block: u64, content: &[u8]) -> Result<(), RealError> {
         let canonical = canonical_block(
             self.params.content_seed,
@@ -248,6 +338,7 @@ impl RealPoller {
             return Err(RealError::BadRepair);
         }
         self.replica.repair(block);
+        self.hash_cache.invalidate();
         Ok(())
     }
 }
@@ -304,6 +395,7 @@ pub fn run_real_exchange(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lockss_storage::content::running_hashes;
 
     fn pair() -> (RealPoller, RealVoter, RealParams) {
         let params = RealParams::small();
@@ -350,7 +442,7 @@ mod tests {
 
     #[test]
     fn bad_vote_effort_rejected() {
-        let (poller, mut voter, _) = pair();
+        let (mut poller, mut voter, _) = pair();
         let (challenge, intro) = poller.solicit_effort(b"n", voter.identity);
         let mut vote = voter.solicit(&challenge, &intro, b"n").expect("vote");
         vote.effort.byproduct[0] ^= 1;
@@ -370,7 +462,7 @@ mod tests {
 
     #[test]
     fn receipt_matches_only_after_evaluation() {
-        let (poller, mut voter, _) = pair();
+        let (mut poller, mut voter, _) = pair();
         let (challenge, intro) = poller.solicit_effort(b"n", voter.identity);
         let vote = voter.solicit(&challenge, &intro, b"n").expect("vote");
         let eval = poller.evaluate(b"n", &vote).expect("evaluation");
@@ -389,6 +481,67 @@ mod tests {
         let garbage = vec![0u8; 4 * 1024];
         assert_eq!(poller.apply_repair(1, &garbage), Err(RealError::BadRepair));
         assert!(!poller.replica.is_intact());
+    }
+
+    /// Seeded sweep: under random interleavings of damage, repair, nonce
+    /// changes, and direct `replica` mutation (bypassing `apply_repair`),
+    /// the cached evaluation hash vector always equals a from-scratch
+    /// [`running_hashes`] of the poller's current replica.
+    #[test]
+    fn cached_hashes_match_uncached_across_damage_repair_sequences() {
+        use lockss_sim::SimRng;
+        let params = RealParams::small();
+        let mut rng = SimRng::seed_from_u64(0x0CAC_4E01);
+        let mut poller = RealPoller::new(Identity::loyal(0), 1, &params);
+        let mut voter = RealVoter::new(Identity::loyal(1), 2, &params);
+        let blocks = params.spec.blocks() as usize;
+        let mut nonce_i = 0u64;
+        for step in 0..64 {
+            // Random mutation of the poller's replica between evaluations.
+            match rng.below(4) {
+                0 => {
+                    let _ = poller.replica.damage(rng.below(blocks) as u64);
+                }
+                1 => {
+                    // A legitimate repair through apply_repair.
+                    let first = poller.replica.damaged_blocks().next();
+                    if let Some(b) = first {
+                        let content =
+                            canonical_block(params.content_seed, params.au, b, &params.spec);
+                        poller.apply_repair(b, &content).expect("canonical repair");
+                    }
+                }
+                2 => {
+                    // Direct mutation bypassing the invalidation hook: the
+                    // snapshot key must still catch it.
+                    let _ = poller.replica.repair(rng.below(blocks) as u64);
+                }
+                _ => nonce_i += 1, // fresh poll nonce
+            }
+            let nonce = nonce_i.to_le_bytes();
+            let (challenge, intro) = poller.solicit_effort(&nonce, voter.identity);
+            let vote = voter.solicit(&challenge, &intro, &nonce).expect("vote");
+            let eval = poller.evaluate(&nonce, &vote).expect("evaluation");
+            let uncached_mine = running_hashes(
+                params.content_seed,
+                params.au,
+                &params.spec,
+                &poller.replica,
+                poller.salt,
+                &nonce,
+            );
+            assert_eq!(
+                poller.hash_cache.hashes, uncached_mine,
+                "step {step}: cache must track the replica exactly"
+            );
+            let expect_first = uncached_mine
+                .iter()
+                .zip(vote.hashes.iter())
+                .position(|(a, b)| a != b)
+                .map(|i| i as u64);
+            assert_eq!(eval.first_disagreement, expect_first, "step {step}");
+            voter.accept_receipt(&eval.receipt).expect("receipt");
+        }
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! evaluation receipt) drops straight to debt. Grades decay toward debt
 //! over time.
 
-use lockss_sim::{Duration, SimTime};
-use std::collections::HashMap;
+use lockss_sim::{Duration, FxHashMap, SimTime};
 
 use crate::types::Identity;
 
@@ -69,7 +68,10 @@ struct Entry {
 /// The per-AU known-peers list of one peer.
 #[derive(Clone, Debug, Default)]
 pub struct KnownPeers {
-    entries: HashMap<Identity, Entry>,
+    /// Lookup-only map (never iterated), on the deterministic fast hasher:
+    /// seeding a world inserts `peers × AUs × (peers-1)` entries, which
+    /// made SipHash the dominant cost of `World::new`.
+    entries: FxHashMap<Identity, Entry>,
 }
 
 impl KnownPeers {
@@ -88,6 +90,13 @@ impl KnownPeers {
                 updated: now,
             },
         );
+    }
+
+    /// Pre-sizes the table for `n` upcoming [`KnownPeers::seed`] calls, so
+    /// bulk world initialization pays one table build instead of a rehash
+    /// cascade.
+    pub fn reserve(&mut self, n: usize) {
+        self.entries.reserve(n);
     }
 
     /// The identity's standing at `now`, with decay applied (§5.1:

@@ -6,7 +6,7 @@
 //! flow-level network; every CPU-second is charged to an effort ledger so
 //! the §6.1 metrics fall out directly.
 
-use lockss_effort::{CostModel, Purpose};
+use lockss_effort::{CostModel, CostTable, Purpose};
 use lockss_metrics::RunMetrics;
 use lockss_net::{Network, NodeId};
 use lockss_sim::{Duration, Engine, SimRng, SimTime};
@@ -29,7 +29,16 @@ pub type Eng = Engine<World>;
 
 /// The complete simulation state.
 pub struct World {
+    /// The run's configuration. Treat as immutable once the world is
+    /// built: the derived-cost table below is snapshotted from `cfg.cost`
+    /// at construction, so mutating `cfg.cost` afterwards would silently
+    /// desynchronize effort charges from wire sizes. Configure before
+    /// `World::new`, as every existing caller does.
     pub cfg: WorldConfig,
+    /// Derived costs snapshotted from `cfg.cost` at construction (the
+    /// accessors re-derive float identities per call; the protocol reads
+    /// them on every invite/ack/vote).
+    costs: CostTable,
     pub net: Network,
     pub peers: Vec<Peer>,
     pub metrics: RunMetrics,
@@ -46,8 +55,9 @@ pub struct World {
     next_poll_id: u64,
     n_loyal: usize,
     /// Network node → loyal peer index (nodes absent here belong to the
-    /// adversary). Lookup-only, so hashing order cannot leak into runs.
-    node_to_peer: std::collections::HashMap<NodeId, usize>,
+    /// adversary). Lookup-only, so hashing order cannot leak into runs;
+    /// probed on every message delivery, hence the fast hasher.
+    node_to_peer: lockss_sim::FxHashMap<NodeId, usize>,
 }
 
 impl World {
@@ -74,6 +84,7 @@ impl World {
             for _ in 0..cfg.n_aus {
                 let initial = rng.sample(&others, cfg.protocol.reflist_initial);
                 let mut au = AuState::new(RefList::new(friends.clone(), initial));
+                au.known.reserve(others.len());
                 for &id in &others {
                     au.known.seed(id, Grade::Even, SimTime::ZERO);
                 }
@@ -85,6 +96,7 @@ impl World {
         let metrics = RunMetrics::new(cfg.total_replicas(), SimTime::ZERO);
         let node_to_peer = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         World {
+            costs: cfg.cost.table(),
             cfg,
             net,
             peers,
@@ -384,7 +396,12 @@ impl World {
 
     /// Opens a new poll on `au` at peer `p` (§4.1).
     pub fn start_poll(&mut self, eng: &mut Eng, p: usize, au: AuId) {
-        let cfg = self.cfg.protocol.clone();
+        // Copy the handful of scalars this path needs instead of cloning
+        // the whole ProtocolConfig per poll.
+        let solicit_window = self.cfg.protocol.solicit_window();
+        let poll_interval = self.cfg.protocol.poll_interval;
+        let inner_circle = self.cfg.protocol.inner_circle;
+        let synchronous = self.cfg.protocol.ablation.synchronous_solicitation;
         let now = eng.now();
         self.metrics.polls.register(p as u32, au.0, now);
         let id = self.alloc_poll_id();
@@ -393,18 +410,18 @@ impl World {
             au: au.0,
             poll: id.0,
         });
-        let solicit_deadline = now + cfg.solicit_window();
-        let conclude_at = now + cfg.poll_interval;
+        let solicit_deadline = now + solicit_window;
+        let conclude_at = now + poll_interval;
         let mut poll = PollState::new(id, au, now, solicit_deadline, conclude_at);
 
         // Sample the inner circle from the reference list, topped up with
         // friends if the list has shrunk below the circle size.
         let peer = &mut self.peers[p];
         let au_state = &mut peer.per_au[au.index()];
-        let mut circle = au_state.reflist.sample(cfg.inner_circle, &mut peer.rng);
-        if circle.len() < cfg.inner_circle {
+        let mut circle = au_state.reflist.sample(inner_circle, &mut peer.rng);
+        if circle.len() < inner_circle {
             for &f in au_state.reflist.friends() {
-                if circle.len() >= cfg.inner_circle {
+                if circle.len() >= inner_circle {
                     break;
                 }
                 if !circle.contains(&f) && f != peer.identity {
@@ -427,10 +444,10 @@ impl World {
             .expect("just created")
             .invitees
             .len();
-        let spread = if cfg.ablation.synchronous_solicitation {
+        let spread = if synchronous {
             Duration::SECOND * 2
         } else {
-            cfg.solicit_window().mul_f64(0.6)
+            solicit_window.mul_f64(0.6)
         };
         for idx in 0..n {
             let at = now + self.peers[p].rng.duration_between(Duration::SECOND, spread);
@@ -439,7 +456,7 @@ impl World {
             });
         }
         // Outer-circle launch and evaluation checkpoints.
-        let outer_at = now + cfg.solicit_window().mul_f64(0.62);
+        let outer_at = now + solicit_window.mul_f64(0.62);
         eng.schedule_at(outer_at, move |w: &mut World, e| {
             w.launch_outer(e, p, au, id);
         });
@@ -491,7 +508,7 @@ impl World {
         }
 
         // The introductory effort occupies the poller's CPU (§5.1).
-        let intro = self.balanced_effort(self.cfg.cost.intro_gen());
+        let intro = self.balanced_effort(self.costs.intro_gen);
         let res = self.peers[p].schedule.reserve(now, intro);
         self.charge_loyal(p, Purpose::GenIntro, intro);
         let poller_identity = self.peers[p].identity;
@@ -569,7 +586,7 @@ impl World {
             poll.invitees[idx].status = InviteeStatus::Accepted;
         }
         // Generate and ship the remaining effort proof (§5.1).
-        let remaining = self.balanced_effort(self.cfg.cost.remaining_gen());
+        let remaining = self.balanced_effort(self.costs.remaining_gen);
         let res = self.peers[p].schedule.reserve(now, remaining);
         self.charge_loyal(p, Purpose::GenRemaining, remaining);
         let from_node = self.peers[p].node;
@@ -738,12 +755,15 @@ impl World {
         if !proof_valid {
             // Bogus vote from a real invitee: one block hash detects it;
             // penalize and discard.
-            self.charge_loyal(p, Purpose::VerifyVoteProof, self.cfg.cost.block_hash());
+            self.charge_loyal(p, Purpose::VerifyVoteProof, self.costs.block_hash);
             self.peers[p].per_au[au.index()].known.penalize(voter, now);
             return;
         }
-        let cfg = self.cfg.protocol.clone();
-        let peer = &mut self.peers[p];
+        // Destructuring splits the borrow: the protocol config is read-only
+        // alongside the mutable peer state, so nothing needs cloning.
+        let World { cfg, peers, .. } = self;
+        let cfg = &cfg.protocol;
+        let peer = &mut peers[p];
         let me = peer.identity;
         let au_state = &mut peer.per_au[au.index()];
         let poll = au_state.poll.as_mut().expect("current");
@@ -757,7 +777,7 @@ impl World {
                 continue;
             }
             if peer.rng.chance(cfg.introduction_frac) {
-                au_state.admission.introduce(nominee, voter, now, &cfg);
+                au_state.admission.introduce(nominee, voter, now, cfg);
             } else if !poll.nominated_pool.contains(&nominee) {
                 poll.nominated_pool.push(nominee);
             }
@@ -781,7 +801,7 @@ impl World {
         if !can {
             return;
         }
-        let cost = self.cfg.cost.repair_serve_cost();
+        let cost = self.costs.repair_serve;
         let res = self.peers[p].schedule.reserve(now, cost);
         self.charge_loyal(p, Purpose::ServeRepair, cost);
         let from = self.peers[p].node;
@@ -796,7 +816,7 @@ impl World {
             return;
         }
         let now = eng.now();
-        let cost = self.cfg.cost.repair_apply_cost();
+        let cost = self.costs.repair_apply;
         self.charge_loyal(p, Purpose::ApplyRepair, cost);
         let _ = now;
         let became_intact = {
@@ -923,10 +943,10 @@ impl World {
             self.finalize_poll(eng, p, au, id);
             return;
         }
-        let proof_checks = self.balanced_effort(self.cfg.cost.vote_proof_verify() * n_votes as u64);
-        let cost = self.cfg.cost.au_hash() + proof_checks;
+        let proof_checks = self.balanced_effort(self.costs.vote_proof_verify * n_votes as u64);
+        let cost = self.costs.au_hash + proof_checks;
         let res = self.peers[p].schedule.reserve(now, cost);
-        self.charge_loyal(p, Purpose::Evaluate, self.cfg.cost.au_hash());
+        self.charge_loyal(p, Purpose::Evaluate, self.costs.au_hash);
         self.charge_loyal(p, Purpose::VerifyVoteProof, proof_checks);
         eng.schedule_at(res.end, move |w: &mut World, e| {
             w.tally(e, p, au, id);
@@ -1045,7 +1065,12 @@ impl World {
         if !self.poll_is_current(p, au, id) {
             return;
         }
-        let cfg = self.cfg.protocol.clone();
+        // Scalar copies instead of a whole-config clone; the one helper
+        // that takes `&ProtocolConfig` gets it through a split borrow below.
+        let quorum = self.cfg.protocol.quorum;
+        let max_disagree = self.cfg.protocol.max_disagree;
+        let grade_decay = self.cfg.protocol.grade_decay;
+        let poll_interval = self.cfg.protocol.poll_interval;
         let now = eng.now();
 
         let poll = {
@@ -1058,9 +1083,9 @@ impl World {
         let my_damage = self.peers[p].per_au[au.index()].replica.snapshot();
         let inner_votes = poll.inner_votes();
         let disagreeing = poll.inner_disagreements(&my_damage);
-        let quorate = inner_votes >= cfg.quorum;
-        let landslide_win = quorate && disagreeing <= cfg.max_disagree;
-        let landslide_loss = quorate && disagreeing >= inner_votes.saturating_sub(cfg.max_disagree);
+        let quorate = inner_votes >= quorum;
+        let landslide_win = quorate && disagreeing <= max_disagree;
+        let landslide_loss = quorate && disagreeing >= inner_votes.saturating_sub(max_disagree);
         let inconclusive = quorate && !landslide_win && !landslide_loss;
         let n_votes = poll.votes.len() as u32;
         self.trace(eng, || TraceEvent::PollOutcome {
@@ -1083,7 +1108,7 @@ impl World {
         {
             let au_state = &mut self.peers[p].per_au[au.index()];
             for v in &poll.votes {
-                au_state.known.raise(v.voter, now, cfg.grade_decay);
+                au_state.known.raise(v.voter, now, grade_decay);
             }
         }
 
@@ -1110,11 +1135,12 @@ impl World {
         if landslide_win {
             let agreeing_outer = poll.agreeing_outer(&my_damage);
             let decisive = poll.decisive_voters();
-            let peer = &mut self.peers[p];
+            let World { cfg, peers, .. } = self;
+            let peer = &mut peers[p];
             let au_state = &mut peer.per_au[au.index()];
             au_state
                 .reflist
-                .conclude_poll(&decisive, &agreeing_outer, &cfg, &mut peer.rng);
+                .conclude_poll(&decisive, &agreeing_outer, &cfg.protocol, &mut peer.rng);
         }
 
         // Metrics.
@@ -1130,7 +1156,7 @@ impl World {
 
         // Next poll: autonomous fixed rate with jitter (§5.1).
         let jitter = self.cfg.protocol.interval_jitter;
-        let next_start = poll.started + self.peers[p].rng.jitter(cfg.poll_interval, jitter);
+        let next_start = poll.started + self.peers[p].rng.jitter(poll_interval, jitter);
         let at = next_start.max(now + Duration::SECOND);
         eng.schedule_at(at, move |w: &mut World, e| {
             w.start_poll(e, p, au);
@@ -1154,18 +1180,19 @@ impl World {
         intro_valid: bool,
         vote_deadline: SimTime,
     ) {
-        let cfg = self.cfg.protocol.clone();
         let now = eng.now();
         if self.peers[p].voting.contains_key(&id) {
             return; // duplicate invitation for an existing commitment
         }
-        // Admission filter.
+        // Admission filter. The split borrow passes the config by reference
+        // alongside the mutable peer state — no per-invitation clone.
         let outcome = {
-            let peer = &mut self.peers[p];
+            let World { cfg, peers, .. } = self;
+            let peer = &mut peers[p];
             let au_state = &mut peer.per_au[au.index()];
             au_state
                 .admission
-                .filter(poller, &au_state.known, now, &cfg, &mut peer.rng)
+                .filter(poller, &au_state.known, now, &cfg.protocol, &mut peer.rng)
         };
         self.trace(eng, || TraceEvent::Admission {
             peer: p as u32,
@@ -1194,9 +1221,10 @@ impl World {
         // are, the likelier we refuse — raising the attacker's marginal
         // cost of increasing our busyness. The admission (and any intro
         // effort the poller spent) is already consumed.
-        if cfg.adaptive_acceptance {
-            let busy = self.peers[p].schedule.busy_within(now, cfg.adaptive_window);
-            let fraction = (busy / cfg.adaptive_window).min(0.95);
+        if self.cfg.protocol.adaptive_acceptance {
+            let window = self.cfg.protocol.adaptive_window;
+            let busy = self.peers[p].schedule.busy_within(now, window);
+            let fraction = (busy / window).min(0.95);
             if self.peers[p].rng.chance(fraction) {
                 let from_node = self.peers[p].node;
                 self.send_message(
@@ -1214,23 +1242,23 @@ impl World {
         }
 
         // Consideration: session + introductory-effort verification.
-        self.charge_loyal(p, Purpose::Consider, self.cfg.cost.consider_cost());
+        self.charge_loyal(p, Purpose::Consider, self.costs.consider);
         if !intro_valid {
             // Garbage proof: cheap detection, then reject. The refractory
             // period was already triggered by the admission — which is the
             // entire point of the §7.3 attack.
-            let detect = self.balanced_effort(self.cfg.cost.bogus_intro_detect());
+            let detect = self.balanced_effort(self.costs.bogus_intro_detect);
             self.charge_loyal(p, Purpose::VerifyIntro, detect);
             return;
         }
-        let verify = self.balanced_effort(self.cfg.cost.intro_verify());
+        let verify = self.balanced_effort(self.costs.intro_verify);
         self.charge_loyal(p, Purpose::VerifyIntro, verify);
 
         // Schedule check (§5.1): the whole vote-service computation must
         // fit before the deadline.
-        let vote_cost = self.balanced_effort(self.cfg.cost.remaining_verify())
-            + self.cfg.cost.au_hash()
-            + self.balanced_effort(self.cfg.cost.vote_proof_gen());
+        let vote_cost = self.balanced_effort(self.costs.remaining_verify)
+            + self.costs.au_hash
+            + self.balanced_effort(self.costs.vote_proof_gen);
         let reservation = self.peers[p].schedule.try_reserve(
             now,
             now,
@@ -1273,7 +1301,7 @@ impl World {
         );
         // If the poller deserts (INTRO strategy), release the reservation
         // and penalize (§5.1 reservation attack defense).
-        let timeout = cfg.proof_timeout;
+        let timeout = self.cfg.protocol.proof_timeout;
         eng.schedule_in(timeout, move |w: &mut World, e| {
             w.voter_proof_timeout(e, p, id);
         });
@@ -1344,10 +1372,10 @@ impl World {
             (s.au, s.poller_node, s.vote_deadline)
         };
         // Charge the vote-service compute (the reserved slot).
-        let verify_remaining = self.balanced_effort(self.cfg.cost.remaining_verify());
+        let verify_remaining = self.balanced_effort(self.costs.remaining_verify);
         self.charge_loyal(p, Purpose::VerifyRemaining, verify_remaining);
-        self.charge_loyal(p, Purpose::ComputeVote, self.cfg.cost.au_hash());
-        let gen_proof = self.balanced_effort(self.cfg.cost.vote_proof_gen());
+        self.charge_loyal(p, Purpose::ComputeVote, self.costs.au_hash);
+        let gen_proof = self.balanced_effort(self.costs.vote_proof_gen);
         self.charge_loyal(p, Purpose::GenVoteProof, gen_proof);
 
         let (damage, nominations, from, me) = {

@@ -16,6 +16,6 @@ pub mod ledger;
 pub mod model;
 
 pub use ledger::{EffortLedger, Purpose};
-pub use model::CostModel;
+pub use model::{CostModel, CostTable};
 
 pub use lockss_sim::Duration;

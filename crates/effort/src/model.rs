@@ -183,6 +183,61 @@ impl CostModel {
         let voter = self.vote_service_cost();
         poller >= voter
     }
+
+    /// Evaluates every derived cost once into a flat [`CostTable`].
+    ///
+    /// The accessors above each re-derive a chain of float identities
+    /// (`remaining_gen` alone evaluates `total_provable_effort` twice), and
+    /// the protocol consults them on every invite, ack, and vote. The world
+    /// snapshots this table at construction — the model is immutable for
+    /// the lifetime of a run — so hot paths read a precomputed `Duration`
+    /// instead. Values are the accessors' own outputs, bit for bit.
+    pub fn table(&self) -> CostTable {
+        CostTable {
+            au_hash: self.au_hash(),
+            block_hash: self.block_hash(),
+            intro_gen: self.intro_gen(),
+            intro_verify: self.intro_verify(),
+            remaining_gen: self.remaining_gen(),
+            remaining_verify: self.remaining_verify(),
+            vote_proof_gen: self.vote_proof_gen(),
+            vote_proof_verify: self.vote_proof_verify(),
+            consider: self.consider_cost(),
+            bogus_intro_detect: self.bogus_intro_detect(),
+            repair_serve: self.repair_serve_cost(),
+            repair_apply: self.repair_apply_cost(),
+        }
+    }
+}
+
+/// Flat, precomputed snapshot of every derived [`CostModel`] cost (see
+/// [`CostModel::table`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CostTable {
+    /// [`CostModel::au_hash`].
+    pub au_hash: Duration,
+    /// [`CostModel::block_hash`].
+    pub block_hash: Duration,
+    /// [`CostModel::intro_gen`].
+    pub intro_gen: Duration,
+    /// [`CostModel::intro_verify`].
+    pub intro_verify: Duration,
+    /// [`CostModel::remaining_gen`].
+    pub remaining_gen: Duration,
+    /// [`CostModel::remaining_verify`].
+    pub remaining_verify: Duration,
+    /// [`CostModel::vote_proof_gen`].
+    pub vote_proof_gen: Duration,
+    /// [`CostModel::vote_proof_verify`].
+    pub vote_proof_verify: Duration,
+    /// [`CostModel::consider_cost`].
+    pub consider: Duration,
+    /// [`CostModel::bogus_intro_detect`].
+    pub bogus_intro_detect: Duration,
+    /// [`CostModel::repair_serve_cost`].
+    pub repair_serve: Duration,
+    /// [`CostModel::repair_apply_cost`].
+    pub repair_apply: Duration,
 }
 
 #[cfg(test)]

@@ -48,6 +48,9 @@ fn usage() -> ! {
          \x20                          event-for-event equivalence\n\
          \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
          \x20 trace stats <trace>      per-poll/per-phase timelines from a trace\n\
+         \x20 bench diff <base> <new>..  compare bench reports mean-vs-mean with a\n\
+         \x20                          noise band; --gate exits 1 on a >25%\n\
+         \x20                          regression of the named hot benches\n\
          \n\
          options:\n\
          \x20 --scale <quick|default|paper>   experiment scale (or LOCKSS_SCALE)\n\
@@ -103,6 +106,19 @@ fn main() {
             let seed = flag_value(&args, "--seed").map(|s| s.parse().expect("--seed N"));
             replay(&registry, &path, seed);
         }
+        Some("bench") => match args.get(1).map(String::as_str) {
+            Some("diff") => {
+                let files: Vec<&String> =
+                    args[2..].iter().filter(|a| !a.starts_with("--")).collect();
+                let (base, news) = match files.split_first() {
+                    Some((base, news)) if !news.is_empty() => (base, news),
+                    _ => usage(),
+                };
+                let gate = args.iter().any(|a| a == "--gate");
+                bench_diff(base, news, gate);
+            }
+            _ => usage(),
+        },
         Some("trace") => match args.get(1).map(String::as_str) {
             Some("diff") => {
                 let (a, b) = match (args.get(2), args.get(3)) {
@@ -128,6 +144,88 @@ fn main() {
 fn fail(msg: &str) -> ! {
     eprintln!("lockss-sim: {msg}");
     std::process::exit(2);
+}
+
+/// Compares a baseline bench report against one or more new reports
+/// (merged in argument order) and prints the per-bench deltas. With
+/// `gate`, exits 1 if any of the hot benches named in
+/// [`lockss_bench::diff::GATED_BENCHES`] regressed by more than 25%, or if
+/// a gated baseline bench is missing from the new reports.
+fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
+    use lockss_bench::diff::{self, GATED_BENCHES};
+
+    let read = |path: &str| -> Vec<diff::ParsedBench> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+        diff::parse_report(&text).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")))
+    };
+    let base = read(base_path);
+    let mut new = Vec::new();
+    for p in new_paths {
+        new.extend(read(p));
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e6 {
+            format!("{:.2}ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.1}µs", ns / 1e3)
+        } else {
+            format!("{ns:.0}ns")
+        }
+    }
+
+    let report = diff::diff_benches(&base, &new);
+    let mut table = Table::new(vec!["benchmark", "baseline", "new", "delta", "band", ""]);
+    for d in &report.deltas {
+        table.row(vec![
+            d.name.clone(),
+            fmt_ns(d.base_mean_ns),
+            fmt_ns(d.new_mean_ns),
+            format!("{:+.1}%", (d.ratio - 1.0) * 100.0),
+            format!("±{:.0}%", d.noise_band * 100.0),
+            match (d.significant(), d.ratio > 1.0) {
+                (false, _) => String::new(),
+                (true, false) => "faster".to_string(),
+                (true, true) => "SLOWER".to_string(),
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    for name in &report.missing {
+        println!("missing from new report: {name}");
+    }
+    for name in &report.added {
+        println!("new benchmark (no baseline): {name}");
+    }
+
+    if gate {
+        let threshold = 0.25;
+        let offenders = diff::gate(&report, &GATED_BENCHES, threshold);
+        let missing_gated: Vec<&String> = report
+            .missing
+            .iter()
+            .filter(|n| GATED_BENCHES.iter().any(|p| diff::name_matches(p, n)))
+            .collect();
+        for d in &offenders {
+            eprintln!(
+                "GATE: {} regressed {:+.1}% (limit +{:.0}%)",
+                d.name,
+                (d.ratio - 1.0) * 100.0,
+                threshold * 100.0
+            );
+        }
+        for n in &missing_gated {
+            eprintln!("GATE: gated benchmark '{n}' missing from the new report");
+        }
+        if !offenders.is_empty() || !missing_gated.is_empty() {
+            std::process::exit(1);
+        }
+        println!(
+            "gate passed: no gated bench regressed more than {:.0}%",
+            threshold * 100.0
+        );
+    }
 }
 
 fn load_trace(path: &str) -> Trace {

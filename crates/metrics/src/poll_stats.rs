@@ -4,14 +4,14 @@
 //! their mean is the numerator/denominator of the delay ratio (§6.1). Also
 //! counts failed (inquorate) polls and inconclusive-poll alarms.
 
-use std::collections::HashMap;
+use lockss_sim::FxHashMap;
 
 use lockss_sim::{Duration, SimTime};
 
 /// Aggregated poll outcomes for one run.
 #[derive(Clone, Debug, Default)]
 pub struct PollStats {
-    last_success: HashMap<(u32, u32), SimTime>,
+    last_success: FxHashMap<(u32, u32), SimTime>,
     gap_sum_ms: f64,
     gap_count: u64,
     /// Polls that concluded in a landslide win.

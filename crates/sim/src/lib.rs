@@ -12,9 +12,11 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fxmap;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, EventFn};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHasher};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};

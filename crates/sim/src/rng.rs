@@ -16,7 +16,22 @@ use crate::time::Duration;
 /// than enough for a simulation study, and dependency-free.
 pub struct SimRng {
     state: u64,
+    /// Reusable index workspace for [`SimRng::sample`]. Not part of the
+    /// random state: it never influences a draw, it only spares the hot
+    /// sampling paths (inner-circle selection, nominations) a fresh
+    /// allocation per call.
+    idx_scratch: Vec<usize>,
+    /// Direct-mapped `(n, rejection zone)` cache for [`SimRng::below`].
+    /// The zone is a pure function of `n` but costs a 64-bit division, and
+    /// the same handful of range sizes (circle sizes, list lengths) recur
+    /// throughout a run; caching halves the division work per draw without
+    /// touching the draw sequence. `n == 0` never queries, so zeroed slots
+    /// can't alias.
+    zone_cache: [(u64, u64); ZONE_SLOTS],
 }
+
+/// Slots in the rejection-zone cache (power of two for cheap indexing).
+const ZONE_SLOTS: usize = 32;
 
 /// The splitmix64 state increment (2^64 / φ, forced odd).
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -32,7 +47,11 @@ fn mix(mut z: u64) -> u64 {
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> SimRng {
-        SimRng { state: seed }
+        SimRng {
+            state: seed,
+            idx_scratch: Vec::new(),
+            zone_cache: [(0, 0); ZONE_SLOTS],
+        }
     }
 
     /// The next raw splitmix64 output.
@@ -67,13 +86,27 @@ impl SimRng {
         // Reject draws past the largest multiple of n, so each residue is
         // equally likely. The loop rejects less than half the time even in
         // the worst case.
-        let zone = u64::MAX - u64::MAX % n;
+        let zone = self.zone(n);
         loop {
             let v = self.next_u64();
             if v < zone {
                 return v % n;
             }
         }
+    }
+
+    /// The rejection zone for `n` (`u64::MAX` rounded down to a multiple
+    /// of `n`), served from the direct-mapped cache.
+    #[inline]
+    fn zone(&mut self, n: u64) -> u64 {
+        let slot = (n as usize) & (ZONE_SLOTS - 1);
+        let (cached_n, cached_zone) = self.zone_cache[slot];
+        if cached_n == n {
+            return cached_zone;
+        }
+        let zone = u64::MAX - u64::MAX % n;
+        self.zone_cache[slot] = (n, zone);
+        zone
     }
 
     /// Uniform integer in `[0, n)`.
@@ -153,13 +186,18 @@ impl SimRng {
         let k = k.min(items.len());
         // Partial Fisher–Yates over an index vector: after k swap steps the
         // prefix is a uniform k-permutation of 0..len, so the picks are
-        // distinct, uniform, and in random order.
-        let mut idx: Vec<usize> = (0..items.len()).collect();
+        // distinct, uniform, and in random order. The index vector lives in
+        // the RNG's scratch space (same draws, no allocation per call).
+        let mut idx = std::mem::take(&mut self.idx_scratch);
+        idx.clear();
+        idx.extend(0..items.len());
         for i in 0..k {
             let j = i + self.below(items.len() - i);
             idx.swap(i, j);
         }
-        idx[..k].iter().map(|&i| items[i].clone()).collect()
+        let picks = idx[..k].iter().map(|&i| items[i].clone()).collect();
+        self.idx_scratch = idx;
+        picks
     }
 
     /// Shuffles a slice in place (Fisher–Yates).

@@ -11,16 +11,47 @@ use lockss_crypto::sha256::{Digest, Sha256};
 
 use crate::au::{AuId, AuSpec, Replica};
 
+/// Materializes canonical block content into a caller-supplied buffer,
+/// resized to the block length. The allocation-free form of
+/// [`canonical_block`]: a hot loop reuses one scratch buffer across blocks
+/// instead of materializing a fresh `Vec` per block.
+pub fn canonical_block_into(seed: u64, au: AuId, block: u64, spec: &AuSpec, out: &mut Vec<u8>) {
+    out.resize(spec.block_bytes as usize, 0);
+    fill_block(seed, au.0 as u64, block, out);
+}
+
 /// Materializes canonical block content.
 pub fn canonical_block(seed: u64, au: AuId, block: u64, spec: &AuSpec) -> Vec<u8> {
-    let mut buf = vec![0u8; spec.block_bytes as usize];
-    fill_block(seed, au.0 as u64, block, &mut buf);
+    let mut buf = Vec::new();
+    canonical_block_into(seed, au, block, spec, &mut buf);
     buf
 }
 
-/// Materializes the *stored* content of a block: canonical if intact,
-/// deterministic garbage if damaged (damage flips the content derivation so
-/// two damaged replicas still disagree with each other).
+/// Materializes the *stored* content of a block into a caller-supplied
+/// buffer: canonical if intact, deterministic garbage if damaged (damage
+/// flips the content derivation so two damaged replicas still disagree with
+/// each other).
+pub fn stored_block_into(
+    seed: u64,
+    au: AuId,
+    block: u64,
+    spec: &AuSpec,
+    replica: &Replica,
+    peer_salt: u64,
+    out: &mut Vec<u8>,
+) {
+    if replica.is_damaged(block) {
+        // Garbage unique to this peer; `!seed` guarantees it differs from
+        // canonical and `peer_salt` from other peers' garbage.
+        out.resize(spec.block_bytes as usize, 0);
+        fill_block(!seed ^ peer_salt, au.0 as u64, block, out);
+    } else {
+        canonical_block_into(seed, au, block, spec, out);
+    }
+}
+
+/// Materializes the stored content of a block (allocating convenience form
+/// of [`stored_block_into`]).
 pub fn stored_block(
     seed: u64,
     au: AuId,
@@ -29,14 +60,36 @@ pub fn stored_block(
     replica: &Replica,
     peer_salt: u64,
 ) -> Vec<u8> {
-    if replica.is_damaged(block) {
-        // Garbage unique to this peer; `!seed` guarantees it differs from
-        // canonical and `peer_salt` from other peers' garbage.
-        let mut buf = vec![0u8; spec.block_bytes as usize];
-        fill_block(!seed ^ peer_salt, au.0 as u64, block, &mut buf);
-        buf
-    } else {
-        canonical_block(seed, au, block, spec)
+    let mut buf = Vec::new();
+    stored_block_into(seed, au, block, spec, replica, peer_salt, &mut buf);
+    buf
+}
+
+/// Computes a real vote into caller-supplied buffers: `out` receives the
+/// running hash after each block, `scratch` is block-content workspace
+/// reused across blocks. Both are cleared/resized here, so a loop hashing
+/// many replicas allocates exactly twice in total.
+#[allow(clippy::too_many_arguments)]
+pub fn running_hashes_into(
+    seed: u64,
+    au: AuId,
+    spec: &AuSpec,
+    replica: &Replica,
+    peer_salt: u64,
+    nonce: &[u8],
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<Digest>,
+) {
+    out.clear();
+    out.reserve(spec.blocks() as usize);
+    let mut h = Sha256::new();
+    h.update(nonce);
+    for block in 0..spec.blocks() {
+        stored_block_into(seed, au, block, spec, replica, peer_salt, scratch);
+        h.update(scratch);
+        // Running hash at the block boundary; cloning keeps the stream
+        // going, matching the paper's incremental-evaluation design.
+        out.push(h.clone().finalize());
     }
 }
 
@@ -51,16 +104,9 @@ pub fn running_hashes(
     peer_salt: u64,
     nonce: &[u8],
 ) -> Vec<Digest> {
-    let mut hashes = Vec::with_capacity(spec.blocks() as usize);
-    let mut h = Sha256::new();
-    h.update(nonce);
-    for block in 0..spec.blocks() {
-        let content = stored_block(seed, au, block, spec, replica, peer_salt);
-        h.update(&content);
-        // Running hash at the block boundary; cloning keeps the stream
-        // going, matching the paper's incremental-evaluation design.
-        hashes.push(h.clone().finalize());
-    }
+    let mut scratch = Vec::new();
+    let mut hashes = Vec::new();
+    running_hashes_into(seed, au, spec, replica, peer_salt, nonce, &mut scratch, &mut hashes);
     hashes
 }
 
@@ -144,6 +190,27 @@ mod tests {
         let fixed = running_hashes(7, AuId(0), &spec, &r, 1, b"n");
         let good = running_hashes(7, AuId(0), &spec, &Replica::pristine(), 9, b"n");
         assert_eq!(fixed, good);
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms_with_dirty_buffers() {
+        let spec = small_spec();
+        let mut damaged = Replica::pristine();
+        damaged.damage(1);
+        // Deliberately dirty, wrongly sized buffers: the _into forms must
+        // resize and overwrite completely.
+        let mut scratch = vec![0xEE; 7];
+        let mut out = vec![[0xEEu8; 32]; 3];
+        for (replica, salt) in [(&Replica::pristine(), 4u64), (&damaged, 9)] {
+            for block in 0..spec.blocks() {
+                canonical_block_into(7, AuId(0), block, &spec, &mut scratch);
+                assert_eq!(scratch, canonical_block(7, AuId(0), block, &spec));
+                stored_block_into(7, AuId(0), block, &spec, replica, salt, &mut scratch);
+                assert_eq!(scratch, stored_block(7, AuId(0), block, &spec, replica, salt));
+            }
+            running_hashes_into(7, AuId(0), &spec, replica, salt, b"n", &mut scratch, &mut out);
+            assert_eq!(out, running_hashes(7, AuId(0), &spec, replica, salt, b"n"));
+        }
     }
 
     #[test]

@@ -131,7 +131,7 @@ fn votes_are_voter_specific_but_intact_votes_agree() {
 
 #[test]
 fn receipts_are_per_voter_unforgeable() {
-    let (poller, mut voters, _) = build(2);
+    let (mut poller, mut voters, _) = build(2);
     let nonce = b"poll-6";
     let (c0, i0) = poller.solicit_effort(nonce, voters[0].identity);
     let v0 = voters[0].solicit(&c0, &i0, nonce).expect("vote 0");
