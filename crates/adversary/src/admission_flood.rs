@@ -75,8 +75,7 @@ impl AdmissionFlood {
         self.active = true;
         self.victim_flags = vec![false; n];
         let k = ((n as f64) * self.coverage).round() as usize;
-        let all: Vec<usize> = (0..n).collect();
-        for v in world.rng.sample(&all, k) {
+        for v in world.rng.sample_indices(n, k) {
             self.victim_flags[v] = true;
             for au in 0..world.cfg.n_aus as u32 {
                 // Stagger the opening bursts inside the first refractory
@@ -110,7 +109,9 @@ impl AdmissionFlood {
 
         // If the victim is still refractory (e.g. a loyal unknown was
         // admitted just before us), come back right at expiry.
-        if let Some(until) = world.peers[victim].per_au[au as usize]
+        if let Some(until) = world
+            .peers
+            .au(victim, au as usize)
             .admission
             .refractory_until()
         {
@@ -139,11 +140,10 @@ impl AdmissionFlood {
             self.invitations_sent += 1;
             let id = self.fresh_identity();
             let outcome = {
-                let peer = &mut world.peers[victim];
-                let au_state = &mut peer.per_au[au as usize];
+                let (au_state, rng) = world.peers.au_and_rng_mut(victim, au as usize);
                 au_state
                     .admission
-                    .filter(id, &au_state.known, now, &cfg, &mut peer.rng)
+                    .filter(id, &au_state.known, now, &cfg, rng)
             };
             if matches!(
                 outcome,

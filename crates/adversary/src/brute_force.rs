@@ -135,7 +135,7 @@ impl BruteForce {
         world.note_adversary_action(eng, "brute-force/poll", poll.0);
         let minion = self.minion_for(victim, au);
         let identity = self.identity_for(victim, au, world.cfg.n_aus);
-        let victim_node = world.peers[victim].node;
+        let victim_node = world.peers.node(victim);
         let vote_deadline = now + Duration::DAY * 2;
         self.pending.insert(
             poll,
@@ -165,7 +165,12 @@ impl BruteForce {
     /// refractory period out.
     fn schedule_next_burst(&self, world: &World, eng: &mut Engine<World>, victim: usize, au: u32) {
         let refractory = world.cfg.protocol.refractory;
-        schedule_adversary_timer(world, eng, refractory + Duration::MINUTE, burst_tag(victim, au));
+        schedule_adversary_timer(
+            world,
+            eng,
+            refractory + Duration::MINUTE,
+            burst_tag(victim, au),
+        );
     }
 
     fn on_ack_timeout(&mut self, world: &mut World, eng: &mut Engine<World>, poll: PollId) {
@@ -206,7 +211,7 @@ impl BruteForce {
             Defection::Remaining | Defection::None_ => {
                 let remaining = world.balanced_effort(world.cost().remaining_gen());
                 world.charge_adversary(remaining);
-                let victim_node = world.peers[entry.victim].node;
+                let victim_node = world.peers.node(entry.victim);
                 world.send_message(
                     eng,
                     entry.minion,
@@ -244,7 +249,7 @@ impl BruteForce {
             // effort) and return the valid receipt (the MBF byproduct).
             let eval = world.cost().evaluation_cost(1);
             world.charge_adversary(eval);
-            let victim_node = world.peers[entry.victim].node;
+            let victim_node = world.peers.node(entry.victim);
             world.send_message(
                 eng,
                 entry.minion,
@@ -278,7 +283,7 @@ impl Adversary for BruteForce {
         for victim in 0..world.n_loyal() {
             for au in 0..n_aus as u32 {
                 let id = self.identity_for(victim, au, n_aus);
-                world.peers[victim].per_au[au as usize].known.seed(
+                world.peers.au_mut(victim, au as usize).known.seed(
                     id,
                     lockss_core::reputation::Grade::Debt,
                     SimTime::ZERO,
@@ -316,7 +321,9 @@ impl Adversary for BruteForce {
                     // Insider information: wait out any live refractory
                     // period rather than wasting intro efforts against it.
                     let now = eng.now();
-                    if let Some(until) = world.peers[victim].per_au[au as usize]
+                    if let Some(until) = world
+                        .peers
+                        .au(victim, au as usize)
                         .admission
                         .refractory_until()
                     {

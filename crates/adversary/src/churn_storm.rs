@@ -64,9 +64,8 @@ impl ChurnStorm {
     fn depart(&mut self, world: &mut World, eng: &mut Engine<World>) {
         let n = world.n_loyal();
         let k = self.departures_per_cycle(n);
-        let all: Vec<usize> = (0..n).collect();
-        let chosen = world.rng.sample(&all, k);
-        self.departed = chosen.iter().map(|&i| world.peers[i].node).collect();
+        let chosen = world.rng.sample_indices(n, k);
+        self.departed = chosen.iter().map(|&i| world.peers.node(i)).collect();
         for node in &self.departed {
             world.net.set_stopped(*node, true);
         }

@@ -48,9 +48,8 @@ impl PipeStoppage {
     fn start_cycle(&mut self, world: &mut World, eng: &mut Engine<World>) {
         let n = world.n_loyal();
         let k = self.victims_per_cycle(n);
-        let all: Vec<usize> = (0..n).collect();
-        let chosen = world.rng.sample(&all, k);
-        self.current_victims = chosen.iter().map(|&i| world.peers[i].node).collect();
+        let chosen = world.rng.sample_indices(n, k);
+        self.current_victims = chosen.iter().map(|&i| world.peers.node(i)).collect();
         for node in &self.current_victims {
             world.net.set_stopped(*node, true);
         }

@@ -107,7 +107,9 @@ impl SybilRamp {
         let cfg = world.cfg.protocol.clone();
 
         // Insider timing: if the victim is refractory, return at expiry.
-        if let Some(until) = world.peers[victim].per_au[au as usize]
+        if let Some(until) = world
+            .peers
+            .au(victim, au as usize)
             .admission
             .refractory_until()
         {
@@ -130,11 +132,10 @@ impl SybilRamp {
             self.invitations_sent += 1;
             let id = self.fresh_identity();
             let outcome = {
-                let peer = &mut world.peers[victim];
-                let au_state = &mut peer.per_au[au as usize];
+                let (au_state, rng) = world.peers.au_and_rng_mut(victim, au as usize);
                 au_state
                     .admission
-                    .filter(id, &au_state.known, now, &cfg, &mut peer.rng)
+                    .filter(id, &au_state.known, now, &cfg, rng)
             };
             if matches!(
                 outcome,
@@ -150,11 +151,7 @@ impl SybilRamp {
         }
         // Sybil bursts also bypass the message layer; tag them so the
         // trace shows which victim waves the escalation produced.
-        world.note_adversary_action(
-            eng,
-            "sybil-ramp/burst",
-            self.invitations_sent - sent_before,
-        );
+        world.note_adversary_action(eng, "sybil-ramp/burst", self.invitations_sent - sent_before);
         schedule_adversary_timer(
             world,
             eng,

@@ -60,7 +60,9 @@ impl VoteFlood {
             // unsolicited and must be ignored for free.
             for k in 0..self.votes_per_wave {
                 let au = AuId((victim as u32 + k) % n_aus);
-                let poll = world.peers[victim].per_au[au.index()]
+                let poll = world
+                    .peers
+                    .au(victim, au.index())
                     .poll
                     .as_ref()
                     .map(|p| p.id)
@@ -68,7 +70,7 @@ impl VoteFlood {
                 let identity = Identity(self.next_identity);
                 self.next_identity += 1;
                 let minion = self.minions[(victim + k as usize) % self.minions.len()];
-                let to = world.peers[victim].node;
+                let to = world.peers.node(victim);
                 self.votes_sent += 1;
                 world.send_message(
                     eng,

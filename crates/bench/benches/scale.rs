@@ -1,0 +1,54 @@
+//! `world/scale` benchmarks: the production-scale workload class.
+//!
+//! Construction and simulation cost of 10k-peer worlds (struct-of-arrays
+//! peer table, lazy founding-population reputation, sparse index
+//! sampling), plus a mid-size world as the bridge point to the existing
+//! `world/simulate` benches. Short horizons keep a full `cargo bench
+//! --bench scale` run in tens of seconds while still exercising millions
+//! of events; the numbers feed `results/BENCH_scale.json` and the
+//! `bench diff --gate` trajectory like every other group.
+
+use std::hint::black_box;
+
+use lockss_bench::Harness;
+use lockss_core::World;
+use lockss_experiments::runner::run_once;
+use lockss_experiments::{Scale, ScenarioRegistry};
+use lockss_sim::Duration;
+
+fn main() {
+    let mut h = Harness::new("scale");
+    let registry = ScenarioRegistry::standard();
+
+    // World construction at 10k peers: dominated by reference-list
+    // sampling; the lazy reputation rule keeps it allocation-light.
+    let base = registry
+        .build("scale-10k-baseline", Scale::Quick)
+        .expect("registered");
+    let cfg = base.cfg.clone();
+    h.bench("world/scale/build 10k peers", move || {
+        let mut c = cfg.clone();
+        c.seed = 7;
+        black_box(World::new(c))
+    });
+
+    // Short-horizon simulation of the same world: 20 simulated days cover
+    // the solicitation ramp of the first poll generation.
+    let mut short = base.clone();
+    short.run_length = Duration::from_days(20);
+    h.bench("world/scale/simulate 10k peers 20d", move || {
+        black_box(run_once(&short, 1))
+    });
+
+    // The bridge point: a 2k-peer world through a full poll generation,
+    // connecting the figure-scale `world/simulate` benches to the 10k
+    // class.
+    let mut mid = base.clone();
+    mid.cfg.n_peers = 2_000;
+    mid.run_length = Duration::from_days(120);
+    h.bench("world/scale/simulate 2k peers 120d", move || {
+        black_box(run_once(&mid, 1))
+    });
+
+    h.finish();
+}

@@ -64,7 +64,9 @@ fn bench_network(h: &mut Harness) {
         bandwidth_bps: 1_500_000,
         latency: Duration::from_millis(20),
     });
-    h.bench("net/send (counted)", move || black_box(net.send(a, z, 4_096)));
+    h.bench("net/send (counted)", move || {
+        black_box(net.send(a, z, 4_096))
+    });
 }
 
 fn bench_schedule(h: &mut Harness) {
@@ -106,7 +108,9 @@ fn bench_replica(h: &mut Harness) {
     for i in 0..16 {
         a.damage(i * 31);
     }
-    h.bench("replica/snapshot 16 damaged", move || black_box(a.snapshot()));
+    h.bench("replica/snapshot 16 damaged", move || {
+        black_box(a.snapshot())
+    });
 }
 
 fn main() {

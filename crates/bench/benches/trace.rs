@@ -108,9 +108,11 @@ fn main() {
     // Decode/stats substrate over the recorded stream.
     {
         let trace = trace.clone();
-        h.bench_bytes("trace/decode-all", trace.as_bytes().len() as u64, move || {
-            black_box(trace.decode_all().expect("decodes"))
-        });
+        h.bench_bytes(
+            "trace/decode-all",
+            trace.as_bytes().len() as u64,
+            move || black_box(trace.decode_all().expect("decodes")),
+        );
     }
     {
         let trace = trace.clone();

@@ -248,9 +248,11 @@ impl<'a> Reader<'a> {
 
     fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') || b.is_ascii_digit()
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') || b.is_ascii_digit())
+        {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
@@ -300,10 +302,13 @@ pub fn parse_report(text: &str) -> Result<Vec<ParsedBench>, ParseError> {
 }
 
 fn extract_group(group: &Json, out: &mut Vec<ParsedBench>) -> Result<(), ParseError> {
-    let results = group.get("results").and_then(Json::as_arr).ok_or(ParseError {
-        message: "report has no 'results' array".to_string(),
-        at: 0,
-    })?;
+    let results = group
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or(ParseError {
+            message: "report has no 'results' array".to_string(),
+            at: 0,
+        })?;
     for r in results {
         let field = |key: &str| -> Option<f64> { r.get(key).and_then(Json::as_f64) };
         match (
@@ -418,17 +423,19 @@ pub fn name_matches(pattern: &str, name: &str) -> bool {
 }
 
 /// The hot benches the CI regression gate protects, as name patterns.
-pub const GATED_BENCHES: [&str; 4] = ["world/simulate*", "realproto/*", "fig*", "run/untraced"];
+pub const GATED_BENCHES: [&str; 5] = [
+    "world/simulate*",
+    "world/scale*",
+    "realproto/*",
+    "fig*",
+    "run/untraced",
+];
 
 /// Returns the gated benches that regressed beyond `threshold`
 /// (new/base > 1 + threshold, and beyond noise). An empty result means the
 /// gate passes; a gated baseline bench *disappearing* is the caller's
 /// problem (reported via [`DiffReport::missing`]).
-pub fn gate<'r>(
-    report: &'r DiffReport,
-    patterns: &[&str],
-    threshold: f64,
-) -> Vec<&'r BenchDelta> {
+pub fn gate<'r>(report: &'r DiffReport, patterns: &[&str], threshold: f64) -> Vec<&'r BenchDelta> {
     report
         .deltas
         .iter()
@@ -490,8 +497,14 @@ mod tests {
 
     #[test]
     fn diff_flags_only_beyond_noise() {
-        let base = vec![bench("x", 100.0, 98.0, 102.0), bench("y", 100.0, 98.0, 102.0)];
-        let new = vec![bench("x", 103.0, 101.0, 105.0), bench("y", 150.0, 148.0, 152.0)];
+        let base = vec![
+            bench("x", 100.0, 98.0, 102.0),
+            bench("y", 100.0, 98.0, 102.0),
+        ];
+        let new = vec![
+            bench("x", 103.0, 101.0, 105.0),
+            bench("y", 150.0, 148.0, 152.0),
+        ];
         let report = diff_benches(&base, &new);
         assert!(!report.deltas[0].significant(), "3% is inside the floor");
         assert!(report.deltas[1].significant(), "50% is a real move");

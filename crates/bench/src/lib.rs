@@ -208,10 +208,7 @@ impl Harness {
             throughput_bytes: bytes,
         };
         match result.mib_per_sec() {
-            Some(rate) => println!(
-                "  {name:<44} {:>12}/iter  {rate:>9.1} MiB/s",
-                fmt_ns(mean)
-            ),
+            Some(rate) => println!("  {name:<44} {:>12}/iter  {rate:>9.1} MiB/s", fmt_ns(mean)),
             None => println!(
                 "  {name:<44} {:>12}/iter  [{} .. {}]",
                 fmt_ns(mean),

@@ -65,7 +65,10 @@ pub fn schedule_adversary_timer(
     eng.schedule_in(delay, move |w: &mut World, e| {
         if let Some(mut adv) = w.adversary.take() {
             w.set_adversary_channel(channel);
-            w.trace(e, || crate::trace::TraceEvent::AdversaryTimer { channel, tag });
+            w.trace(e, || crate::trace::TraceEvent::AdversaryTimer {
+                channel,
+                tag,
+            });
             adv.on_timer(w, e, tag);
             w.adversary = Some(adv);
         }

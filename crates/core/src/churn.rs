@@ -13,7 +13,7 @@
 use lockss_sim::{Duration, SimTime};
 use lockss_storage::AuId;
 
-use crate::peer::{AuState, Peer};
+use crate::peer::AuState;
 use crate::reflist::RefList;
 use crate::types::Identity;
 use crate::world::{Eng, World};
@@ -32,8 +32,14 @@ impl World {
             .add_node(lockss_net::LinkSpec::sample(&mut self.rng));
         let me = Identity::loyal(index as u32);
 
-        let existing: Vec<Identity> = self.peers.iter().map(|p| p.identity).collect();
-        let friends = self.rng.sample(&existing, self.cfg.protocol.friends);
+        // Same draw sequence as sampling from a materialized identity list,
+        // without building the O(population) list per join.
+        let friends: Vec<Identity> = self
+            .rng
+            .sample_indices(self.peers.len(), self.cfg.protocol.friends)
+            .into_iter()
+            .map(|idx| self.peers.identity(idx))
+            .collect();
 
         // Friendship is operator-mediated and mutual: the joining library's
         // operator exchanges contacts with its friends' operators, which is
@@ -41,7 +47,7 @@ impl World {
         // reference list (nominations only propagate already-known peers).
         for f in &friends {
             if let Some(fi) = f.loyal_index() {
-                for au_state in &mut self.peers[fi as usize].per_au {
+                for au_state in self.peers.aus_mut(fi as usize) {
                     au_state.reflist.add_friend(me);
                     // The friend's operator also vouches locally: known at
                     // even so the newcomer's invitations are not dropped as
@@ -59,7 +65,7 @@ impl World {
             per_au.push(AuState::new(RefList::new(friends.clone(), friends.clone())));
         }
         let rng = self.rng.fork();
-        self.peers.push(Peer::new(node, me, per_au, rng));
+        self.peers.push(node, me, per_au, rng);
         self.bump_loyal_count();
         self.trace(eng, || crate::trace::TraceEvent::PeerJoin {
             peer: index as u32,
@@ -81,16 +87,13 @@ impl World {
     /// How integrated a (possibly late-joining) peer is: the fraction of
     /// the population whose reference list for `au` contains it.
     pub fn reflist_penetration(&self, peer: usize, au: AuId) -> f64 {
-        let id = self.peers[peer].identity;
+        let id = self.peers.identity(peer);
         let others = self.peers.len() - 1;
         if others == 0 {
             return 0.0;
         }
-        let holding = self
-            .peers
-            .iter()
-            .enumerate()
-            .filter(|(i, p)| *i != peer && p.per_au[au.index()].reflist.contains(id))
+        let holding = (0..self.peers.len())
+            .filter(|&i| i != peer && self.peers.au(i, au.index()).reflist.contains(id))
             .count();
         holding as f64 / others as f64
     }
@@ -176,7 +179,7 @@ mod tests {
         let report = integration_report(&world, joiner, joined_at);
         assert!(report.penetration > 0.0);
         // The joiner does real work once integrated.
-        assert!(world.peers[joiner].ledger.total_secs() > 0.0);
+        assert!(world.peers.ledger(joiner).total_secs() > 0.0);
     }
 
     #[test]
@@ -189,7 +192,7 @@ mod tests {
         assert_eq!(world.n_loyal(), before + 1);
         assert_eq!(joiner, before);
         // Its messages route as a loyal peer, not an adversary minion.
-        assert!(world.peers[joiner].identity.loyal_index().is_some());
+        assert!(world.peers.identity(joiner).loyal_index().is_some());
     }
 
     #[test]

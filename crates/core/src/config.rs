@@ -190,6 +190,11 @@ pub struct WorldConfig {
     pub cost: CostModel,
     /// RNG seed for the whole run.
     pub seed: u64,
+    /// Optional weighted bandwidth-class mix over
+    /// `lockss_net::BANDWIDTH_CLASSES_BPS` (low → high). `None` keeps the
+    /// paper's uniform three-way split; the production-scale worlds use a
+    /// skewed mix drawn through an O(1) alias table.
+    pub link_mix: Option<[f64; 3]>,
 }
 
 impl Default for WorldConfig {
@@ -203,6 +208,7 @@ impl Default for WorldConfig {
             protocol: ProtocolConfig::default(),
             cost: CostModel::default().with_au_bytes(au_spec.size_bytes),
             seed: 1,
+            link_mix: None,
         }
     }
 }
@@ -230,6 +236,11 @@ impl WorldConfig {
         }
         if self.cost.block_bytes != self.au_spec.block_bytes {
             return Err("cost model block size must match the AU spec".into());
+        }
+        if let Some(mix) = self.link_mix {
+            if mix.iter().any(|w| !w.is_finite() || *w < 0.0) || mix.iter().sum::<f64>() <= 0.0 {
+                return Err("link mix weights must be non-negative with a positive sum".into());
+            }
         }
         Ok(())
     }

@@ -50,8 +50,7 @@ pub mod world;
 pub use adversary::{Adversary, NullAdversary};
 pub use config::{ProtocolConfig, WorldConfig};
 pub use msg::Message;
-pub use trace::{
-    AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind, TraceSink,
-};
+pub use peer::{AuState, PeerTable, TableOccupancy};
+pub use trace::{AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind, TraceSink};
 pub use types::{Identity, PollId};
 pub use world::World;

@@ -65,13 +65,34 @@ struct Entry {
     updated: SimTime,
 }
 
+/// A virtual "everyone in the founding population is known at even" rule,
+/// standing in for the `peers × (peers-1)` explicit entries the world used
+/// to materialize per AU at construction (gigabytes at 10k+ peers, and the
+/// dominant cost of `World::new`). Observably equivalent: a loyal identity
+/// below `bound` (other than the owner) reads as seeded at `grade` at time
+/// `since`, decaying exactly like a real entry, until a real interaction
+/// writes an explicit entry over it.
+#[derive(Clone, Copy, Debug)]
+struct PopulationDefault {
+    /// Loyal indices `0..bound` are covered (the founding population);
+    /// late joiners and minions are not.
+    bound: u32,
+    /// The owner's own loyal index, excluded (a peer never knew itself).
+    except: u32,
+    grade: Grade,
+    since: SimTime,
+}
+
 /// The per-AU known-peers list of one peer.
 #[derive(Clone, Debug, Default)]
 pub struct KnownPeers {
-    /// Lookup-only map (never iterated), on the deterministic fast hasher:
-    /// seeding a world inserts `peers × AUs × (peers-1)` entries, which
-    /// made SipHash the dominant cost of `World::new`.
+    /// Lookup-only map (never iterated) of explicitly recorded standings,
+    /// on the deterministic fast hasher. Holds only identities that have
+    /// actually interacted (or been explicitly seeded); the steady-state
+    /// founding population is covered by `population_default` instead.
     entries: FxHashMap<Identity, Entry>,
+    /// The lazy founding-population rule, if installed.
+    population_default: Option<PopulationDefault>,
 }
 
 impl KnownPeers {
@@ -93,25 +114,51 @@ impl KnownPeers {
     }
 
     /// Pre-sizes the table for `n` upcoming [`KnownPeers::seed`] calls, so
-    /// bulk world initialization pays one table build instead of a rehash
-    /// cascade.
+    /// bulk seeding pays one table build instead of a rehash cascade.
     pub fn reserve(&mut self, n: usize) {
         self.entries.reserve(n);
+    }
+
+    /// Installs the steady-state founding-population rule: every loyal
+    /// identity with index below `bound` — except the owner `me` — reads as
+    /// seeded at `grade` at time `at` without materializing an entry.
+    ///
+    /// This is the O(1) replacement for the O(population) explicit seeding
+    /// loop of earlier world construction; real interactions still write
+    /// explicit entries, which take precedence.
+    pub fn assume_population(&mut self, bound: u32, me: Identity, grade: Grade, at: SimTime) {
+        self.population_default = Some(PopulationDefault {
+            bound,
+            except: me.loyal_index().unwrap_or(u32::MAX),
+            grade,
+            since: at,
+        });
+    }
+
+    fn decayed_at(grade: Grade, updated: SimTime, now: SimTime, decay: Duration) -> Grade {
+        let steps = if decay.is_zero() {
+            0
+        } else {
+            now.since(updated).as_millis() / decay.as_millis()
+        };
+        grade.decayed(steps)
     }
 
     /// The identity's standing at `now`, with decay applied (§5.1:
     /// "entries decay with time toward the debt grade").
     pub fn standing(&self, id: Identity, now: SimTime, decay: Duration) -> Standing {
         match self.entries.get(&id) {
-            None => Standing::Unknown,
-            Some(e) => {
-                let steps = if decay.is_zero() {
-                    0
-                } else {
-                    now.since(e.updated).as_millis() / decay.as_millis()
-                };
-                Standing::Known(e.grade.decayed(steps))
-            }
+            Some(e) => Standing::Known(Self::decayed_at(e.grade, e.updated, now, decay)),
+            None => match self.population_default {
+                Some(d)
+                    if id
+                        .loyal_index()
+                        .is_some_and(|i| i < d.bound && i != d.except) =>
+                {
+                    Standing::Known(Self::decayed_at(d.grade, d.since, now, decay))
+                }
+                _ => Standing::Unknown,
+            },
         }
     }
 
@@ -159,12 +206,13 @@ impl KnownPeers {
         );
     }
 
-    /// Number of known identities.
+    /// Number of *materialized* entries (identities with an explicitly
+    /// recorded standing; the lazy founding-population rule adds none).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True if no identity is known.
+    /// True if no entry is materialized.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -250,6 +298,57 @@ mod tests {
         kp.seed(id, Grade::Credit, t(0));
         kp.penalize(id, t(1));
         assert_eq!(kp.standing(id, t(1), DECAY), Standing::Known(Grade::Debt));
+    }
+
+    /// The lazy founding-population rule must be observably identical to
+    /// the dense explicit seeding it replaced: same standing for every
+    /// covered identity at every probe time, through decay, raises, lowers,
+    /// and penalties.
+    #[test]
+    fn population_default_matches_dense_seeding() {
+        let me = Identity::loyal(3);
+        let bound = 10u32;
+        let mut dense = KnownPeers::new();
+        for i in 0..bound {
+            if Identity::loyal(i) != me {
+                dense.seed(Identity::loyal(i), Grade::Even, t(0));
+            }
+        }
+        let mut lazy = KnownPeers::new();
+        lazy.assume_population(bound, me, Grade::Even, t(0));
+
+        for probe_days in [0u64, 100, 200, 400, 1000] {
+            for i in 0..bound + 3 {
+                let id = Identity::loyal(i);
+                assert_eq!(
+                    dense.standing(id, t(probe_days), DECAY),
+                    lazy.standing(id, t(probe_days), DECAY),
+                    "peer {i} at day {probe_days}"
+                );
+            }
+        }
+        // Minions are unknown under both.
+        let minion = Identity(Identity::MINION_BASE + 1);
+        assert_eq!(lazy.standing(minion, t(1), DECAY), Standing::Unknown);
+        // The owner never knew itself.
+        assert_eq!(lazy.standing(me, t(1), DECAY), Standing::Unknown);
+
+        // Interactions write through identically.
+        for kp in [&mut dense, &mut lazy] {
+            kp.raise(Identity::loyal(1), t(10), DECAY);
+            kp.lower(Identity::loyal(2), t(20), DECAY);
+            kp.penalize(Identity::loyal(4), t(30));
+        }
+        for i in 0..bound {
+            let id = Identity::loyal(i);
+            assert_eq!(
+                dense.standing(id, t(40), DECAY),
+                lazy.standing(id, t(40), DECAY),
+                "after interactions, peer {i}"
+            );
+        }
+        // And the lazy table only materialized the three touched entries.
+        assert_eq!(lazy.len(), 3);
     }
 
     #[test]

@@ -423,7 +423,11 @@ impl std::fmt::Display for TraceEvent {
                 peer,
                 poller,
                 verdict,
-            } => write!(f, "admission peer#{peer} <- id{poller}: {}", verdict.label()),
+            } => write!(
+                f,
+                "admission peer#{peer} <- id{poller}: {}",
+                verdict.label()
+            ),
             TraceEvent::Damage {
                 peer,
                 au,

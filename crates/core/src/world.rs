@@ -5,6 +5,13 @@
 //! [`crate::schedule::TaskSchedule`]; message transfers go through the
 //! flow-level network; every CPU-second is charged to an effort ledger so
 //! the §6.1 metrics fall out directly.
+//!
+//! Peer state lives in the struct-of-arrays [`PeerTable`]
+//! (see [`crate::peer`]), and world construction is O(population ×
+//! reference-list size): initial reference lists are drawn through the
+//! sparse index sampler and steady-state reputation is a lazy
+//! founding-population rule, so a 10k–100k-peer world builds in
+//! milliseconds and fits in a handful of flat allocations.
 
 use lockss_effort::{CostModel, CostTable, Purpose};
 use lockss_metrics::RunMetrics;
@@ -16,7 +23,7 @@ use crate::admission::AdmissionOutcome;
 use crate::adversary::Adversary;
 use crate::config::WorldConfig;
 use crate::msg::Message;
-use crate::peer::{AuState, Peer};
+use crate::peer::{AuState, PeerTable};
 use crate::poller::{InviteeStatus, PollPhase, PollState};
 use crate::reflist::RefList;
 use crate::reputation::Grade;
@@ -40,7 +47,8 @@ pub struct World {
     /// them on every invite/ack/vote).
     costs: CostTable,
     pub net: Network,
-    pub peers: Vec<Peer>,
+    /// All loyal peers, struct-of-arrays, indexed by peer index.
+    pub peers: PeerTable,
     pub metrics: RunMetrics,
     pub rng: SimRng,
     pub adversary: Option<Box<dyn Adversary>>,
@@ -72,25 +80,38 @@ impl World {
         cfg.validate().expect("invalid world configuration");
         let mut rng = SimRng::seed_from_u64(cfg.seed);
         let mut net = Network::new();
-        let nodes = net.add_sampled_nodes(cfg.n_peers, &mut rng);
+        let nodes = match cfg.link_mix {
+            Some(mix) => net.add_weighted_nodes(cfg.n_peers, &mix, &mut rng),
+            None => net.add_sampled_nodes(cfg.n_peers, &mut rng),
+        };
 
-        let all_ids: Vec<Identity> = (0..cfg.n_peers as u32).map(Identity::loyal).collect();
-        let mut peers = Vec::with_capacity(cfg.n_peers);
+        let n = cfg.n_peers;
+        let mut peers = PeerTable::with_capacity(n, cfg.n_aus);
         for (i, node) in nodes.iter().enumerate() {
             let me = Identity::loyal(i as u32);
-            let others: Vec<Identity> = all_ids.iter().copied().filter(|&id| id != me).collect();
-            let friends: Vec<Identity> = rng.sample(&others, cfg.protocol.friends);
+            // The identity at position `idx` of the virtual "everyone but
+            // me" list the samplers draw from; the list itself is never
+            // materialized (it cost O(population²) at build).
+            let ident =
+                |idx: usize| Identity::loyal(if idx < i { idx as u32 } else { idx as u32 + 1 });
+            let friends: Vec<Identity> = rng
+                .sample_indices(n - 1, cfg.protocol.friends)
+                .into_iter()
+                .map(ident)
+                .collect();
             let mut per_au = Vec::with_capacity(cfg.n_aus);
             for _ in 0..cfg.n_aus {
-                let initial = rng.sample(&others, cfg.protocol.reflist_initial);
+                let initial: Vec<Identity> = rng
+                    .sample_indices(n - 1, cfg.protocol.reflist_initial)
+                    .into_iter()
+                    .map(ident)
+                    .collect();
                 let mut au = AuState::new(RefList::new(friends.clone(), initial));
-                au.known.reserve(others.len());
-                for &id in &others {
-                    au.known.seed(id, Grade::Even, SimTime::ZERO);
-                }
+                au.known
+                    .assume_population(n as u32, me, Grade::Even, SimTime::ZERO);
                 per_au.push(au);
             }
-            peers.push(Peer::new(*node, me, per_au, rng.fork()));
+            peers.push(*node, me, per_au, rng.fork());
         }
 
         let metrics = RunMetrics::new(cfg.total_replicas(), SimTime::ZERO);
@@ -119,7 +140,7 @@ impl World {
     /// Registers a late-joining loyal peer's node (see `churn`).
     pub(crate) fn bump_loyal_count(&mut self) {
         let index = self.peers.len() - 1;
-        let node = self.peers[index].node;
+        let node = self.peers.node(index);
         self.node_to_peer.insert(node, index);
         self.n_loyal += 1;
     }
@@ -194,12 +215,7 @@ impl World {
     /// untraced). Strategies call this at their decision points — a
     /// stoppage cycle starting, a flood wave launching, a sybil escalation
     /// step — so a trace names *which* adversary move caused what follows.
-    pub fn note_adversary_action(
-        &mut self,
-        eng: &mut Eng,
-        label: &'static str,
-        magnitude: u64,
-    ) {
+    pub fn note_adversary_action(&mut self, eng: &mut Eng, label: &'static str, magnitude: u64) {
         let channel = self.adversary_channel;
         self.trace(eng, || TraceEvent::AdversaryAction {
             channel,
@@ -228,7 +244,7 @@ impl World {
 
     /// Charges loyal-peer CPU effort (ledger + run totals).
     pub fn charge_loyal(&mut self, peer: usize, purpose: Purpose, cost: Duration) {
-        self.peers[peer].ledger.charge(purpose, cost);
+        self.peers.ledger_mut(peer).charge(purpose, cost);
         self.metrics.loyal_effort_secs += cost.as_secs_f64();
     }
 
@@ -294,7 +310,7 @@ impl World {
         let proc = self.damage_process();
         let blocks = self.cfg.au_spec.blocks();
         let (au, block) = proc.pick_target(&mut self.rng, blocks);
-        let replica = &mut self.peers[peer].per_au[au as usize].replica;
+        let replica = &mut self.peers.au_mut(peer, au as usize).replica;
         let was_intact = replica.is_intact();
         replica.damage(block);
         self.trace(eng, || TraceEvent::Damage {
@@ -305,6 +321,9 @@ impl World {
         });
         if was_intact {
             self.metrics.damage.on_damaged(eng.now());
+            self.metrics
+                .timeline
+                .add(eng.now(), RunMetrics::KIND_DAMAGE);
         }
         self.schedule_next_damage(eng, peer);
     }
@@ -387,7 +406,7 @@ impl World {
 
     /// The network node a loyal identity lives on.
     fn node_of(&self, id: Identity) -> Option<NodeId> {
-        id.loyal_index().map(|i| self.peers[i as usize].node)
+        id.loyal_index().map(|i| self.peers.node(i as usize))
     }
 
     // ------------------------------------------------------------------
@@ -416,15 +435,15 @@ impl World {
 
         // Sample the inner circle from the reference list, topped up with
         // friends if the list has shrunk below the circle size.
-        let peer = &mut self.peers[p];
-        let au_state = &mut peer.per_au[au.index()];
-        let mut circle = au_state.reflist.sample(inner_circle, &mut peer.rng);
+        let me = self.peers.identity(p);
+        let (au_state, rng) = self.peers.au_and_rng_mut(p, au.index());
+        let mut circle = au_state.reflist.sample(inner_circle, rng);
         if circle.len() < inner_circle {
             for &f in au_state.reflist.friends() {
                 if circle.len() >= inner_circle {
                     break;
                 }
-                if !circle.contains(&f) && f != peer.identity {
+                if !circle.contains(&f) && f != me {
                     circle.push(f);
                 }
             }
@@ -432,25 +451,24 @@ impl World {
         for v in circle {
             poll.add_invitee(v, true);
         }
+        let n = poll.invitees.len();
         au_state.poll = Some(poll);
 
         // Desynchronization (§5.2): stagger invitations individually over
         // the first 60% of the solicitation window. (The ablation solicits
         // everyone at once — the synchronization failure mode §5.2 warns
         // about.)
-        let n = self.peers[p].per_au[au.index()]
-            .poll
-            .as_ref()
-            .expect("just created")
-            .invitees
-            .len();
         let spread = if synchronous {
             Duration::SECOND * 2
         } else {
             solicit_window.mul_f64(0.6)
         };
         for idx in 0..n {
-            let at = now + self.peers[p].rng.duration_between(Duration::SECOND, spread);
+            let at = now
+                + self
+                    .peers
+                    .rng_mut(p)
+                    .duration_between(Duration::SECOND, spread);
             eng.schedule_at(at, move |w: &mut World, e| {
                 w.send_invite(e, p, au, id, idx);
             });
@@ -470,7 +488,8 @@ impl World {
 
     /// True if the poll `id` is still the live poll for (p, au).
     fn poll_is_current(&self, p: usize, au: AuId, id: PollId) -> bool {
-        self.peers[p].per_au[au.index()]
+        self.peers
+            .au(p, au.index())
             .poll
             .as_ref()
             .map(|poll| poll.id == id)
@@ -485,7 +504,9 @@ impl World {
         }
         let now = eng.now();
         let (invitee, deadline, attempt) = {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -509,10 +530,10 @@ impl World {
 
         // The introductory effort occupies the poller's CPU (§5.1).
         let intro = self.balanced_effort(self.costs.intro_gen);
-        let res = self.peers[p].schedule.reserve(now, intro);
+        let res = self.peers.schedule_mut(p).reserve(now, intro);
         self.charge_loyal(p, Purpose::GenIntro, intro);
-        let poller_identity = self.peers[p].identity;
-        let from = self.peers[p].node;
+        let poller_identity = self.peers.identity(p);
+        let from = self.peers.node(p);
         eng.schedule_at(res.end, move |w: &mut World, e| {
             if !w.poll_is_current(p, au, id) {
                 return;
@@ -557,15 +578,12 @@ impl World {
         // Identify the invitee by its node.
         let Some(invitee_identity) = self
             .loyal_peer_of_node(from)
-            .map(|i| self.peers[i].identity)
+            .map(|i| self.peers.identity(i))
         else {
             return;
         };
         let idx = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             let Some(idx) = poll.invitee_index(invitee_identity) else {
                 return;
             };
@@ -576,7 +594,9 @@ impl World {
             return;
         }
         {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -587,15 +607,17 @@ impl World {
         }
         // Generate and ship the remaining effort proof (§5.1).
         let remaining = self.balanced_effort(self.costs.remaining_gen);
-        let res = self.peers[p].schedule.reserve(now, remaining);
+        let res = self.peers.schedule_mut(p).reserve(now, remaining);
         self.charge_loyal(p, Purpose::GenRemaining, remaining);
-        let from_node = self.peers[p].node;
+        let from_node = self.peers.node(p);
         eng.schedule_at(res.end, move |w: &mut World, e| {
             if !w.poll_is_current(p, au, id) {
                 return;
             }
             {
-                let poll = w.peers[p].per_au[au.index()]
+                let poll = w
+                    .peers
+                    .au_mut(p, au.index())
                     .poll
                     .as_mut()
                     .expect("current");
@@ -638,10 +660,7 @@ impl World {
             return;
         }
         let stale = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             poll.invitees[idx].status != InviteeStatus::Invited { attempt }
         };
         if stale {
@@ -661,7 +680,9 @@ impl World {
         let cfg_max = self.cfg.protocol.max_invite_attempts;
         let now = eng.now();
         let do_retry = {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -681,15 +702,13 @@ impl World {
         if do_retry {
             // Spread retries uniformly over what is left of the window.
             let deadline = {
-                let poll = self.peers[p].per_au[au.index()]
-                    .poll
-                    .as_ref()
-                    .expect("current");
+                let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
                 poll.solicit_deadline
             };
             let window = deadline.since(now);
-            let wait = self.peers[p]
-                .rng
+            let wait = self
+                .peers
+                .rng_mut(p)
                 .duration_between(Duration::MINUTE * 30, window.max(Duration::HOUR));
             eng.schedule_in(wait, move |w: &mut World, e| {
                 w.retry_invite(e, p, au, id, idx);
@@ -702,16 +721,15 @@ impl World {
             return;
         }
         let ok = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             matches!(poll.invitees[idx].status, InviteeStatus::Refused { .. })
                 && poll.phase == PollPhase::Soliciting
         };
         if ok {
             {
-                let poll = self.peers[p].per_au[au.index()]
+                let poll = self
+                    .peers
+                    .au_mut(p, au.index())
                     .poll
                     .as_mut()
                     .expect("current");
@@ -744,10 +762,7 @@ impl World {
         {
             // Vote-flood defense (§5.1): votes from identities we never
             // invited are ignored without any effort.
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             if !poll.has_invitee(voter) {
                 return;
             }
@@ -756,16 +771,15 @@ impl World {
             // Bogus vote from a real invitee: one block hash detects it;
             // penalize and discard.
             self.charge_loyal(p, Purpose::VerifyVoteProof, self.costs.block_hash);
-            self.peers[p].per_au[au.index()].known.penalize(voter, now);
+            self.peers.au_mut(p, au.index()).known.penalize(voter, now);
             return;
         }
         // Destructuring splits the borrow: the protocol config is read-only
-        // alongside the mutable peer state, so nothing needs cloning.
+        // alongside the mutable peer columns, so nothing needs cloning.
         let World { cfg, peers, .. } = self;
         let cfg = &cfg.protocol;
-        let peer = &mut peers[p];
-        let me = peer.identity;
-        let au_state = &mut peer.per_au[au.index()];
+        let me = peers.identity(p);
+        let (au_state, rng) = peers.au_and_rng_mut(p, au.index());
         let poll = au_state.poll.as_mut().expect("current");
         if !poll.record_vote(voter, damage) {
             return; // unsolicited or duplicate votes are ignored (§5.1)
@@ -776,7 +790,7 @@ impl World {
             if nominee == me || nominee == voter || nominee.is_minion() {
                 continue;
             }
-            if peer.rng.chance(cfg.introduction_frac) {
+            if rng.chance(cfg.introduction_frac) {
                 au_state.admission.introduce(nominee, voter, now, cfg);
             } else if !poll.nominated_pool.contains(&nominee) {
                 poll.nominated_pool.push(nominee);
@@ -789,7 +803,7 @@ impl World {
         let cfg_max = self.cfg.protocol.max_repairs_served;
         let now = eng.now();
         let (au, poller_node, can) = {
-            let Some(s) = self.peers[p].voting.get_mut(&poll) else {
+            let Some(s) = self.peers.voting_mut(p).get_mut(&poll) else {
                 return;
             };
             let can = s.may_serve_repair(cfg_max);
@@ -802,9 +816,9 @@ impl World {
             return;
         }
         let cost = self.costs.repair_serve;
-        let res = self.peers[p].schedule.reserve(now, cost);
+        let res = self.peers.schedule_mut(p).reserve(now, cost);
         self.charge_loyal(p, Purpose::ServeRepair, cost);
-        let from = self.peers[p].node;
+        let from = self.peers.node(p);
         eng.schedule_at(res.end, move |w: &mut World, e| {
             w.send_message(e, from, poller_node, Message::Repair { au, poll, block });
         });
@@ -820,7 +834,7 @@ impl World {
         self.charge_loyal(p, Purpose::ApplyRepair, cost);
         let _ = now;
         let became_intact = {
-            let au_state = &mut self.peers[p].per_au[au.index()];
+            let au_state = self.peers.au_mut(p, au.index());
             let was_intact = au_state.replica.is_intact();
             au_state.replica.repair(block);
             !was_intact && au_state.replica.is_intact()
@@ -834,9 +848,14 @@ impl World {
         });
         if became_intact {
             self.metrics.damage.on_repaired(eng.now());
+            self.metrics
+                .timeline
+                .add(eng.now(), RunMetrics::KIND_REPAIR);
         }
         let done = {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -857,32 +876,29 @@ impl World {
         let outer_n = self.cfg.protocol.outer_circle;
         let now = eng.now();
         let candidates: Vec<Identity> = {
-            let peer = &self.peers[p];
-            let au_state = &peer.per_au[au.index()];
+            let me = self.peers.identity(p);
+            let au_state = self.peers.au(p, au.index());
             let poll = au_state.poll.as_ref().expect("current");
             let mut pool: Vec<Identity> = poll
                 .nominated_pool
                 .iter()
                 .copied()
-                .filter(|&c| {
-                    c != peer.identity && !au_state.reflist.contains(c) && !poll.has_invitee(c)
-                })
+                .filter(|&c| c != me && !au_state.reflist.contains(c) && !poll.has_invitee(c))
                 .collect();
             pool.dedup();
             pool
         };
-        let picked = self.peers[p].rng.sample(&candidates, outer_n);
+        let picked = self.peers.rng_mut(p).sample(&candidates, outer_n);
         let deadline = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             poll.solicit_deadline
         };
         let window = deadline.since(now).mul_f64(0.7);
         for v in picked {
             let idx = {
-                let poll = self.peers[p].per_au[au.index()]
+                let poll = self
+                    .peers
+                    .au_mut(p, au.index())
                     .poll
                     .as_mut()
                     .expect("current");
@@ -891,13 +907,19 @@ impl World {
                 }
                 poll.add_invitee(v, false)
             };
-            let at = now + self.peers[p].rng.duration_between(Duration::SECOND, window);
+            let at = now
+                + self
+                    .peers
+                    .rng_mut(p)
+                    .duration_between(Duration::SECOND, window);
             eng.schedule_at(at, move |w: &mut World, e| {
                 w.send_invite(e, p, au, id, idx);
             });
         }
         if self.poll_is_current(p, au, id) {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -913,7 +935,9 @@ impl World {
         let now = eng.now();
         // Penalize invitees that committed but never delivered (§5.1).
         let deserters = {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -926,16 +950,13 @@ impl World {
         {
             let decay = self.cfg.protocol.grade_decay;
             let _ = decay;
-            let au_state = &mut self.peers[p].per_au[au.index()];
+            let au_state = self.peers.au_mut(p, au.index());
             for d in deserters {
                 au_state.known.penalize(d, now);
             }
         }
         let n_votes = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             poll.votes.len()
         };
         if n_votes == 0 {
@@ -945,7 +966,7 @@ impl World {
         }
         let proof_checks = self.balanced_effort(self.costs.vote_proof_verify * n_votes as u64);
         let cost = self.costs.au_hash + proof_checks;
-        let res = self.peers[p].schedule.reserve(now, cost);
+        let res = self.peers.schedule_mut(p).reserve(now, cost);
         self.charge_loyal(p, Purpose::Evaluate, self.costs.au_hash);
         self.charge_loyal(p, Purpose::VerifyVoteProof, proof_checks);
         eng.schedule_at(res.end, move |w: &mut World, e| {
@@ -960,10 +981,11 @@ impl World {
         }
         let quorum = self.cfg.protocol.quorum;
         let frivolous_p = self.cfg.protocol.frivolous_repair_prob;
+        let blocks = self.cfg.au_spec.blocks();
         let now = eng.now();
 
         let (inner_votes, my_damage) = {
-            let au_state = &self.peers[p].per_au[au.index()];
+            let au_state = self.peers.au(p, au.index());
             let poll = au_state.poll.as_ref().expect("current");
             (poll.inner_votes(), au_state.replica.snapshot())
         };
@@ -974,27 +996,28 @@ impl World {
             // Every damaged block of our replica meets landslide
             // disagreement (damaged content never matches anyone): fetch a
             // repair from a voter whose vote shows the block intact.
-            let peer = &mut self.peers[p];
-            let poll = peer.per_au[au.index()].poll.as_ref().expect("current");
+            let (au_state, rng) = self.peers.au_and_rng_mut(p, au.index());
+            let poll = au_state.poll.as_ref().expect("current");
             for block in my_damage {
                 let candidates = poll.repair_candidates(block);
-                match peer.rng.choose(&candidates) {
+                match rng.choose(&candidates) {
                     Some(&v) => repair_plan.push((block, v)),
                     None => unrepairable += 1,
                 }
             }
             // Frivolous repair (§4.3): keep voters honest about serving.
-            if peer.rng.chance(frivolous_p) && !poll.votes.is_empty() {
-                let blocks = self.cfg.au_spec.blocks();
-                let block = peer.rng.below(blocks as usize) as u64;
-                let pick = peer.rng.below(poll.votes.len());
+            if rng.chance(frivolous_p) && !poll.votes.is_empty() {
+                let block = rng.below(blocks as usize) as u64;
+                let pick = rng.below(poll.votes.len());
                 let v = poll.votes[pick].voter;
                 repair_plan.push((block, v));
             }
         }
 
         {
-            let poll = self.peers[p].per_au[au.index()]
+            let poll = self
+                .peers
+                .au_mut(p, au.index())
                 .poll
                 .as_mut()
                 .expect("current");
@@ -1002,7 +1025,7 @@ impl World {
             poll.pending_repairs = repair_plan.len() as u32;
             poll.unrepairable = unrepairable;
         }
-        let from = self.peers[p].node;
+        let from = self.peers.node(p);
         let _ = now;
         if repair_plan.is_empty() {
             self.finalize_poll(eng, p, au, id);
@@ -1010,7 +1033,9 @@ impl World {
         }
         for (block, voter) in repair_plan {
             let Some(to) = self.node_of(voter) else {
-                let poll = self.peers[p].per_au[au.index()]
+                let poll = self
+                    .peers
+                    .au_mut(p, au.index())
                     .poll
                     .as_mut()
                     .expect("current");
@@ -1029,10 +1054,7 @@ impl World {
             );
         }
         let still_pending = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             poll.pending_repairs
         };
         if still_pending == 0 {
@@ -1048,10 +1070,7 @@ impl World {
             return;
         }
         let phase = {
-            let poll = self.peers[p].per_au[au.index()]
-                .poll
-                .as_ref()
-                .expect("current");
+            let poll = self.peers.au(p, au.index()).poll.as_ref().expect("current");
             poll.phase
         };
         if phase != PollPhase::Finished {
@@ -1074,13 +1093,13 @@ impl World {
         let now = eng.now();
 
         let poll = {
-            let au_state = &mut self.peers[p].per_au[au.index()];
+            let au_state = self.peers.au_mut(p, au.index());
             let mut poll = au_state.poll.take().expect("current");
             poll.phase = PollPhase::Finished;
             poll
         };
 
-        let my_damage = self.peers[p].per_au[au.index()].replica.snapshot();
+        let my_damage = self.peers.au(p, au.index()).replica.snapshot();
         let inner_votes = poll.inner_votes();
         let disagreeing = poll.inner_disagreements(&my_damage);
         let quorate = inner_votes >= quorum;
@@ -1106,7 +1125,7 @@ impl World {
 
         // Grades: every voter that supplied a valid vote is raised (§5.1).
         {
-            let au_state = &mut self.peers[p].per_au[au.index()];
+            let au_state = self.peers.au_mut(p, au.index());
             for v in &poll.votes {
                 au_state.known.raise(v.voter, now, grade_decay);
             }
@@ -1114,7 +1133,7 @@ impl World {
 
         // Receipts: the MBF byproduct of evaluation (§5.1); evaluation was
         // already charged, so receipts cost only the send.
-        let from = self.peers[p].node;
+        let from = self.peers.node(p);
         let voters: Vec<Identity> = poll.votes.iter().map(|v| v.voter).collect();
         for v in &voters {
             if let Some(to) = self.node_of(*v) {
@@ -1136,18 +1155,19 @@ impl World {
             let agreeing_outer = poll.agreeing_outer(&my_damage);
             let decisive = poll.decisive_voters();
             let World { cfg, peers, .. } = self;
-            let peer = &mut peers[p];
-            let au_state = &mut peer.per_au[au.index()];
+            let (au_state, rng) = peers.au_and_rng_mut(p, au.index());
             au_state
                 .reflist
-                .conclude_poll(&decisive, &agreeing_outer, &cfg.protocol, &mut peer.rng);
+                .conclude_poll(&decisive, &agreeing_outer, &cfg.protocol, rng);
         }
 
         // Metrics.
         if landslide_win {
             self.metrics.polls.on_success(p as u32, au.0, now);
+            self.metrics.timeline.add(now, RunMetrics::KIND_SUCCESS);
         } else {
             self.metrics.polls.on_failure();
+            self.metrics.timeline.add(now, RunMetrics::KIND_FAILURE);
             if inconclusive || landslide_loss {
                 // A loss should have been repaired away; both raise alarms.
                 self.metrics.polls.on_alarm();
@@ -1156,7 +1176,7 @@ impl World {
 
         // Next poll: autonomous fixed rate with jitter (§5.1).
         let jitter = self.cfg.protocol.interval_jitter;
-        let next_start = poll.started + self.peers[p].rng.jitter(poll_interval, jitter);
+        let next_start = poll.started + self.peers.rng_mut(p).jitter(poll_interval, jitter);
         let at = next_start.max(now + Duration::SECOND);
         eng.schedule_at(at, move |w: &mut World, e| {
             w.start_poll(e, p, au);
@@ -1181,18 +1201,17 @@ impl World {
         vote_deadline: SimTime,
     ) {
         let now = eng.now();
-        if self.peers[p].voting.contains_key(&id) {
+        if self.peers.voting(p).contains_key(&id) {
             return; // duplicate invitation for an existing commitment
         }
         // Admission filter. The split borrow passes the config by reference
-        // alongside the mutable peer state — no per-invitation clone.
+        // alongside the mutable peer columns — no per-invitation clone.
         let outcome = {
             let World { cfg, peers, .. } = self;
-            let peer = &mut peers[p];
-            let au_state = &mut peer.per_au[au.index()];
+            let (au_state, rng) = peers.au_and_rng_mut(p, au.index());
             au_state
                 .admission
-                .filter(poller, &au_state.known, now, &cfg.protocol, &mut peer.rng)
+                .filter(poller, &au_state.known, now, &cfg.protocol, rng)
         };
         self.trace(eng, || TraceEvent::Admission {
             peer: p as u32,
@@ -1223,10 +1242,10 @@ impl World {
         // effort the poller spent) is already consumed.
         if self.cfg.protocol.adaptive_acceptance {
             let window = self.cfg.protocol.adaptive_window;
-            let busy = self.peers[p].schedule.busy_within(now, window);
+            let busy = self.peers.schedule(p).busy_within(now, window);
             let fraction = (busy / window).min(0.95);
-            if self.peers[p].rng.chance(fraction) {
-                let from_node = self.peers[p].node;
+            if self.peers.rng_mut(p).chance(fraction) {
+                let from_node = self.peers.node(p);
                 self.send_message(
                     eng,
                     from_node,
@@ -1259,13 +1278,13 @@ impl World {
         let vote_cost = self.balanced_effort(self.costs.remaining_verify)
             + self.costs.au_hash
             + self.balanced_effort(self.costs.vote_proof_gen);
-        let reservation = self.peers[p].schedule.try_reserve(
+        let reservation = self.peers.schedule_mut(p).try_reserve(
             now,
             now,
             vote_deadline.saturating_sub(Duration::MINUTE),
             vote_cost,
         );
-        let from_node = self.peers[p].node;
+        let from_node = self.peers.node(p);
         let Some(reservation) = reservation else {
             self.send_message(
                 eng,
@@ -1288,7 +1307,7 @@ impl World {
             vote_deadline,
             via_introduction,
         );
-        self.peers[p].voting.insert(id, session);
+        self.peers.voting_mut(p).insert(id, session);
         self.send_message(
             eng,
             from_node,
@@ -1310,7 +1329,7 @@ impl World {
     fn voter_proof_timeout(&mut self, eng: &mut Eng, p: usize, id: PollId) {
         let now = eng.now();
         let (cancel, au, poller) = {
-            let Some(s) = self.peers[p].voting.get(&id) else {
+            let Some(s) = self.peers.voting(p).get(&id) else {
                 return;
             };
             if s.stage != VoterStage::AwaitingProof {
@@ -1318,9 +1337,9 @@ impl World {
             }
             (s.reservation, s.au, s.poller)
         };
-        self.peers[p].schedule.cancel(cancel);
-        self.peers[p].voting.remove(&id);
-        self.peers[p].per_au[au.index()].known.penalize(poller, now);
+        self.peers.schedule_mut(p).cancel(cancel);
+        self.peers.voting_mut(p).remove(&id);
+        self.peers.au_mut(p, au.index()).known.penalize(poller, now);
         let _ = eng;
     }
 
@@ -1336,7 +1355,7 @@ impl World {
     ) {
         let now = eng.now();
         let compute_done = {
-            let Some(s) = self.peers[p].voting.get_mut(&id) else {
+            let Some(s) = self.peers.voting_mut(p).get_mut(&id) else {
                 return;
             };
             if s.stage != VoterStage::AwaitingProof || s.au != au {
@@ -1346,9 +1365,9 @@ impl World {
                 // Bogus remaining proof: abort, penalize.
                 let res = s.reservation;
                 let poller = s.poller;
-                self.peers[p].schedule.cancel(res);
-                self.peers[p].voting.remove(&id);
-                self.peers[p].per_au[au.index()].known.penalize(poller, now);
+                self.peers.schedule_mut(p).cancel(res);
+                self.peers.voting_mut(p).remove(&id);
+                self.peers.au_mut(p, au.index()).known.penalize(poller, now);
                 return;
             }
             s.stage = VoterStage::ComputingVote;
@@ -1362,7 +1381,7 @@ impl World {
     fn voter_vote_computed(&mut self, eng: &mut Eng, p: usize, id: PollId) {
         let now = eng.now();
         let (au, poller_node, vote_deadline) = {
-            let Some(s) = self.peers[p].voting.get_mut(&id) else {
+            let Some(s) = self.peers.voting_mut(p).get_mut(&id) else {
                 return;
             };
             if s.stage != VoterStage::ComputingVote {
@@ -1379,13 +1398,13 @@ impl World {
         self.charge_loyal(p, Purpose::GenVoteProof, gen_proof);
 
         let (damage, nominations, from, me) = {
-            let peer = &mut self.peers[p];
-            let au_state = &peer.per_au[au.index()];
+            let from = self.peers.node(p);
+            let me = self.peers.identity(p);
+            let nominations_k = self.cfg.protocol.nominations;
+            let (au_state, rng) = self.peers.au_and_rng_mut(p, au.index());
             let damage = au_state.replica.snapshot();
-            let noms = au_state
-                .reflist
-                .nominate(self.cfg.protocol.nominations, &mut peer.rng);
-            (damage, noms, peer.node, peer.identity)
+            let noms = au_state.reflist.nominate(nominations_k, rng);
+            (damage, noms, from, me)
         };
         self.send_message(
             eng,
@@ -1411,31 +1430,31 @@ impl World {
 
     fn voter_receipt_deadline(&mut self, eng: &mut Eng, p: usize, id: PollId) {
         let now = eng.now();
-        let Some(s) = self.peers[p].voting.get(&id) else {
+        let Some(s) = self.peers.voting(p).get(&id) else {
             return;
         };
         if s.stage != VoterStage::AwaitingReceipt {
             return;
         }
         let (au, poller) = (s.au, s.poller);
-        self.peers[p].voting.remove(&id);
+        self.peers.voting_mut(p).remove(&id);
         // Wasteful-strategy defense (§5.1): no receipt, straight to debt.
-        self.peers[p].per_au[au.index()].known.penalize(poller, now);
+        self.peers.au_mut(p, au.index()).known.penalize(poller, now);
         let _ = eng;
     }
 
     fn voter_on_receipt(&mut self, eng: &mut Eng, p: usize, id: PollId, valid: bool) {
         let now = eng.now();
-        let Some(s) = self.peers[p].voting.get(&id) else {
+        let Some(s) = self.peers.voting(p).get(&id) else {
             return;
         };
         if s.stage != VoterStage::AwaitingReceipt {
             return;
         }
         let (au, poller) = (s.au, s.poller);
-        self.peers[p].voting.remove(&id);
+        self.peers.voting_mut(p).remove(&id);
         let decay = self.cfg.protocol.grade_decay;
-        let au_state = &mut self.peers[p].per_au[au.index()];
+        let au_state = self.peers.au_mut(p, au.index());
         if valid {
             // Completed exchange: we supplied a vote, the poller consumed
             // it — its grade at us drops one step (§5.1 reciprocity).
@@ -1502,7 +1521,7 @@ mod tests {
         let (world, end) = run_world(small_config(7), Duration::from_days(360));
         let s = world.metrics.summarize(end);
         // MTBF 1 year/disk over 2 AUs at 30-day polls: damage must occur...
-        let damaged_now: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+        let damaged_now = world.peers.total_damaged();
         // ...and be repaired promptly: the steady-state damaged fraction
         // should be near rate * mean-detection-delay, far below 10%.
         assert!(
@@ -1548,7 +1567,7 @@ mod tests {
         world.start(&mut eng);
         // Stop every peer for the whole run.
         for i in 0..world.n_loyal() {
-            let node = world.peers[i].node;
+            let node = world.peers.node(i);
             world.net.set_stopped(node, true);
         }
         let end = SimTime::ZERO + Duration::from_days(120);
@@ -1565,8 +1584,12 @@ mod tests {
         assert!(s.loyal_effort_secs > 0.0);
         assert_eq!(s.adversary_effort_secs, 0.0);
         // Every peer should have spent something (all poll and vote).
-        for p in &world.peers {
-            assert!(p.ledger.total_secs() > 0.0, "peer {:?} idle", p.identity);
+        for p in 0..world.peers.len() {
+            assert!(
+                world.peers.ledger(p).total_secs() > 0.0,
+                "peer {:?} idle",
+                world.peers.identity(p)
+            );
         }
     }
 
@@ -1582,4 +1605,40 @@ mod tests {
         let b = world.alloc_poll_id();
         assert_ne!(a, b);
     }
+
+    /// A 10k-peer world builds quickly and stays sparse: construction is
+    /// O(population × reference-list size), and the founding-population
+    /// reputation rule materializes zero entries.
+    #[test]
+    fn ten_thousand_peer_world_builds_sparse() {
+        let mut cfg = WorldConfig {
+            n_peers: 10_000,
+            n_aus: 1,
+            seed: 3,
+            ..WorldConfig::default()
+        };
+        cfg.link_mix = Some([0.6, 0.3, 0.1]);
+        let world = World::new(cfg);
+        assert_eq!(world.peers.len(), 10_000);
+        let occ = world.peers.occupancy();
+        assert_eq!(occ.known_entries, 0, "reputation must start lazy");
+        assert_eq!(
+            occ.reflist_entries,
+            10_000 * ProtocolConfig::default().reflist_initial
+        );
+        // The steady-state proxy still holds: a founding peer sees any
+        // other founder as known-at-even.
+        let standing = world.peers.au(0, 0).known.standing(
+            Identity::loyal(9_999),
+            SimTime::ZERO,
+            world.cfg.protocol.grade_decay,
+        );
+        assert_eq!(
+            standing,
+            crate::reputation::Standing::Known(Grade::Even),
+            "founding population must read known-at-even"
+        );
+    }
+
+    use crate::config::ProtocolConfig;
 }

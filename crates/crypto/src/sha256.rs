@@ -76,7 +76,12 @@ impl Default for Sha256 {
 
 #[inline(always)]
 fn load_be(block: &[u8], i: usize) -> u32 {
-    u32::from_be_bytes([block[i * 4], block[i * 4 + 1], block[i * 4 + 2], block[i * 4 + 3]])
+    u32::from_be_bytes([
+        block[i * 4],
+        block[i * 4 + 1],
+        block[i * 4 + 2],
+        block[i * 4 + 3],
+    ])
 }
 
 /// One compression of a 64-byte block into `state`.
@@ -130,10 +135,7 @@ fn compress(state: &mut [u32; 8], block: &[u8]) {
         ($wi:ident, $w1:ident, $w9:ident, $w14:ident) => {{
             let s0 = $w1.rotate_right(7) ^ $w1.rotate_right(18) ^ ($w1 >> 3);
             let s1 = $w14.rotate_right(17) ^ $w14.rotate_right(19) ^ ($w14 >> 10);
-            $wi = $wi
-                .wrapping_add(s0)
-                .wrapping_add($w9)
-                .wrapping_add(s1);
+            $wi = $wi.wrapping_add(s0).wrapping_add($w9).wrapping_add(s1);
             $wi
         }};
     }
@@ -162,9 +164,7 @@ fn compress(state: &mut [u32; 8], block: &[u8]) {
         }};
     }
 
-    round16!(
-        0, w00, w01, w02, w03, w04, w05, w06, w07, w08, w09, w10, w11, w12, w13, w14, w15
-    );
+    round16!(0, w00, w01, w02, w03, w04, w05, w06, w07, w08, w09, w10, w11, w12, w13, w14, w15);
     round16!(
         16,
         sched!(w00, w01, w09, w14),
@@ -233,15 +233,30 @@ fn compress(state: &mut [u32; 8], block: &[u8]) {
     state[7] = state[7].wrapping_add(h);
 }
 
+/// True if the `LOCKSS_SHA256_FORCE_PORTABLE` environment variable (any
+/// value but `0`) disables the hardware backend. Read once and cached: CI
+/// uses this to keep the portable core exercised on SHA-NI runners, where
+/// runtime dispatch would otherwise never take the portable path. Both
+/// backends are bit-identical, so forcing is purely a coverage/perf knob.
+#[cfg(target_arch = "x86_64")]
+fn force_portable() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE
+        .get_or_init(|| std::env::var_os("LOCKSS_SHA256_FORCE_PORTABLE").is_some_and(|v| v != "0"))
+}
+
 /// Compresses every whole 64-byte block at the front of `data` (length need
 /// not be a multiple of 64; the tail is the caller's problem). Dispatches to
-/// the SHA-NI backend when the CPU has it.
+/// the SHA-NI backend when the CPU has it (unless the portable core is
+/// forced via `LOCKSS_SHA256_FORCE_PORTABLE`).
 #[inline]
 fn compress_many(state: &mut [u32; 8], data: &[u8]) {
     #[cfg(target_arch = "x86_64")]
     {
         // The feature probe is a cached atomic load after the first call.
         if data.len() >= 64
+            && !force_portable()
             && is_x86_feature_detected!("sha")
             && is_x86_feature_detected!("sse4.1")
             && is_x86_feature_detected!("ssse3")

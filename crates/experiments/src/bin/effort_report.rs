@@ -26,8 +26,8 @@ fn run_ledger(scenario: &Scenario, seed: u64) -> EffortLedger {
     world.start(&mut eng);
     eng.run_until(&mut world, SimTime::ZERO + scenario.run_length);
     let mut total = EffortLedger::new();
-    for p in &world.peers {
-        total.merge(&p.ledger);
+    for ledger in world.peers.ledgers() {
+        total.merge(ledger);
     }
     total
 }

@@ -28,22 +28,26 @@
 
 use lockss_experiments::runner::{
     default_threads, replay_once, run_batch, run_once, run_once_recorded, run_once_with_phases,
+    run_once_with_stats, RunStats,
 };
+use lockss_experiments::sweep::{self, load_checkpoint, parse_seed_range, run_sweep};
 use lockss_experiments::{Scale, ScenarioRegistry};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
-use lockss_sim::Duration;
 use lockss_trace::{diff_traces, trace_stats, Trace, TraceMeta};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lockss-sim <command> [options]\n\
          \n\
          commands:\n\
-         \x20 list                     all registered scenarios\n\
+         \x20 list [--names]           all registered scenarios (--names: bare names)\n\
          \x20 describe <name>          one scenario in detail\n\
          \x20 run <name>               run a scenario and report the metrics\n\
+         \x20 sweep <name>             run a seed sweep on a worker pool; the merged\n\
+         \x20                          report is byte-identical for any --threads and\n\
+         \x20                          resumes from --checkpoint after interruption\n\
          \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
          \x20                          event-for-event equivalence\n\
          \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
@@ -56,7 +60,14 @@ fn usage() -> ! {
          \x20 --scale <quick|default|paper>   experiment scale (or LOCKSS_SCALE)\n\
          \x20 --seed <N>                      run exactly one seed (replay: perturb\n\
          \x20                                 the recorded seed to find the fork)\n\
-         \x20 --seeds <K>                     run seeds 1..=K (default: the scale's)\n\
+         \x20 --seeds <K>                     run seeds 1..=K (default: the scale's);\n\
+         \x20                                 sweep also accepts a range A..B\n\
+         \x20 --threads <N>                   sweep worker threads (default: all cores)\n\
+         \x20 --checkpoint <path>             sweep: resumable checkpoint/report path\n\
+         \x20                                 (default results/sweep-<name>.json)\n\
+         \x20 --fresh                         sweep: ignore an existing checkpoint\n\
+         \x20                                 and recompute every seed\n\
+         \x20 --mem-report                    print peak RSS and arena/table occupancy\n\
          \x20 --record <path>                 record the run's event trace (one seed)\n\
          \x20 --json                          print the JSON summary to stdout"
     );
@@ -74,7 +85,15 @@ fn main() {
     let registry = ScenarioRegistry::standard();
     let scale = Scale::from_env_and_args();
     match args.first().map(String::as_str) {
-        Some("list") => list(&registry, scale),
+        Some("list") => {
+            if args.iter().any(|a| a == "--names") {
+                for name in registry.names() {
+                    println!("{name}");
+                }
+            } else {
+                list(&registry, scale);
+            }
+        }
         Some("describe") => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
             describe(&registry, &name, scale);
@@ -100,6 +119,35 @@ fn main() {
                 std::process::exit(2);
             }
             run(&registry, &name, scale, &seeds, json, record.as_deref());
+            if args.iter().any(|a| a == "--mem-report") {
+                let entry = resolve(&registry, &name);
+                mem_report(&entry.build(scale), seeds[0]);
+            }
+        }
+        Some("sweep") => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            let seeds = match flag_value(&args, "--seeds") {
+                Some(arg) => parse_seed_range(&arg).unwrap_or_else(|e| fail(&e)),
+                None => (1..=scale.seeds()).collect(),
+            };
+            let threads: usize = flag_value(&args, "--threads")
+                .map(|s| s.parse().expect("--threads N"))
+                .unwrap_or_else(default_threads);
+            let checkpoint = flag_value(&args, "--checkpoint");
+            let fresh = args.iter().any(|a| a == "--fresh");
+            let json = args.iter().any(|a| a == "--json");
+            let mem = args.iter().any(|a| a == "--mem-report");
+            sweep_cmd(
+                &registry,
+                &name,
+                scale,
+                &seeds,
+                threads,
+                checkpoint.as_deref(),
+                fresh,
+                json,
+                mem,
+            );
         }
         Some("replay") => {
             let path = args.get(1).cloned().unwrap_or_else(|| usage());
@@ -155,8 +203,8 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
     use lockss_bench::diff::{self, GATED_BENCHES};
 
     let read = |path: &str| -> Vec<diff::ParsedBench> {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
         diff::parse_report(&text).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")))
     };
     let base = read(base_path);
@@ -228,6 +276,151 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
     }
 }
 
+/// Runs a seed sweep of one registered scenario across a worker pool.
+///
+/// The merged report is byte-identical regardless of `threads` (per-seed
+/// result slots, seed-ordered reduction), and a sweep interrupted mid-way
+/// resumes from its `--checkpoint` file, producing the same final bytes
+/// as an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cmd(
+    registry: &ScenarioRegistry,
+    name: &str,
+    scale: Scale,
+    seeds: &[u64],
+    threads: usize,
+    checkpoint: Option<&str>,
+    fresh: bool,
+    json_out: bool,
+    mem: bool,
+) {
+    let entry = resolve(registry, name);
+    let scenario = entry.build(scale);
+    let default_path = format!("results/sweep-{}.json", entry.name);
+    let path = PathBuf::from(checkpoint.unwrap_or(&default_path));
+    // --fresh ignores any existing checkpoint: without it, a rerun after a
+    // code change would replay the stale per-seed summaries verbatim.
+    let resume = if fresh {
+        None
+    } else {
+        load_checkpoint(&path, entry.name, scale.label())
+    };
+    let done_before = resume.as_ref().map(|r| r.completed.len()).unwrap_or(0);
+    println!(
+        "sweeping '{}' at scale '{}': {} seed(s) on {} thread(s){}",
+        entry.name,
+        scale.label(),
+        seeds.len(),
+        threads,
+        if done_before > 0 {
+            format!(" ({done_before} already in {})", path.display())
+        } else {
+            String::new()
+        }
+    );
+    let report = run_sweep(
+        &scenario,
+        entry.name,
+        scale.label(),
+        seeds,
+        threads,
+        Some(&path),
+        resume,
+    );
+
+    let mut table = Table::new(vec![
+        "seed",
+        "access failure",
+        "gap p50",
+        "gap p90",
+        "ok",
+        "failed",
+        "alarms",
+    ]);
+    let fmt_gap = |d: Option<lockss_sim::Duration>| {
+        d.map(|d| format!("{:.0}d", d.as_days_f64()))
+            .unwrap_or_else(|| "-".into())
+    };
+    for (seed, s) in &report.completed {
+        table.row(vec![
+            seed.to_string(),
+            sci(s.access_failure_probability),
+            fmt_gap(s.gap_p50),
+            fmt_gap(s.gap_p90),
+            s.successful_polls.to_string(),
+            s.failed_polls.to_string(),
+            s.alarms.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Some(m) = report.merged() {
+        println!(
+            "\nmerged over {} seed(s): access failure {}, {} ok / {} failed, \
+             loyal {:.0} CPU-s",
+            report.completed.len(),
+            sci(m.access_failure_probability),
+            m.successful_polls,
+            m.failed_polls,
+            m.loyal_effort_secs
+        );
+    }
+    // The report claims persistence only after re-reading the file: a full
+    // disk or unwritable results/ must fail loudly, not lose a multi-hour
+    // sweep silently.
+    match std::fs::read_to_string(&path) {
+        Ok(on_disk) if on_disk == report.to_json() => println!("wrote {}", path.display()),
+        _ => fail(&format!(
+            "sweep finished but the report at {} is missing or stale (checkpoint writes failed?)",
+            path.display()
+        )),
+    }
+    if json_out {
+        print!("{}", report.to_json());
+    }
+    if mem {
+        mem_report(&scenario, report.seeds.first().copied().unwrap_or(1));
+    }
+}
+
+/// Prints peak RSS plus event-arena and peer-table occupancy for one
+/// representative seed of `scenario` (the run is repeated with the
+/// instrumented path; its metrics are identical to the plain run).
+fn mem_report(scenario: &lockss_experiments::Scenario, seed: u64) {
+    let RunStats {
+        summary: _,
+        peak_rss_kb,
+        arena_live,
+        arena_total,
+        events_executed,
+        events_queued,
+        table,
+    } = run_once_with_stats(scenario, seed);
+    println!("\nmemory report (seed {seed}):");
+    println!(
+        "  peak RSS                  {}",
+        peak_rss_kb
+            .map(|kb| format!("{:.1} MiB", kb as f64 / 1024.0))
+            .unwrap_or_else(|| "unavailable on this platform".into())
+    );
+    println!("  event arena               {arena_live} live / {arena_total} high-water slots");
+    println!(
+        "  events                    {events_executed} executed, {events_queued} queued at horizon"
+    );
+    println!(
+        "  peer table                {} peers x {} AU(s)",
+        table.peers, table.aus_per_peer
+    );
+    println!(
+        "  reputation entries        {} materialized (lazy founding-population rule)",
+        table.known_entries
+    );
+    println!("  reference-list entries    {}", table.reflist_entries);
+    println!(
+        "  live polls / voter sessions  {} / {}",
+        table.live_polls, table.voter_sessions
+    );
+}
+
 fn load_trace(path: &str) -> Trace {
     Trace::read_from(Path::new(path)).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
 }
@@ -236,7 +429,9 @@ fn load_trace(path: &str) -> Trace {
 /// on zero divergence, 1 with the first divergence otherwise.
 fn replay(registry: &ScenarioRegistry, path: &str, seed_override: Option<u64>) {
     let trace = load_trace(path);
-    let meta = trace.meta().unwrap_or_else(|e| fail(&format!("header: {e}")));
+    let meta = trace
+        .meta()
+        .unwrap_or_else(|e| fail(&format!("header: {e}")));
     let entry = registry.get(&meta.scenario).unwrap_or_else(|| {
         fail(&format!(
             "trace records scenario '{}', which is not in this build's registry",
@@ -253,8 +448,8 @@ fn replay(registry: &ScenarioRegistry, path: &str, seed_override: Option<u64>) {
             format!(" (perturbed to seed {seed})")
         }
     );
-    let report = replay_once(&scenario, seed, &trace)
-        .unwrap_or_else(|e| fail(&format!("replaying: {e}")));
+    let report =
+        replay_once(&scenario, seed, &trace).unwrap_or_else(|e| fail(&format!("replaying: {e}")));
     println!("{report}");
     if !report.is_equivalent() {
         std::process::exit(1);
@@ -464,24 +659,9 @@ fn json_opt(v: Option<f64>) -> String {
     v.map(json_f64).unwrap_or_else(|| "null".to_string())
 }
 
-fn json_duration(d: Option<Duration>) -> String {
-    d.map(|d| d.as_millis().to_string())
-        .unwrap_or_else(|| "null".to_string())
-}
-
 fn summary_json(s: &Summary) -> String {
-    format!(
-        "{{\"access_failure_probability\": {}, \"mean_gap_ms\": {}, \
-         \"successful_polls\": {}, \"failed_polls\": {}, \"alarms\": {}, \
-         \"loyal_effort_secs\": {}, \"adversary_effort_secs\": {}}}",
-        json_f64(s.access_failure_probability),
-        json_duration(s.mean_time_between_successes),
-        s.successful_polls,
-        s.failed_polls,
-        s.alarms,
-        json_f64(s.loyal_effort_secs),
-        json_f64(s.adversary_effort_secs),
-    )
+    // The canonical field order shared with the sweep reports.
+    sweep::summary_to_json(s)
 }
 
 fn phase_json(p: &PhaseSummary) -> String {

@@ -20,18 +20,34 @@ pub fn fresh_requested() -> bool {
     std::env::args().any(|a| a == "--fresh")
 }
 
+/// Formats an optional duration as milliseconds (empty for `None`).
+fn opt_ms(d: Option<Duration>) -> String {
+    d.map(|d| d.as_millis().to_string()).unwrap_or_default()
+}
+
+/// Parses an optional milliseconds column (empty means `None`; a malformed
+/// value invalidates the cache).
+fn parse_opt_ms(col: &str) -> Option<Option<Duration>> {
+    if col.is_empty() {
+        Some(None)
+    } else {
+        Some(Some(Duration::from_millis(col.parse().ok()?)))
+    }
+}
+
 /// Saves labelled summaries.
 pub fn store(name: &str, rows: &[(String, Summary)]) {
     let _ = std::fs::create_dir_all("results");
-    let mut out = String::from("label,afp,gap_ms,successes,failures,alarms,loyal_s,adv_s\n");
+    let mut out = String::from(
+        "label,afp,gap_ms,gap_p50_ms,gap_p90_ms,successes,failures,alarms,loyal_s,adv_s\n",
+    );
     for (label, s) in rows {
-        let gap = s
-            .mean_time_between_successes
-            .map(|d| d.as_millis().to_string())
-            .unwrap_or_default();
         out.push_str(&format!(
-            "{label},{},{gap},{},{},{},{},{}\n",
+            "{label},{},{},{},{},{},{},{},{},{}\n",
             s.access_failure_probability,
+            opt_ms(s.mean_time_between_successes),
+            opt_ms(s.gap_p50),
+            opt_ms(s.gap_p90),
             s.successful_polls,
             s.failed_polls,
             s.alarms,
@@ -42,7 +58,8 @@ pub fn store(name: &str, rows: &[(String, Summary)]) {
     let _ = std::fs::write(cache_path(name), out);
 }
 
-/// Loads labelled summaries, or `None` if absent/unreadable/stale.
+/// Loads labelled summaries, or `None` if absent/unreadable/stale (a cache
+/// written by an older column layout simply misses and is recomputed).
 pub fn load(name: &str) -> Option<Vec<(String, Summary)>> {
     if fresh_requested() {
         return None;
@@ -51,24 +68,21 @@ pub fn load(name: &str) -> Option<Vec<(String, Summary)>> {
     let mut rows = Vec::new();
     for line in text.lines().skip(1) {
         let cols: Vec<&str> = line.split(',').collect();
-        if cols.len() != 8 {
+        if cols.len() != 10 {
             return None;
         }
-        let gap = if cols[2].is_empty() {
-            None
-        } else {
-            Some(Duration::from_millis(cols[2].parse().ok()?))
-        };
         rows.push((
             cols[0].to_string(),
             Summary {
                 access_failure_probability: cols[1].parse().ok()?,
-                mean_time_between_successes: gap,
-                successful_polls: cols[3].parse().ok()?,
-                failed_polls: cols[4].parse().ok()?,
-                alarms: cols[5].parse().ok()?,
-                loyal_effort_secs: cols[6].parse().ok()?,
-                adversary_effort_secs: cols[7].parse().ok()?,
+                mean_time_between_successes: parse_opt_ms(cols[2])?,
+                gap_p50: parse_opt_ms(cols[3])?,
+                gap_p90: parse_opt_ms(cols[4])?,
+                successful_polls: cols[5].parse().ok()?,
+                failed_polls: cols[6].parse().ok()?,
+                alarms: cols[7].parse().ok()?,
+                loyal_effort_secs: cols[8].parse().ok()?,
+                adversary_effort_secs: cols[9].parse().ok()?,
             },
         ));
     }
@@ -87,6 +101,8 @@ mod tests {
                 Summary {
                     access_failure_probability: 4.8e-4,
                     mean_time_between_successes: Some(Duration::from_days(90)),
+                    gap_p50: Some(Duration::from_days(85)),
+                    gap_p90: Some(Duration::from_days(120)),
                     successful_polls: 100,
                     failed_polls: 3,
                     alarms: 0,
@@ -99,6 +115,8 @@ mod tests {
                 Summary {
                     access_failure_probability: 0.0,
                     mean_time_between_successes: None,
+                    gap_p50: None,
+                    gap_p90: None,
                     successful_polls: 0,
                     failed_polls: 0,
                     alarms: 1,

@@ -77,8 +77,9 @@ pub fn layered_run(cfg: &WorldConfig, layers: usize, run_length: Duration) -> La
         let span = run_length.as_secs_f64();
         let mean_busy: f64 = world
             .peers
+            .schedules()
             .iter()
-            .map(|p| p.schedule.committed_total().as_secs_f64())
+            .map(|s| s.committed_total().as_secs_f64())
             .sum::<f64>()
             / world.peers.len() as f64;
         density.fraction += (mean_busy / span).min(1.0);
@@ -107,7 +108,7 @@ fn inject_background(world: &mut World, density: BusyDensity, run_length: Durati
         let phase = world.rng.duration_between(Duration::ZERO, slot_period);
         for s in 0..slots {
             let start = SimTime::ZERO + phase + slot_period * s;
-            let _ = world.peers[p].schedule.try_reserve(
+            let _ = world.peers.schedule_mut(p).try_reserve(
                 SimTime::ZERO,
                 start,
                 start + slot_period,

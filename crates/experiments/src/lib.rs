@@ -25,12 +25,14 @@ pub mod registry;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod sweep;
 pub mod sweeps;
 
 pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use runner::{run_scenario, MeasuredPoint};
 pub use scale::Scale;
 pub use scenario::{phased, AttackSpec, PhasedAttack, Scenario};
+pub use sweep::{run_sweep, SweepReport};
 
 use std::io::Write as _;
 use std::path::Path;

@@ -11,9 +11,30 @@
 //! property that makes attack debugging tractable.
 
 use lockss_adversary::Defection;
+use lockss_sim::Duration;
 
 use crate::scale::Scale;
 use crate::scenario::{phased, AttackSpec, Scenario};
+
+/// A production-scale world: `n_peers` peers preserving one AU with a
+/// skewed (production-realistic) access-link mix, shorter horizons than
+/// the figure worlds, and the lazy/sparse construction path exercised by
+/// the population size itself. The `scale-*` registry family builds on
+/// this.
+fn scale_world(scale: Scale, n_peers: usize, attack: AttackSpec) -> Scenario {
+    let mut s = Scenario::attacked(scale, 1, attack);
+    s.cfg.n_peers = n_peers;
+    // Most libraries on modest links, a few well-provisioned (drawn via
+    // the O(1) alias sampler).
+    s.cfg.link_mix = Some([0.6, 0.3, 0.1]);
+    s.run_length = match scale {
+        // Two poll generations: enough for every (peer, AU) to conclude
+        // polls while keeping the CI smoke run bounded.
+        Scale::Quick => Duration::from_days(200),
+        Scale::Default | Scale::Paper => Duration::from_days(540),
+    };
+    s
+}
 
 /// One registered scenario: metadata plus a builder.
 #[derive(Clone)]
@@ -355,6 +376,45 @@ impl ScenarioRegistry {
                 )
             },
         });
+        r.register(ScenarioEntry {
+            name: "scale-10k-baseline",
+            description: "production-scale world: 10,000 peers, one AU, skewed link mix, \
+                          no attack",
+            paper_ref: "beyond the paper (scale layer)",
+            builder: |scale| scale_world(scale, 10_000, AttackSpec::None),
+        });
+        r.register(ScenarioEntry {
+            name: "scale-10k-churn-storm",
+            description: "10,000 peers under a poll-synchronized churn storm (30% depart, \
+                          50% duty)",
+            paper_ref: "§9 at production scale",
+            builder: |scale| {
+                scale_world(
+                    scale,
+                    10_000,
+                    AttackSpec::ChurnStorm {
+                        coverage: 0.3,
+                        duty: 0.5,
+                    },
+                )
+            },
+        });
+        r.register(ScenarioEntry {
+            name: "scale-50k-attrition",
+            description: "50,000 peers under a 40%-coverage admission-flood attrition \
+                          campaign, 90-day cycles",
+            paper_ref: "§7.3 at production scale",
+            builder: |scale| {
+                scale_world(
+                    scale,
+                    50_000,
+                    AttackSpec::AdmissionFlood {
+                        coverage: 0.4,
+                        days: 90,
+                    },
+                )
+            },
+        });
         r
     }
 }
@@ -392,7 +452,8 @@ mod tests {
         assert_eq!(sorted.len(), names.len(), "duplicate names");
         for n in names {
             assert!(
-                n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "name '{n}' is not kebab-case"
             );
         }

@@ -5,12 +5,22 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use lockss_core::World;
+use lockss_core::{TableOccupancy, World, WorldConfig};
 use lockss_metrics::{PhaseSummary, Summary};
 use lockss_sim::{Engine, SimTime};
 use lockss_trace::{Recorder, ReplayReport, Trace, TraceError, TraceMeta, Verifier};
 
 use crate::scenario::Scenario;
+
+/// An engine pre-sized for the scenario's population: a 10k+-peer world
+/// schedules (peers × AUs) first-poll events plus per-peer damage timers
+/// before the first event runs, and the in-flight message population
+/// scales the same way. Sizing up front replaces the doubling cascade on
+/// the heap and the event arena with one allocation each.
+fn engine_for(cfg: &WorldConfig) -> Engine<World> {
+    let outstanding = cfg.n_peers * (cfg.n_aus + 1) * 4;
+    Engine::with_capacity(outstanding.clamp(1024, 1 << 22))
+}
 
 /// Locks a mutex, recovering from poisoning: if a worker panicked while
 /// holding the lock, the queue/result state it protects is still valid (a
@@ -66,7 +76,7 @@ pub fn run_once_with_phases(scenario: &Scenario, seed: u64) -> (Summary, Vec<Pha
     if let Some(adv) = scenario.attack.build() {
         world.install_adversary(adv);
     }
-    let mut eng: Engine<World> = Engine::new();
+    let mut eng: Engine<World> = engine_for(&scenario.cfg);
     world.start(&mut eng);
     let end = SimTime::ZERO + scenario.run_length;
     eng.run_until(&mut world, end);
@@ -95,7 +105,7 @@ pub fn run_once_recorded(
     if let Some(adv) = scenario.attack.build() {
         world.install_adversary(adv);
     }
-    let mut eng: Engine<World> = Engine::new();
+    let mut eng: Engine<World> = engine_for(&scenario.cfg);
     world.start(&mut eng);
     let end = SimTime::ZERO + scenario.run_length;
     eng.run_until(&mut world, end);
@@ -126,11 +136,65 @@ pub fn replay_once(
     if let Some(adv) = scenario.attack.build() {
         world.install_adversary(adv);
     }
-    let mut eng: Engine<World> = Engine::new();
+    let mut eng: Engine<World> = engine_for(&scenario.cfg);
     world.start(&mut eng);
     let end = SimTime::ZERO + scenario.run_length;
     eng.run_until(&mut world, end);
     verifier.finish(meta)
+}
+
+/// Resource accounting of one run, for `--mem-report`.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// The run's metric summary.
+    pub summary: Summary,
+    /// Process peak RSS in kilobytes (`VmHWM`), where the platform exposes
+    /// it. Note: a process-wide high-water mark, so it reflects the
+    /// heaviest world this process ever built, not necessarily this run.
+    pub peak_rss_kb: Option<u64>,
+    /// Event-arena occupancy at end of run: live slots.
+    pub arena_live: usize,
+    /// Event-arena high-water mark: total slots ever in use at once.
+    pub arena_total: usize,
+    /// Events executed by the run.
+    pub events_executed: u64,
+    /// Events still queued at the horizon.
+    pub events_queued: usize,
+    /// Peer-table heap occupancy at end of run.
+    pub table: TableOccupancy,
+}
+
+/// Runs one seed and collects the memory/occupancy report alongside the
+/// summary (the run itself is identical to [`run_once`]).
+pub fn run_once_with_stats(scenario: &Scenario, seed: u64) -> RunStats {
+    let mut cfg = scenario.cfg.clone();
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    if let Some(adv) = scenario.attack.build() {
+        world.install_adversary(adv);
+    }
+    let mut eng: Engine<World> = engine_for(&scenario.cfg);
+    world.start(&mut eng);
+    let end = SimTime::ZERO + scenario.run_length;
+    eng.run_until(&mut world, end);
+    let (arena_live, arena_total) = eng.arena_occupancy();
+    RunStats {
+        summary: world.metrics.summarize(end),
+        peak_rss_kb: peak_rss_kb(),
+        arena_live,
+        arena_total,
+        events_executed: eng.executed(),
+        events_queued: eng.queued(),
+        table: world.peers.occupancy(),
+    }
+}
+
+/// The process's peak resident set size in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Runs `seeds` seeds of a scenario and returns the mean summary.

@@ -97,7 +97,8 @@ impl AttackSpec {
             AttackSpec::None => {}
             AttackSpec::Compose(members) => {
                 for m in members {
-                    m.attack.flatten(start + Duration::from_days(m.start_days), out);
+                    m.attack
+                        .flatten(start + Duration::from_days(m.start_days), out);
                 }
             }
             primitive => {
@@ -178,11 +179,9 @@ impl AttackSpec {
                 (coverage * 100.0).round(),
                 (duty * 100.0).round()
             ),
-            AttackSpec::SybilRamp { step, step_days } => format!(
-                "sybil-ramp +{}%/{}d",
-                (step * 100.0).round(),
-                step_days
-            ),
+            AttackSpec::SybilRamp { step, step_days } => {
+                format!("sybil-ramp +{}%/{}d", (step * 100.0).round(), step_days)
+            }
             AttackSpec::Compose(members) => {
                 let parts: Vec<String> = members
                     .iter()

@@ -1,0 +1,701 @@
+//! The deterministic parallel sweep orchestrator.
+//!
+//! `lockss-sim sweep <scenario> --seeds A..B --threads N` runs one
+//! registered scenario across a seed range on a worker pool and merges the
+//! per-seed summaries into one report. Three properties make sweeps safe
+//! to parallelize and interrupt at production scale:
+//!
+//! - **thread-count invariance** — workers claim `(seed)` jobs off an
+//!   atomic cursor but slot results by seed index, and the merge reduces
+//!   in seed order, so the rendered report is byte-identical for
+//!   `--threads 1` and `--threads 8`;
+//! - **resumable checkpoints** — with `--checkpoint <path>`, the partial
+//!   report is rewritten (atomically, via a temp file + rename) as each
+//!   seed completes; rerunning the same sweep loads it, skips the
+//!   already-finished seeds, and produces a final report byte-identical to
+//!   an uninterrupted run (summaries round-trip exactly: shortest-repr
+//!   float formatting parses back to the same bits);
+//! - **streaming memory** — each seed's run keeps fixed-size metric
+//!   sketches (see `lockss-metrics::streaming`), so sweeping a 10k-peer
+//!   world costs one world at a time per worker, not a buffered history.
+//!
+//! The checkpoint/report format is a small fixed-schema JSON document; the
+//! reader below is a self-hosted recursive-descent parser (the offline
+//! dependency policy bans serde).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lockss_metrics::Summary;
+use lockss_sim::Duration;
+
+use crate::runner::run_once;
+use crate::scenario::Scenario;
+
+// ---------------------------------------------------------------------
+// Report model.
+// ---------------------------------------------------------------------
+
+/// The (possibly partial) outcome of one sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Registered scenario name.
+    pub scenario: String,
+    /// Scale label the scenario was built at.
+    pub scale: String,
+    /// Every seed the sweep was asked to run, ascending.
+    pub seeds: Vec<u64>,
+    /// Finished seeds with their summaries, ascending by seed.
+    pub completed: Vec<(u64, Summary)>,
+}
+
+impl SweepReport {
+    /// An empty report for a planned sweep.
+    pub fn new(scenario: &str, scale: &str, mut seeds: Vec<u64>) -> SweepReport {
+        seeds.sort_unstable();
+        seeds.dedup();
+        SweepReport {
+            scenario: scenario.to_string(),
+            scale: scale.to_string(),
+            seeds,
+            completed: Vec::new(),
+        }
+    }
+
+    /// True once every requested seed has a summary.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.seeds.len()
+    }
+
+    /// The mean summary over completed seeds, reduced in ascending seed
+    /// order (float reductions are order-sensitive; a fixed order is what
+    /// keeps the merge byte-deterministic). `None` while nothing finished.
+    pub fn merged(&self) -> Option<Summary> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        let runs: Vec<Summary> = self.completed.iter().map(|(_, s)| s.clone()).collect();
+        Some(Summary::mean_of(&runs))
+    }
+
+    /// Records one finished seed, keeping `completed` sorted by seed.
+    /// Re-recording a seed replaces its summary.
+    pub fn record(&mut self, seed: u64, summary: Summary) {
+        match self.completed.binary_search_by_key(&seed, |(s, _)| *s) {
+            Ok(i) => self.completed[i].1 = summary,
+            Err(i) => self.completed.insert(i, (seed, summary)),
+        }
+    }
+
+    /// The summaries already completed, for resuming: seeds outside the
+    /// requested set are dropped (the checkpoint belonged to a different
+    /// seed range).
+    fn restrict_to(&mut self, seeds: &[u64]) {
+        self.completed.retain(|(s, _)| seeds.contains(s));
+        self.seeds = seeds.to_vec();
+    }
+
+    // -- serialization ------------------------------------------------
+
+    /// Renders the canonical JSON form: fixed field order, ascending
+    /// seeds, shortest-round-trip floats. Byte-deterministic for a given
+    /// logical content.
+    pub fn to_json(&self) -> String {
+        let seed_list: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        let rows: Vec<String> = self
+            .completed
+            .iter()
+            .map(|(seed, s)| {
+                format!(
+                    "    {{\"seed\": {seed}, \"summary\": {}}}",
+                    summary_to_json(s)
+                )
+            })
+            .collect();
+        let merged = self
+            .merged()
+            .map(|m| summary_to_json(&m))
+            .unwrap_or_else(|| "null".to_string());
+        format!(
+            "{{\n  \"sweep\": \"{}\",\n  \"scale\": \"{}\",\n  \"seeds\": [{}],\n  \
+             \"completed\": [\n{}\n  ],\n  \"merged\": {merged}\n}}\n",
+            self.scenario,
+            self.scale,
+            seed_list.join(", "),
+            rows.join(",\n"),
+        )
+    }
+
+    /// Parses a report previously written by [`SweepReport::to_json`].
+    pub fn from_json(text: &str) -> Result<SweepReport, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("report")?;
+        let scenario = json::get(obj, "sweep")?.as_str("sweep")?.to_string();
+        let scale = json::get(obj, "scale")?.as_str("scale")?.to_string();
+        let seeds = json::get(obj, "seeds")?
+            .as_array("seeds")?
+            .iter()
+            .map(|v| v.as_u64("seed"))
+            .collect::<Result<Vec<u64>, String>>()?;
+        let mut report = SweepReport::new(&scenario, &scale, seeds);
+        for row in json::get(obj, "completed")?.as_array("completed")? {
+            let row = row.as_object("completed row")?;
+            let seed = json::get(row, "seed")?.as_u64("seed")?;
+            let summary = summary_from_json(json::get(row, "summary")?)?;
+            report.record(seed, summary);
+        }
+        Ok(report)
+    }
+}
+
+/// One summary in the canonical JSON field order shared with the
+/// `lockss-sim` scenario reports.
+pub fn summary_to_json(s: &Summary) -> String {
+    fn f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn ms(d: Option<Duration>) -> String {
+        d.map(|d| d.as_millis().to_string())
+            .unwrap_or_else(|| "null".to_string())
+    }
+    format!(
+        "{{\"access_failure_probability\": {}, \"mean_gap_ms\": {}, \
+         \"gap_p50_ms\": {}, \"gap_p90_ms\": {}, \
+         \"successful_polls\": {}, \"failed_polls\": {}, \"alarms\": {}, \
+         \"loyal_effort_secs\": {}, \"adversary_effort_secs\": {}}}",
+        f(s.access_failure_probability),
+        ms(s.mean_time_between_successes),
+        ms(s.gap_p50),
+        ms(s.gap_p90),
+        s.successful_polls,
+        s.failed_polls,
+        s.alarms,
+        f(s.loyal_effort_secs),
+        f(s.adversary_effort_secs),
+    )
+}
+
+/// Parses a summary written by [`summary_to_json`]. Floats round-trip
+/// exactly (shortest-repr formatting), which is what makes
+/// resume-equals-uninterrupted a byte-level guarantee.
+pub fn summary_from_json(v: &json::Value) -> Result<Summary, String> {
+    let obj = v.as_object("summary")?;
+    let opt_ms = |key: &str| -> Result<Option<Duration>, String> {
+        let v = json::get(obj, key)?;
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(Duration::from_millis(v.as_u64(key)?)))
+        }
+    };
+    Ok(Summary {
+        access_failure_probability: json::get(obj, "access_failure_probability")?
+            .as_f64("access_failure_probability")?,
+        mean_time_between_successes: opt_ms("mean_gap_ms")?,
+        gap_p50: opt_ms("gap_p50_ms")?,
+        gap_p90: opt_ms("gap_p90_ms")?,
+        successful_polls: json::get(obj, "successful_polls")?.as_u64("successful_polls")?,
+        failed_polls: json::get(obj, "failed_polls")?.as_u64("failed_polls")?,
+        alarms: json::get(obj, "alarms")?.as_u64("alarms")?,
+        loyal_effort_secs: json::get(obj, "loyal_effort_secs")?.as_f64("loyal_effort_secs")?,
+        adversary_effort_secs: json::get(obj, "adversary_effort_secs")?
+            .as_f64("adversary_effort_secs")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Orchestration.
+// ---------------------------------------------------------------------
+
+/// Parses a `--seeds` argument: either `A..B` (inclusive) or a bare count
+/// `K` meaning `1..=K`.
+pub fn parse_seed_range(arg: &str) -> Result<Vec<u64>, String> {
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| format!("'{s}' is not a seed number"))
+    };
+    let seeds = match arg.split_once("..") {
+        Some((a, b)) => {
+            let (a, b) = (parse(a)?, parse(b)?);
+            if a > b {
+                return Err(format!("empty seed range {a}..{b}"));
+            }
+            (a..=b).collect()
+        }
+        None => {
+            let k = parse(arg)?;
+            if k == 0 {
+                return Err("need at least one seed".into());
+            }
+            (1..=k).collect()
+        }
+    };
+    Ok(seeds)
+}
+
+/// Loads the resumable state from `checkpoint`, if it exists and matches
+/// the planned sweep (scenario, scale); a mismatched or unreadable file is
+/// ignored rather than trusted.
+pub fn load_checkpoint(checkpoint: &Path, scenario: &str, scale: &str) -> Option<SweepReport> {
+    let text = std::fs::read_to_string(checkpoint).ok()?;
+    let report = SweepReport::from_json(&text).ok()?;
+    (report.scenario == scenario && report.scale == scale).then_some(report)
+}
+
+/// Atomic-enough checkpoint write: temp file in the same directory, then
+/// rename over the target (rename is atomic on POSIX filesystems).
+fn write_checkpoint(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Runs the sweep: seeds already present in `resume` are reused verbatim,
+/// the rest are executed across `threads` workers, and the returned report
+/// is identical no matter the thread count or how the work was split
+/// across interruptions.
+///
+/// With `checkpoint`, the partial report is persisted after every finished
+/// seed and the final report overwrites it at the end.
+pub fn run_sweep(
+    scenario: &Scenario,
+    name: &str,
+    scale: &str,
+    seeds: &[u64],
+    threads: usize,
+    checkpoint: Option<&Path>,
+    resume: Option<SweepReport>,
+) -> SweepReport {
+    let mut plan = SweepReport::new(name, scale, seeds.to_vec());
+    if let Some(mut prior) = resume {
+        prior.restrict_to(&plan.seeds);
+        plan.completed = prior.completed;
+    }
+    let todo: Vec<u64> = plan
+        .seeds
+        .iter()
+        .copied()
+        .filter(|s| !plan.completed.iter().any(|(done, _)| done == s))
+        .collect();
+
+    let shared = Mutex::new(plan);
+    let cursor = AtomicUsize::new(0);
+    let threads = threads.max(1).min(todo.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = todo.get(i) else {
+                    break;
+                };
+                let summary = run_once(scenario, seed);
+                let mut plan = shared
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                plan.record(seed, summary);
+                if let Some(path) = checkpoint {
+                    // Best-effort mid-run persistence; a failing disk must
+                    // not kill the sweep, but it must not be silent either
+                    // (the caller re-verifies the final file).
+                    if let Err(e) = write_checkpoint(path, &plan.to_json()) {
+                        eprintln!(
+                            "warning: checkpoint write to {} failed: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let report = shared
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(path) = checkpoint {
+        if let Err(e) = write_checkpoint(path, &report.to_json()) {
+            eprintln!(
+                "warning: final checkpoint write to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (fixed-schema documents only).
+// ---------------------------------------------------------------------
+
+/// A tiny recursive-descent JSON reader for the sweep's own documents.
+///
+/// Supports the subset the writer emits — objects, arrays, strings without
+/// exotic escapes, numbers (kept as raw text so `f64` values re-parse to
+/// the exact bits that were formatted), `true`/`false`/`null`.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its raw text.
+        Num(String),
+        /// A string (escapes `\"`, `\\`, `\n`, `\t` decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// True for `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// The object fields, or an error naming `what`.
+        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(fields) => Ok(fields),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+
+        /// The array elements, or an error naming `what`.
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+
+        /// The string contents, or an error naming `what`.
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+
+        /// The number as `u64`, or an error naming `what`.
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("{what}: '{raw}' is not a u64")),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+
+        /// The number as `f64`, or an error naming `what`.
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("{what}: '{raw}' is not an f64")),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+    }
+
+    /// Looks up a field of an object parsed by this module.
+    pub fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == ch {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", ch as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of document".into()),
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        let raw = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        // Validate now so later as_f64/as_u64 errors are about type, not
+        // syntax.
+        raw.parse::<f64>()
+            .map_err(|_| format!("'{raw}' is not a number"))?;
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let esc = b.get(*pos).ok_or("dangling escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape '\\{}'", *other as char)),
+                    });
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unharmed: we
+                    // only branch on ASCII bytes, which never occur inside
+                    // a continuation.
+                    let start = *pos;
+                    while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                        *pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::baseline(Scale::Quick, 2);
+        s.cfg.n_peers = 25;
+        s.run_length = Duration::from_days(120);
+        s
+    }
+
+    fn summary(seed: u64) -> Summary {
+        Summary {
+            access_failure_probability: 1.0 / (seed as f64 * 3.0 + 0.1),
+            mean_time_between_successes: Some(Duration::from_days(seed)),
+            gap_p50: Some(Duration::from_days(seed)),
+            gap_p90: seed
+                .is_multiple_of(2)
+                .then(|| Duration::from_days(2 * seed)),
+            successful_polls: 10 * seed,
+            failed_polls: seed,
+            alarms: 0,
+            loyal_effort_secs: 1.5 * seed as f64,
+            adversary_effort_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn seed_range_parsing() {
+        assert_eq!(parse_seed_range("1..4").unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parse_seed_range("7..7").unwrap(), vec![7]);
+        assert_eq!(parse_seed_range("3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_seed_range("4..1").is_err());
+        assert!(parse_seed_range("0").is_err());
+        assert!(parse_seed_range("x..y").is_err());
+    }
+
+    #[test]
+    fn report_json_roundtrips_exactly() {
+        let mut report = SweepReport::new("scale-10k-baseline", "quick", vec![1, 2, 3, 4]);
+        report.record(3, summary(3));
+        report.record(1, summary(1));
+        report.record(2, summary(2));
+        let text = report.to_json();
+        let back = SweepReport::from_json(&text).expect("parses");
+        assert_eq!(
+            back, report,
+            "exact struct round-trip (float bits included)"
+        );
+        assert_eq!(back.to_json(), text, "byte round-trip");
+        assert!(!report.is_complete());
+        report.record(4, summary(4));
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn record_is_sorted_and_replaces() {
+        let mut report = SweepReport::new("x", "quick", vec![5, 1, 3, 1]);
+        assert_eq!(report.seeds, vec![1, 3, 5], "sorted, deduped");
+        report.record(5, summary(5));
+        report.record(1, summary(1));
+        assert_eq!(report.completed[0].0, 1);
+        assert_eq!(report.completed[1].0, 5);
+        report.record(5, summary(2));
+        assert_eq!(report.completed.len(), 2);
+        assert_eq!(report.completed[1].1, summary(2));
+    }
+
+    #[test]
+    fn merged_reduces_in_seed_order() {
+        let mut a = SweepReport::new("x", "quick", vec![1, 2]);
+        a.record(2, summary(2));
+        a.record(1, summary(1));
+        let mut b = SweepReport::new("x", "quick", vec![1, 2]);
+        b.record(1, summary(1));
+        b.record(2, summary(2));
+        assert_eq!(a.merged(), b.merged(), "completion order is irrelevant");
+        assert_eq!(SweepReport::new("x", "quick", vec![1]).merged(), None);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let s = tiny();
+        let seeds = [1, 2, 3, 4];
+        let one = run_sweep(&s, "tiny", "quick", &seeds, 1, None, None);
+        let eight = run_sweep(&s, "tiny", "quick", &seeds, 8, None, None);
+        assert_eq!(
+            one.to_json(),
+            eight.to_json(),
+            "reports must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted() {
+        let s = tiny();
+        let seeds = [1, 2, 3];
+        let full = run_sweep(&s, "tiny", "quick", &seeds, 2, None, None);
+        // "Interrupted": only seed 2 finished before the crash.
+        let partial = run_sweep(&s, "tiny", "quick", &[2], 1, None, None);
+        let resumed = run_sweep(&s, "tiny", "quick", &seeds, 2, None, Some(partial));
+        assert_eq!(resumed.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lockss-sweep-{}", std::process::id()));
+        let path = dir.join("sweep-test.json");
+        let s = tiny();
+        let report = run_sweep(&s, "tiny", "quick", &[1, 2], 2, Some(&path), None);
+        let loaded = load_checkpoint(&path, "tiny", "quick").expect("checkpoint exists");
+        assert_eq!(loaded, report);
+        // A mismatched scenario name is ignored.
+        assert!(load_checkpoint(&path, "other", "quick").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_reader_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("{} trailing").is_err());
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(SweepReport::from_json("{\"sweep\": 3}").is_err());
+    }
+}

@@ -20,12 +20,14 @@
 
 pub mod damage_clock;
 pub mod poll_stats;
+pub mod streaming;
 pub mod summary;
 pub mod table;
 pub mod timeline;
 
 pub use damage_clock::DamageClock;
 pub use poll_stats::PollStats;
+pub use streaming::{EventBuckets, Reservoir};
 pub use summary::{PhaseSummary, RunMetrics, Summary};
 pub use table::Table;
 pub use timeline::{PollTimeline, TimeBuckets, TimelineSummary};

@@ -8,18 +8,42 @@ use lockss_sim::FxHashMap;
 
 use lockss_sim::{Duration, SimTime};
 
+use crate::streaming::Reservoir;
+
+/// Success gaps retained for quantile readout; a fixed-size uniform sample
+/// no matter how many polls a production-scale run concludes.
+const GAP_RESERVOIR_CAP: usize = 512;
+
 /// Aggregated poll outcomes for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PollStats {
     last_success: FxHashMap<(u32, u32), SimTime>,
     gap_sum_ms: f64,
     gap_count: u64,
+    /// Streaming uniform sample of completed success gaps (milliseconds),
+    /// for the p50/p90 readout — the mean alone hides attack-induced tail
+    /// stretching.
+    gaps: Reservoir,
     /// Polls that concluded in a landslide win.
     pub successful_polls: u64,
     /// Polls that concluded inquorate or without a landslide win.
     pub failed_polls: u64,
     /// Inconclusive-poll alarms (§4.3: operator attention required).
     pub alarms: u64,
+}
+
+impl Default for PollStats {
+    fn default() -> Self {
+        PollStats {
+            last_success: FxHashMap::default(),
+            gap_sum_ms: 0.0,
+            gap_count: 0,
+            gaps: Reservoir::new(GAP_RESERVOIR_CAP),
+            successful_polls: 0,
+            failed_polls: 0,
+            alarms: 0,
+        }
+    }
 }
 
 impl PollStats {
@@ -40,8 +64,10 @@ impl PollStats {
     pub fn on_success(&mut self, peer: u32, au: u32, now: SimTime) {
         self.successful_polls += 1;
         if let Some(prev) = self.last_success.insert((peer, au), now) {
-            self.gap_sum_ms += now.since(prev).as_millis() as f64;
+            let gap_ms = now.since(prev).as_millis() as f64;
+            self.gap_sum_ms += gap_ms;
             self.gap_count += 1;
+            self.gaps.add(gap_ms);
         }
     }
 
@@ -85,6 +111,14 @@ impl PollStats {
         Some(Duration::from_millis(
             ((self.gap_sum_ms + tail) / (self.gap_count + pairs) as f64).round() as u64,
         ))
+    }
+
+    /// The `q`-quantile of completed success gaps, from the streaming
+    /// reservoir sample. `None` before the first completed gap.
+    pub fn gap_quantile(&self, q: f64) -> Option<Duration> {
+        self.gaps
+            .quantile(q)
+            .map(|ms| Duration::from_millis(ms.round() as u64))
     }
 
     /// Fraction of polls that succeeded.

@@ -1,0 +1,284 @@
+//! Streaming run-time summaries with O(1) memory per observation.
+//!
+//! Production-scale runs (10k–100k peers, hundreds of thousands of poll
+//! conclusions) cannot afford to buffer per-event vectors the way a
+//! figure-scale run could; these collectors keep fixed-size state no
+//! matter how long the run:
+//!
+//! - [`Reservoir`] — a uniform fixed-capacity sample (Vitter's
+//!   Algorithm R) with quantile readout, driven by its own embedded
+//!   deterministic RNG so runs stay byte-reproducible;
+//! - [`EventBuckets`] — time-bucketed counters over `K` event kinds whose
+//!   bucket width doubles (adjacent buckets merging) whenever the run
+//!   outgrows the fixed bucket budget.
+
+use lockss_sim::{Duration, SimRng, SimTime};
+
+/// A uniform reservoir sample of a stream of `f64` observations.
+///
+/// Holds at most `cap` values; after the reservoir fills, each new
+/// observation replaces a uniformly random held one with probability
+/// `cap / seen`, so the retained set is always a uniform sample of
+/// everything observed. The replacement draws come from an embedded
+/// [`SimRng`] seeded at construction — identical streams in, identical
+/// sample out, regardless of threads or wall clock.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    sample: Vec<f64>,
+    rng: SimRng,
+}
+
+/// Fixed default seed: the reservoir is a run-local sketch, so a constant
+/// salt keeps every run of the same scenario byte-identical.
+const RESERVOIR_SEED: u64 = 0x7265_7376_7232;
+
+impl Reservoir {
+    /// An empty reservoir holding at most `cap` observations.
+    pub fn new(cap: usize) -> Reservoir {
+        Reservoir::with_seed(cap, RESERVOIR_SEED)
+    }
+
+    /// An empty reservoir with an explicit RNG seed.
+    pub fn with_seed(cap: usize, seed: u64) -> Reservoir {
+        Reservoir {
+            cap,
+            seen: 0,
+            sample: Vec::with_capacity(cap.min(4096)),
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Observes one value.
+    pub fn add(&mut self, value: f64) {
+        self.seen += 1;
+        if self.sample.len() < self.cap {
+            self.sample.push(value);
+            return;
+        }
+        if self.cap == 0 {
+            return;
+        }
+        // Algorithm R: keep with probability cap/seen, evicting uniformly.
+        let j = self.rng.below(self.seen as usize);
+        if j < self.cap {
+            self.sample[j] = value;
+        }
+    }
+
+    /// Observations seen (not the retained count).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Retained observations.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// The retained sample, in observation order.
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the retained sample, by
+    /// nearest-rank on a sorted copy. `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sample.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+}
+
+/// Time-bucketed counters over `K` event kinds with a fixed bucket budget.
+///
+/// Events land in the bucket `time / width`. When an event falls past the
+/// last budgeted bucket, adjacent buckets merge pairwise and the width
+/// doubles until it fits — so an arbitrarily long run is always summarized
+/// by at most `max_buckets` rows, at whatever resolution the run length
+/// affords. Counts are never dropped, only coarsened.
+#[derive(Clone, Debug)]
+pub struct EventBuckets<const K: usize> {
+    width: Duration,
+    max_buckets: usize,
+    counts: Vec<[u64; K]>,
+}
+
+impl<const K: usize> EventBuckets<K> {
+    /// Empty buckets starting at `width` resolution, capped at
+    /// `max_buckets` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `max_buckets < 2`.
+    pub fn new(width: Duration, max_buckets: usize) -> EventBuckets<K> {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        assert!(max_buckets >= 2, "need at least two buckets to compact");
+        EventBuckets {
+            width,
+            max_buckets,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Counts one event of `kind` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind >= K`.
+    pub fn add(&mut self, at: SimTime, kind: usize) {
+        assert!(kind < K, "kind {kind} out of range");
+        let mut idx = (at.since(SimTime::ZERO).as_millis() / self.width.as_millis()) as usize;
+        while idx >= self.max_buckets {
+            self.compact();
+            idx = (at.since(SimTime::ZERO).as_millis() / self.width.as_millis()) as usize;
+        }
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, [0; K]);
+        }
+        self.counts[idx][kind] += 1;
+    }
+
+    /// Merges adjacent bucket pairs and doubles the width.
+    fn compact(&mut self) {
+        let merged: Vec<[u64; K]> = self
+            .counts
+            .chunks(2)
+            .map(|pair| {
+                let mut row = pair[0];
+                if let Some(second) = pair.get(1) {
+                    for (a, b) in row.iter_mut().zip(second.iter()) {
+                        *a += b;
+                    }
+                }
+                row
+            })
+            .collect();
+        self.counts = merged;
+        self.width = self.width * 2;
+    }
+
+    /// Current bucket width.
+    pub fn width(&self) -> Duration {
+        self.width
+    }
+
+    /// The counter rows, oldest first; row `i` covers
+    /// `[i * width, (i+1) * width)`.
+    pub fn rows(&self) -> &[[u64; K]] {
+        &self.counts
+    }
+
+    /// Total events of `kind` across all buckets.
+    pub fn total(&self, kind: usize) -> u64 {
+        self.counts.iter().map(|row| row[kind]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(days: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_days(days)
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(10);
+        for i in 0..10 {
+            r.add(i as f64);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(9.0));
+        assert_eq!(r.quantile(0.5), Some(5.0), "rank 4.5 rounds up");
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let run = || {
+            let mut r = Reservoir::new(64);
+            for i in 0..100_000u64 {
+                r.add((i % 1000) as f64);
+            }
+            r.sample().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 64, "capacity bound holds");
+        assert_eq!(a, b, "same stream, same sample");
+    }
+
+    #[test]
+    fn reservoir_quantiles_approximate_the_stream() {
+        let mut r = Reservoir::new(512);
+        // Uniform 0..10_000.
+        for i in 0..10_000 {
+            r.add(i as f64);
+        }
+        let p50 = r.quantile(0.5).unwrap();
+        let p90 = r.quantile(0.9).unwrap();
+        assert!((p50 - 5_000.0).abs() < 700.0, "p50 {p50}");
+        assert!((p90 - 9_000.0).abs() < 700.0, "p90 {p90}");
+        assert!(r.quantile(0.1).unwrap() < p50);
+    }
+
+    #[test]
+    fn empty_reservoir_has_no_quantiles() {
+        let r = Reservoir::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+    }
+
+    #[test]
+    fn buckets_count_and_compact() {
+        let mut b: EventBuckets<2> = EventBuckets::new(Duration::DAY, 4);
+        b.add(t(0), 0);
+        b.add(t(1), 0);
+        b.add(t(2), 1);
+        b.add(t(3), 0);
+        assert_eq!(b.rows().len(), 4);
+        assert_eq!(b.width(), Duration::DAY);
+        // Day 8 forces two compactions: width 1d -> 2d -> 4d.
+        b.add(t(8), 1);
+        assert_eq!(b.width(), Duration::DAY * 4);
+        assert!(b.rows().len() <= 4);
+        // Nothing was lost, only coarsened.
+        assert_eq!(b.total(0), 3);
+        assert_eq!(b.total(1), 2);
+        // Rows 0..4d hold days 0-3; day 8 sits in row 2.
+        assert_eq!(b.rows()[0], [3, 1]);
+        assert_eq!(b.rows()[2], [0, 1]);
+    }
+
+    #[test]
+    fn buckets_handle_long_runs_within_budget() {
+        let mut b: EventBuckets<1> = EventBuckets::new(Duration::DAY, 64);
+        for d in 0..3650 {
+            b.add(t(d), 0);
+        }
+        assert!(b.rows().len() <= 64);
+        assert_eq!(b.total(0), 3650);
+        // Ten years at 64 buckets: width became a power-of-two of days.
+        assert!(b.width() >= Duration::from_days(57));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_kind_bound_is_enforced() {
+        let mut b: EventBuckets<1> = EventBuckets::new(Duration::DAY, 4);
+        b.add(t(0), 1);
+    }
+}

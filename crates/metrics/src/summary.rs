@@ -4,6 +4,10 @@ use lockss_sim::{Duration, SimTime};
 
 use crate::damage_clock::DamageClock;
 use crate::poll_stats::PollStats;
+use crate::streaming::EventBuckets;
+
+/// Event kinds tracked by the run timeline buckets.
+const TIMELINE_KINDS: usize = 4;
 
 /// Everything a run records as it executes.
 #[derive(Clone, Debug)]
@@ -12,6 +16,10 @@ pub struct RunMetrics {
     pub damage: DamageClock,
     /// Poll outcome counts and success-gap tracking.
     pub polls: PollStats,
+    /// Time-bucketed success/failure/damage/repair counters (kinds indexed
+    /// by the `KIND_*` constants). Fixed bucket budget: arbitrarily long
+    /// runs coarsen instead of growing.
+    pub timeline: EventBuckets<TIMELINE_KINDS>,
     /// Total CPU-seconds spent by loyal peers.
     pub loyal_effort_secs: f64,
     /// Total CPU-seconds spent by the adversary.
@@ -62,12 +70,22 @@ pub struct PhaseSummary {
 }
 
 impl RunMetrics {
+    /// Timeline kind: a poll concluded in a landslide win.
+    pub const KIND_SUCCESS: usize = 0;
+    /// Timeline kind: a poll concluded without a landslide win.
+    pub const KIND_FAILURE: usize = 1;
+    /// Timeline kind: an intact replica became damaged.
+    pub const KIND_DAMAGE: usize = 2;
+    /// Timeline kind: a damaged replica became fully intact again.
+    pub const KIND_REPAIR: usize = 3;
+
     /// Initializes collection for `total_replicas` replicas starting at
     /// `start`.
     pub fn new(total_replicas: u64, start: SimTime) -> RunMetrics {
         RunMetrics {
             damage: DamageClock::new(total_replicas, start),
             polls: PollStats::new(),
+            timeline: EventBuckets::new(Duration::from_days(7), 64),
             loyal_effort_secs: 0.0,
             adversary_effort_secs: 0.0,
             phases: Vec::new(),
@@ -161,6 +179,8 @@ impl RunMetrics {
         Summary {
             access_failure_probability: self.damage.access_failure_probability(end),
             mean_time_between_successes: self.polls.mean_gap_censored(end),
+            gap_p50: self.polls.gap_quantile(0.5),
+            gap_p90: self.polls.gap_quantile(0.9),
             successful_polls: self.polls.successful_polls,
             failed_polls: self.polls.failed_polls,
             alarms: self.polls.alarms,
@@ -178,6 +198,12 @@ pub struct Summary {
     /// Mean gap between successful polls per (peer, AU), right-censored
     /// (§6.1 delay-ratio numerator/denominator); `None` for an empty run.
     pub mean_time_between_successes: Option<Duration>,
+    /// Median completed success gap, from the streaming reservoir sample;
+    /// `None` before the first completed gap.
+    pub gap_p50: Option<Duration>,
+    /// 90th-percentile completed success gap (attacks show up in the tail
+    /// long before they move the mean); `None` before the first gap.
+    pub gap_p90: Option<Duration>,
     /// Polls that concluded in a landslide win.
     pub successful_polls: u64,
     /// Polls that concluded inquorate or without a landslide win.
@@ -250,6 +276,23 @@ impl Summary {
                 (gap_runs.iter().sum::<f64>() / gap_runs.len() as f64).round() as u64,
             ))
         };
+        // Mean-of-quantiles across seeds: not a quantile of the pooled
+        // distribution, but the standard per-seed condensation used for
+        // every other field here.
+        let mean_quantile = |get: fn(&Summary) -> Option<Duration>| {
+            let qs: Vec<f64> = runs
+                .iter()
+                .filter_map(get)
+                .map(|d| d.as_millis() as f64)
+                .collect();
+            if qs.is_empty() {
+                None
+            } else {
+                Some(Duration::from_millis(
+                    (qs.iter().sum::<f64>() / qs.len() as f64).round() as u64,
+                ))
+            }
+        };
         Summary {
             access_failure_probability: runs
                 .iter()
@@ -257,6 +300,8 @@ impl Summary {
                 .sum::<f64>()
                 / n,
             mean_time_between_successes: mean_gap,
+            gap_p50: mean_quantile(|r| r.gap_p50),
+            gap_p90: mean_quantile(|r| r.gap_p90),
             successful_polls: (runs.iter().map(|r| r.successful_polls).sum::<u64>() as f64 / n)
                 .round() as u64,
             failed_polls: (runs.iter().map(|r| r.failed_polls).sum::<u64>() as f64 / n).round()
@@ -276,6 +321,8 @@ mod tests {
         Summary {
             access_failure_probability: 0.001,
             mean_time_between_successes: Some(Duration::from_days(gap_days)),
+            gap_p50: Some(Duration::from_days(gap_days)),
+            gap_p90: Some(Duration::from_days(gap_days * 2)),
             successful_polls: polls,
             failed_polls: 0,
             alarms: 0,

@@ -97,7 +97,9 @@ impl TimelineSummary {
         for p in polls {
             invites += p.invites_sent as u64;
             s.repairs += p.repairs as u64;
-            let Some(concluded) = p.concluded else { continue };
+            let Some(concluded) = p.concluded else {
+                continue;
+            };
             s.polls_concluded += 1;
             dur_ms += concluded.since(p.started).as_millis();
             votes += p.votes as u64;

@@ -15,8 +15,10 @@ pub mod engine;
 pub mod fxmap;
 pub mod rng;
 pub mod time;
+pub mod weighted;
 
 pub use engine::{Engine, EventFn};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHasher};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
+pub use weighted::AliasTable;

@@ -14,6 +14,10 @@ use crate::time::Duration;
 /// constant) and passes it through an avalanching finalizer, so every
 /// 64-bit seed yields a full-period, statistically solid stream — more
 /// than enough for a simulation study, and dependency-free.
+///
+/// Cloning copies the state: the clone continues the identical stream
+/// (metric sketches embed one and live inside cloneable collectors).
+#[derive(Clone, Debug)]
 pub struct SimRng {
     state: u64,
     /// Reusable index workspace for [`SimRng::sample`]. Not part of the
@@ -32,6 +36,11 @@ pub struct SimRng {
 
 /// Slots in the rejection-zone cache (power of two for cheap indexing).
 const ZONE_SLOTS: usize = 32;
+
+/// Above this domain size, [`SimRng::sample_indices`] switches from the
+/// dense O(n) index vector to the sparse O(k) displacement map. Purely a
+/// performance knob: both paths consume identical draws.
+const SPARSE_SAMPLE_THRESHOLD: usize = 2048;
 
 /// The splitmix64 state increment (2^64 / φ, forced odd).
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -183,20 +192,56 @@ impl SimRng {
     /// Samples `k` distinct elements (cloned) uniformly without replacement;
     /// returns fewer if the slice is shorter than `k`. Order is random.
     pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
-        let k = k.min(items.len());
-        // Partial Fisher–Yates over an index vector: after k swap steps the
-        // prefix is a uniform k-permutation of 0..len, so the picks are
-        // distinct, uniform, and in random order. The index vector lives in
-        // the RNG's scratch space (same draws, no allocation per call).
-        let mut idx = std::mem::take(&mut self.idx_scratch);
-        idx.clear();
-        idx.extend(0..items.len());
-        for i in 0..k {
-            let j = i + self.below(items.len() - i);
-            idx.swap(i, j);
+        self.sample_indices(items.len(), k)
+            .into_iter()
+            .map(|i| items[i].clone())
+            .collect()
+    }
+
+    /// Samples `k` distinct indices uniformly from `0..n` without
+    /// replacement (fewer if `n < k`), in random order.
+    ///
+    /// Draw-compatible with [`SimRng::sample`] over a slice of length `n`:
+    /// both consume exactly the same `below` sequence, so they are
+    /// interchangeable without perturbing a seeded run. Small domains use a
+    /// partial Fisher–Yates over a dense index vector; large domains
+    /// (population-scale reference-list seeding in 10k+ peer worlds) switch
+    /// to a sparse displacement map so the cost is O(k), not O(n).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
         }
-        let picks = idx[..k].iter().map(|&i| items[i].clone()).collect();
-        self.idx_scratch = idx;
+        if n <= SPARSE_SAMPLE_THRESHOLD {
+            // Partial Fisher–Yates over an index vector: after k swap steps
+            // the prefix is a uniform k-permutation of 0..n, so the picks
+            // are distinct, uniform, and in random order. The index vector
+            // lives in the RNG's scratch space (same draws, no allocation
+            // per call).
+            let mut idx = std::mem::take(&mut self.idx_scratch);
+            idx.clear();
+            idx.extend(0..n);
+            for i in 0..k {
+                let j = i + self.below(n - i);
+                idx.swap(i, j);
+            }
+            let picks = idx[..k].to_vec();
+            self.idx_scratch = idx;
+            return picks;
+        }
+        // Sparse Fisher–Yates: only displaced positions are materialized.
+        // `displaced[j]` holds the value currently sitting at position `j`
+        // of the virtual 0..n vector; untouched positions hold their own
+        // index. Identical draw sequence to the dense path.
+        let mut displaced: crate::FxHashMap<usize, usize> = crate::fxmap::with_capacity(2 * k);
+        let mut picks = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            let at_j = displaced.get(&j).copied().unwrap_or(j);
+            let at_i = displaced.get(&i).copied().unwrap_or(i);
+            picks.push(at_j);
+            displaced.insert(j, at_i);
+        }
         picks
     }
 
@@ -263,6 +308,37 @@ mod tests {
             let j = rng.jitter(base, 0.1);
             assert!(j >= base.mul_f64(0.9) && j <= base.mul_f64(1.1));
         }
+    }
+
+    #[test]
+    fn sample_indices_matches_dense_sample_across_the_threshold() {
+        // The sparse path must consume the same draws and return the same
+        // picks as the dense path; compare both against `sample` over an
+        // identity slice on domains straddling SPARSE_SAMPLE_THRESHOLD.
+        for n in [0usize, 1, 5, 100, 2048, 2049, 5000, 60_000] {
+            for k in [0usize, 1, 7, 40, 100] {
+                let items: Vec<usize> = (0..n).collect();
+                let mut a = SimRng::seed_from_u64(1000 + n as u64 + k as u64);
+                let mut b = SimRng::seed_from_u64(1000 + n as u64 + k as u64);
+                let via_slice = a.sample(&items, k);
+                let via_indices = b.sample_indices(n, k);
+                assert_eq!(via_slice, via_indices, "n={n} k={k}");
+                // Both RNGs must land in the same state.
+                assert_eq!(a.u64(), b.u64(), "n={n} k={k} draw streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SimRng::seed_from_u64(29);
+        let got = rng.sample_indices(50_000, 200);
+        assert_eq!(got.len(), 200);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 50_000));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! O(1) weighted sampling (Walker/Vose alias method).
+//!
+//! Large-population worlds need weighted draws over tens of thousands of
+//! peers — link-class mixes, popularity-skewed reference seeding — where a
+//! linear CDF scan per draw would turn world construction into an O(n²)
+//! affair. The alias method spends O(n) once to build two tables and then
+//! answers every draw with one uniform index, one uniform real, and one
+//! comparison, independent of the population size.
+//!
+//! The build is fully deterministic (stable partitioning, no hashing), so a
+//! table built from the same weights always produces the same draw for the
+//! same RNG state — a requirement for the byte-reproducible runs the
+//! determinism suite enforces.
+
+use crate::rng::SimRng;
+
+/// A Walker/Vose alias table over `n` weighted outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of each column's own outcome.
+    prob: Vec<f64>,
+    /// The outcome a column falls back to when the acceptance check fails.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (they need not sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0) && total > 0.0,
+            "weights must be non-negative, finite, and not all zero"
+        );
+        let n = weights.len();
+        // Scale so the mean weight is 1; columns above the mean donate
+        // their surplus to columns below it.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        // Stable worklists (ascending index order) keep the build
+        // deterministic.
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut remainder = scaled.clone();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = remainder[s];
+            alias[s] = l;
+            remainder[l] -= 1.0 - remainder[s];
+            if remainder[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever is left (floating-point dust) accepts its own outcome.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table is over zero outcomes (unreachable: `new` panics).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in O(1): a uniform column, then the column's
+    /// acceptance check.
+    pub fn draw(&self, rng: &mut SimRng) -> usize {
+        let col = rng.below(self.prob.len());
+        if rng.f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.draw(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [0.6, 0.3, 0.1];
+        let freq = frequencies(&weights, 200_000, 7);
+        for (f, w) in freq.iter().zip(weights.iter()) {
+            assert!((f - w).abs() < 0.01, "freq {f} vs weight {w}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_and_skewed_weights_work() {
+        // Sum is 50, one outcome dominates, one is never drawn.
+        let weights = [45.0, 5.0, 0.0];
+        let freq = frequencies(&weights, 100_000, 11);
+        assert!((freq[0] - 0.9).abs() < 0.01);
+        assert!((freq[1] - 0.1).abs() < 0.01);
+        assert_eq!(freq[2], 0.0, "zero weight must never be drawn");
+    }
+
+    #[test]
+    fn single_outcome_always_wins() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(table.draw(&mut rng), 0);
+        }
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn build_and_draws_are_deterministic() {
+        let weights: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let a = AliasTable::new(&weights);
+        let b = AliasTable::new(&weights);
+        let mut ra = SimRng::seed_from_u64(42);
+        let mut rb = SimRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert_eq!(a.draw(&mut ra), b.draw(&mut rb));
+        }
+    }
+
+    #[test]
+    fn large_uniform_table_is_roughly_uniform() {
+        let weights = vec![1.0; 10_000];
+        let table = AliasTable::new(&weights);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut counts = vec![0u32; weights.len()];
+        for _ in 0..1_000_000 {
+            counts[table.draw(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Mean 100 per bucket; Poisson tails stay well inside [40, 180].
+        assert!(min > 40 && max < 180, "min {min} max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -106,7 +106,16 @@ pub fn running_hashes(
 ) -> Vec<Digest> {
     let mut scratch = Vec::new();
     let mut hashes = Vec::new();
-    running_hashes_into(seed, au, spec, replica, peer_salt, nonce, &mut scratch, &mut hashes);
+    running_hashes_into(
+        seed,
+        au,
+        spec,
+        replica,
+        peer_salt,
+        nonce,
+        &mut scratch,
+        &mut hashes,
+    );
     hashes
 }
 
@@ -206,9 +215,21 @@ mod tests {
                 canonical_block_into(7, AuId(0), block, &spec, &mut scratch);
                 assert_eq!(scratch, canonical_block(7, AuId(0), block, &spec));
                 stored_block_into(7, AuId(0), block, &spec, replica, salt, &mut scratch);
-                assert_eq!(scratch, stored_block(7, AuId(0), block, &spec, replica, salt));
+                assert_eq!(
+                    scratch,
+                    stored_block(7, AuId(0), block, &spec, replica, salt)
+                );
             }
-            running_hashes_into(7, AuId(0), &spec, replica, salt, b"n", &mut scratch, &mut out);
+            running_hashes_into(
+                7,
+                AuId(0),
+                &spec,
+                replica,
+                salt,
+                b"n",
+                &mut scratch,
+                &mut out,
+            );
             assert_eq!(out, running_hashes(7, AuId(0), &spec, replica, salt, b"n"));
         }
     }

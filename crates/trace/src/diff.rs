@@ -143,7 +143,13 @@ impl std::fmt::Display for TraceDiff {
         writeln!(
             f,
             "  win {}/{}  loss {}/{}  inconclusive {}/{}  inquorate {}/{}",
-            a.wins, b.wins, a.losses, b.losses, a.inconclusive, b.inconclusive, a.inquorate,
+            a.wins,
+            b.wins,
+            a.losses,
+            b.losses,
+            a.inconclusive,
+            b.inconclusive,
+            a.inquorate,
             b.inquorate
         )?;
         if let (Some(da), Some(db)) = (a.mean_poll_duration, b.mean_poll_duration) {

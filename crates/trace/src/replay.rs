@@ -98,10 +98,18 @@ impl std::fmt::Display for ReplayReport {
                 self.events_matched
             ),
             Some(d) => {
-                writeln!(f, "replay DIVERGED after {} matching event(s)", self.events_matched)?;
+                writeln!(
+                    f,
+                    "replay DIVERGED after {} matching event(s)",
+                    self.events_matched
+                )?;
                 write!(f, "{d}")?;
                 if self.events_unreached > 0 {
-                    write!(f, "\n  ({} recorded event(s) unreached)", self.events_unreached)
+                    write!(
+                        f,
+                        "\n  ({} recorded event(s) unreached)",
+                        self.events_unreached
+                    )
                 } else {
                     Ok(())
                 }

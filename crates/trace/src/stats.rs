@@ -134,10 +134,8 @@ pub fn trace_stats(trace: &Trace) -> Result<TraceStats, TraceError> {
                         // Everything before this mark, this mark included
                         // in the new segment below.
                         events: events - 1,
-                        polls_concluded: polls
-                            .iter()
-                            .filter(|p| p.concluded.is_some())
-                            .count() as u64,
+                        polls_concluded: polls.iter().filter(|p| p.concluded.is_some()).count()
+                            as u64,
                     });
                 }
                 phases.push(PhaseSegment {
@@ -221,7 +219,11 @@ impl std::fmt::Display for TraceStats {
             }
         }
         if self.suppressed_sends > 0 {
-            writeln!(f, "\nsuppressed sends (pipe stoppage): {}", self.suppressed_sends)?;
+            writeln!(
+                f,
+                "\nsuppressed sends (pipe stoppage): {}",
+                self.suppressed_sends
+            )?;
         }
         if !self.phases.is_empty() {
             writeln!(f, "\nphases:")?;

@@ -7,9 +7,7 @@
 //! external serialization dependency and stays byte-stable across
 //! platforms.
 
-use lockss_core::trace::{
-    AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind,
-};
+use lockss_core::trace::{AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind};
 
 /// A malformed or corrupt trace.
 #[derive(Debug)]
@@ -321,7 +319,17 @@ mod tests {
 
     #[test]
     fn varints_roundtrip() {
-        let cases = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for v in cases {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);

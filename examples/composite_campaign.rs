@@ -29,7 +29,11 @@ fn main() {
 
     println!("Composite campaign: {}", entry.name);
     println!("  {}", entry.description);
-    println!("  paper: {}   attack: {}\n", entry.paper_ref, scenario.attack.label());
+    println!(
+        "  paper: {}   attack: {}\n",
+        entry.paper_ref,
+        scenario.attack.label()
+    );
 
     let (summary, phases) = run_once_with_phases(&scenario, 1);
     let (base, _) = run_once_with_phases(&scenario.matched_baseline(), 1);

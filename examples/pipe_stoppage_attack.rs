@@ -34,7 +34,7 @@ fn run(s: &Scenario) -> (Summary, usize) {
     world.start(&mut eng);
     let end = SimTime::ZERO + s.run_length;
     eng.run_until(&mut world, end);
-    let damaged: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+    let damaged: usize = world.peers.total_damaged();
     (world.metrics.summarize(end), damaged)
 }
 

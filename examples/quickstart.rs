@@ -51,7 +51,7 @@ fn main() {
     for quarter in 1..=4u64 {
         let until = SimTime::ZERO + Duration::MONTH * (3 * quarter);
         eng.run_until(&mut world, until);
-        let damaged: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+        let damaged: usize = world.peers.total_damaged();
         println!(
             "after {:>2} months: {:>5} polls succeeded, {:>3} failed, {} replicas damaged right now",
             3 * quarter,

@@ -10,6 +10,7 @@
 use lockss::core::{World, WorldConfig};
 use lockss::experiments::runner::{run_batch, run_once, run_once_recorded};
 use lockss::experiments::scenario::{AttackSpec, Scenario};
+use lockss::experiments::sweep::{load_checkpoint, run_sweep};
 use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::sim::{Duration, Engine, SimTime};
 use lockss::trace::TraceMeta;
@@ -82,7 +83,10 @@ fn every_registered_scenario_runs_and_reproduces() {
 
 #[test]
 fn every_registered_scenario_is_thread_count_invariant() {
-    let jobs: Vec<Scenario> = shrunken_registry_jobs().into_iter().map(|(_, s)| s).collect();
+    let jobs: Vec<Scenario> = shrunken_registry_jobs()
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
     let single = run_batch(&jobs, 2, 1);
     let parallel = run_batch(&jobs, 2, 4);
     for (i, (name, _)) in shrunken_registry_jobs().iter().enumerate() {
@@ -144,8 +148,98 @@ fn golden_trace_hashes_are_thread_invariant() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     for hash in concurrent {
-        assert_eq!(hash, sequential, "'{name}' trace hash varies across threads");
+        assert_eq!(
+            hash, sequential,
+            "'{name}' trace hash varies across threads"
+        );
     }
+}
+
+/// The registered production-scale world, shrunk for debug-mode test
+/// speed: same builder, same link mix and lazy construction path, smaller
+/// population and horizon. (The full 10k-peer sweep byte-identity runs in
+/// release mode in CI: `sweep scale-10k-baseline --seeds 1..8` with
+/// `--threads 1` vs `--threads 8`, `cmp`-ed.)
+fn shrunken_scale_scenario() -> Scenario {
+    let mut s = ScenarioRegistry::standard()
+        .build("scale-10k-baseline", Scale::Quick)
+        .expect("registered");
+    s.cfg.n_peers = 300;
+    s.run_length = Duration::from_days(150);
+    s
+}
+
+/// The sweep orchestrator's merged report must be byte-identical no
+/// matter how many worker threads raced over the seeds: results land in
+/// seed-indexed slots and the merge reduces in seed order.
+#[test]
+fn sweep_report_is_thread_count_invariant() {
+    let s = shrunken_scale_scenario();
+    let seeds = [1, 2, 3, 4];
+    let one = run_sweep(&s, "scale-10k-baseline", "quick", &seeds, 1, None, None);
+    let eight = run_sweep(&s, "scale-10k-baseline", "quick", &seeds, 8, None, None);
+    assert_eq!(
+        one.to_json(),
+        eight.to_json(),
+        "merged sweep report must not depend on the thread count"
+    );
+    assert!(one.is_complete());
+    assert!(one.merged().expect("merged").successful_polls > 0);
+}
+
+/// A sweep interrupted after some seeds and resumed from its checkpoint
+/// file must produce a final report byte-identical to an uninterrupted
+/// run: summaries round-trip through the checkpoint exactly (float bits
+/// included), and resumed seeds are reused verbatim.
+#[test]
+fn sweep_checkpoint_resume_equals_uninterrupted() {
+    let s = shrunken_scale_scenario();
+    let seeds = [1, 2, 3];
+    let dir = std::env::temp_dir().join(format!("lockss-determinism-{}", std::process::id()));
+    let uninterrupted = dir.join("uninterrupted.json");
+    let interrupted = dir.join("interrupted.json");
+
+    let full = run_sweep(
+        &s,
+        "scale-10k-baseline",
+        "quick",
+        &seeds,
+        2,
+        Some(&uninterrupted),
+        None,
+    );
+
+    // "Crash" after two seeds: the partial checkpoint is what survives.
+    let _ = run_sweep(
+        &s,
+        "scale-10k-baseline",
+        "quick",
+        &seeds[..2],
+        2,
+        Some(&interrupted),
+        None,
+    );
+    let prior =
+        load_checkpoint(&interrupted, "scale-10k-baseline", "quick").expect("checkpoint loads");
+    assert_eq!(prior.completed.len(), 2);
+    let resumed = run_sweep(
+        &s,
+        "scale-10k-baseline",
+        "quick",
+        &seeds,
+        2,
+        Some(&interrupted),
+        Some(prior),
+    );
+
+    assert_eq!(
+        resumed.to_json(),
+        full.to_json(),
+        "resume must reproduce the uninterrupted report byte for byte"
+    );
+    let on_disk = std::fs::read_to_string(&interrupted).expect("final checkpoint");
+    assert_eq!(on_disk, full.to_json(), "final file matches too");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

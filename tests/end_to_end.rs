@@ -54,7 +54,7 @@ fn baseline_preserves_content() {
     );
     assert_eq!(summary.alarms, 0);
     // Most damage is repaired by run end.
-    let damaged: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+    let damaged: usize = world.peers.total_damaged();
     assert!(damaged <= 3, "{damaged} replicas still damaged");
 }
 
@@ -178,7 +178,7 @@ fn damage_without_repair_accumulates() {
     let cfg = test_config(15);
     let adv = PipeStoppage::new(1.0, 10_000);
     let (summary, world) = run_with(cfg, Some(Box::new(adv)), 720);
-    let damaged: usize = world.peers.iter().map(|p| p.damaged_replicas()).sum();
+    let damaged: usize = world.peers.total_damaged();
     assert!(damaged > 0, "damage must accumulate unrepaired");
     assert!(summary.access_failure_probability > 1e-3);
 }

@@ -79,7 +79,10 @@ fn perturbed_replay_reports_time_and_kind_of_the_fork() {
         .iter()
         .chain(divergence.actual.iter())
         .any(|r| rendered.contains(r.event.kind().label()));
-    assert!(kind_named, "divergence must name the event kind: {rendered}");
+    assert!(
+        kind_named,
+        "divergence must name the event kind: {rendered}"
+    );
 }
 
 #[test]
@@ -107,7 +110,10 @@ fn attacked_traces_carry_adversary_provenance() {
                 lockss::core::TraceEvent::AdversaryAction { label, .. } if label == expected_label
             )
         });
-        assert!(has_label, "scenario '{name}' missing '{expected_label}' provenance");
+        assert!(
+            has_label,
+            "scenario '{name}' missing '{expected_label}' provenance"
+        );
     }
 }
 
