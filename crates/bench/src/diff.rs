@@ -2,10 +2,11 @@
 //!
 //! `results/BENCH_<group>.json` files (written by [`crate::Harness`]) and
 //! the merged trajectory anchors (`results/BENCH_baseline.json`,
-//! `results/BENCH_opt1.json`, which wrap per-group reports in a `groups`
-//! array) are parsed by a small self-hosted JSON reader (offline
-//! dependency policy: no `serde`), then compared mean-vs-mean with a noise
-//! band derived from each side's min/max spread:
+//! `results/BENCH_opt2.json`, which wrap per-group reports in a `groups`
+//! array) are parsed by the workspace's shared fixed-schema JSON reader
+//! (`lockss_sim::json`; offline dependency policy: no `serde`), then
+//! compared mean-vs-mean with a noise band derived from each side's
+//! min/max spread:
 //!
 //! - a benchmark is *flagged* when its mean moved by more than the band in
 //!   either direction;
@@ -52,236 +53,23 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 // ---------------------------------------------------------------------
-// Minimal JSON reader (just enough for bench reports).
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
-        Err(ParseError {
-            message: message.to_string(),
-            at: self.pos,
-        })
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.err(&format!("expected '{}'", b as char))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => self.err("expected a JSON value"),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            self.err(&format!("expected '{text}'"))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return self.err("expected ',' or '}'"),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return self.err("expected ',' or ']'"),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return self.err("unterminated string"),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.bytes.get(self.pos).copied();
-                    self.pos += 1;
-                    match esc {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32);
-                            match hex {
-                                Some(c) => {
-                                    out.push(c);
-                                    self.pos += 4;
-                                }
-                                None => return self.err("bad \\u escape"),
-                            }
-                        }
-                        _ => return self.err("unsupported escape"),
-                    }
-                }
-                Some(&b) => {
-                    // Bench names are ASCII; pass other UTF-8 through
-                    // byte-wise (names compare byte-equal either way).
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') || b.is_ascii_digit())
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or(ParseError {
-                message: "bad number".to_string(),
-                at: start,
-            })
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, ParseError> {
-    let mut r = Reader {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = r.value()?;
-    r.skip_ws();
-    if r.pos != r.bytes.len() {
-        return r.err("trailing garbage");
-    }
-    Ok(v)
-}
-
-// ---------------------------------------------------------------------
 // Report extraction.
 // ---------------------------------------------------------------------
+
+use lockss_sim::json::{self, Value};
+
+/// Convenience lookups over the shared reader's [`Value`] for the bench
+/// schema (optional fields, `Option`-style access).
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, f)| f),
+        _ => None,
+    }
+}
+
+fn field_f64(v: &Value, key: &str) -> Option<f64> {
+    field(v, key).and_then(|f| f.as_f64(key).ok())
+}
 
 /// Parses one report file's benchmarks, in file order.
 ///
@@ -289,9 +77,12 @@ fn parse_json(text: &str) -> Result<Json, ParseError> {
 /// (`{"group": ..., "results": [...]}`) and a merged anchor
 /// (`{..., "groups": [<flat report>, ...]}`).
 pub fn parse_report(text: &str) -> Result<Vec<ParsedBench>, ParseError> {
-    let root = parse_json(text)?;
+    let root = json::parse(text).map_err(|e| ParseError {
+        message: e.message,
+        at: e.at,
+    })?;
     let mut out = Vec::new();
-    if let Some(groups) = root.get("groups").and_then(Json::as_arr) {
+    if let Some(groups) = field(&root, "groups").and_then(|g| g.as_array("groups").ok()) {
         for g in groups {
             extract_group(g, &mut out)?;
         }
@@ -301,21 +92,19 @@ pub fn parse_report(text: &str) -> Result<Vec<ParsedBench>, ParseError> {
     Ok(out)
 }
 
-fn extract_group(group: &Json, out: &mut Vec<ParsedBench>) -> Result<(), ParseError> {
-    let results = group
-        .get("results")
-        .and_then(Json::as_arr)
+fn extract_group(group: &Value, out: &mut Vec<ParsedBench>) -> Result<(), ParseError> {
+    let results = field(group, "results")
+        .and_then(|r| r.as_array("results").ok())
         .ok_or(ParseError {
             message: "report has no 'results' array".to_string(),
             at: 0,
         })?;
     for r in results {
-        let field = |key: &str| -> Option<f64> { r.get(key).and_then(Json::as_f64) };
         match (
-            r.get("name").and_then(Json::as_str),
-            field("mean_ns"),
-            field("min_ns"),
-            field("max_ns"),
+            field(r, "name").and_then(|n| n.as_str("name").ok()),
+            field_f64(r, "mean_ns"),
+            field_f64(r, "min_ns"),
+            field_f64(r, "max_ns"),
         ) {
             (Some(name), Some(mean_ns), Some(min_ns), Some(max_ns)) => out.push(ParsedBench {
                 name: name.to_string(),

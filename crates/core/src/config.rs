@@ -8,7 +8,7 @@ use lockss_storage::AuSpec;
 ///
 /// Defaults are the paper's §6.3 values where given, and documented
 /// heuristics otherwise.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolConfig {
     /// Minimum inner-circle votes for a poll to count (§4.1; paper: 10).
     pub quorum: usize,
@@ -173,7 +173,7 @@ impl ProtocolConfig {
 }
 
 /// Full description of a simulated world.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorldConfig {
     /// Loyal peer population (paper: 100).
     pub n_peers: usize,

@@ -18,7 +18,7 @@
 use lockss_sim::Duration;
 
 /// Calibrated CPU-time costs for every protocol operation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// Content hash throughput (bytes/second); 30 MB/s models a 2004
     /// low-cost PC's disk+SHA-1 pipeline.

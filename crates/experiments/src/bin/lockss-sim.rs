@@ -9,7 +9,10 @@
 //! cargo run --release --bin lockss-sim -- list
 //! cargo run --release --bin lockss-sim -- describe stoppage-then-flood
 //! cargo run --release --bin lockss-sim -- run churn-storm --scale quick --seed 1 --json
+//! cargo run --release --bin lockss-sim -- run --file examples/campaign.json --scale quick
 //! cargo run --release --bin lockss-sim -- run baseline --scale quick --record t.bin
+//! cargo run --release --bin lockss-sim -- validate scenarios/*.json
+//! cargo run --release --bin lockss-sim -- fuzz --seeds 1..200
 //! cargo run --release --bin lockss-sim -- replay t.bin
 //! cargo run --release --bin lockss-sim -- trace diff a.bin b.bin
 //! cargo run --release --bin lockss-sim -- trace stats t.bin
@@ -26,12 +29,13 @@
 //! `trace diff` aligns two recordings, and `trace stats` rebuilds
 //! per-poll/per-phase timelines from one.
 
+use lockss_experiments::fuzz::run_fuzz;
 use lockss_experiments::runner::{
     default_threads, replay_once, run_batch, run_once, run_once_recorded, run_once_with_phases,
     run_once_with_stats, RunStats,
 };
 use lockss_experiments::sweep::{self, load_checkpoint, parse_seed_range, run_sweep};
-use lockss_experiments::{Scale, ScenarioRegistry};
+use lockss_experiments::{Scale, ScenarioEntry, ScenarioRegistry, ScenarioSpec};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
 use lockss_trace::{diff_traces, trace_stats, Trace, TraceMeta};
@@ -45,6 +49,13 @@ fn usage() -> ! {
          \x20 list [--names]           all registered scenarios (--names: bare names)\n\
          \x20 describe <name>          one scenario in detail\n\
          \x20 run <name>               run a scenario and report the metrics\n\
+         \x20 run --file <path>        run a declarative scenario file instead of a\n\
+         \x20                          registered name\n\
+         \x20 validate <path>...       check scenario files against the spec grammar;\n\
+         \x20                          errors carry line/field context, exits 1 on any\n\
+         \x20 fuzz                     generate + run random campaigns under the three\n\
+         \x20                          oracles (round-trip, accounting, replay); shrunk\n\
+         \x20                          reproducers land in --out on violation\n\
          \x20 sweep <name>             run a seed sweep on a worker pool; the merged\n\
          \x20                          report is byte-identical for any --threads and\n\
          \x20                          resumes from --checkpoint after interruption\n\
@@ -69,6 +80,8 @@ fn usage() -> ! {
          \x20                                 and recompute every seed\n\
          \x20 --mem-report                    print peak RSS and arena/table occupancy\n\
          \x20 --record <path>                 record the run's event trace (one seed)\n\
+         \x20 --out <dir>                     fuzz: reproducer directory (default\n\
+         \x20                                 results/fuzz)\n\
          \x20 --json                          print the JSON summary to stdout"
     );
     std::process::exit(2);
@@ -99,7 +112,15 @@ fn main() {
             describe(&registry, &name, scale);
         }
         Some("run") => {
-            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            let entry = if let Some(path) = flag_value(&args, "--file") {
+                load_entry(&path)
+            } else {
+                let name = args.get(1).cloned().unwrap_or_else(|| usage());
+                if name.starts_with("--") {
+                    usage();
+                }
+                resolve(&registry, &name).clone()
+            };
             let seeds: Vec<u64> = if let Some(s) = flag_value(&args, "--seed") {
                 vec![s.parse().expect("--seed N")]
             } else {
@@ -118,11 +139,25 @@ fn main() {
                 eprintln!("--record captures exactly one run; pass --seed N (or --seeds 1)");
                 std::process::exit(2);
             }
-            run(&registry, &name, scale, &seeds, json, record.as_deref());
+            run(&entry, scale, &seeds, json, record.as_deref());
             if args.iter().any(|a| a == "--mem-report") {
-                let entry = resolve(&registry, &name);
                 mem_report(&entry.build(scale), seeds[0]);
             }
+        }
+        Some("validate") => {
+            let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            if paths.is_empty() {
+                usage();
+            }
+            validate(&paths);
+        }
+        Some("fuzz") => {
+            let seeds = match flag_value(&args, "--seeds") {
+                Some(arg) => parse_seed_range(&arg).unwrap_or_else(|e| fail(&e)),
+                None => (1..=50).collect(),
+            };
+            let out = flag_value(&args, "--out").unwrap_or_else(|| "results/fuzz".to_string());
+            fuzz(&seeds, &out);
         }
         Some("sweep") => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
@@ -192,6 +227,86 @@ fn main() {
 fn fail(msg: &str) -> ! {
     eprintln!("lockss-sim: {msg}");
     std::process::exit(2);
+}
+
+/// Loads a declarative scenario file as a runnable entry, exiting with
+/// the spec error (line/field context included) on a bad file.
+fn load_entry(path: &str) -> ScenarioEntry {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    spec.validate()
+        .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    ScenarioEntry::new(spec)
+}
+
+/// Checks each scenario file against the spec grammar and semantic
+/// validation, printing one line per file. Exits 1 if any file fails.
+fn validate(paths: &[&String]) {
+    let mut bad = 0usize;
+    for path in paths {
+        let verdict = std::fs::read_to_string(path.as_str())
+            .map_err(|e| format!("{e}"))
+            .and_then(|text| {
+                let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{e}"))?;
+                spec.validate().map_err(|e| e.to_string())?;
+                Ok(spec)
+            });
+        match verdict {
+            Ok(spec) => println!("{path}: ok ({})", spec.name),
+            Err(e) => {
+                println!("{path}: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("{bad} of {} file(s) failed validation", paths.len());
+        std::process::exit(1);
+    }
+}
+
+/// Generates and runs one random campaign per seed under the three
+/// oracles, writing a shrunk reproducer spec per violation. Exits 1 if
+/// any oracle fired.
+fn fuzz(seeds: &[u64], out_dir: &str) {
+    println!(
+        "fuzzing {} campaign(s) (seeds {}..{}), reproducers to {out_dir}/",
+        seeds.len(),
+        seeds.first().copied().unwrap_or(0),
+        seeds.last().copied().unwrap_or(0),
+    );
+    let outcome = run_fuzz(seeds, |line| println!("  {line}"));
+    println!(
+        "\n{} campaign(s): {} coverage signature(s), {} corpus mutation(s), \
+         {} poll(s) concluded, {} violation(s)",
+        outcome.campaigns,
+        outcome.signatures,
+        outcome.mutated,
+        outcome.polls_observed,
+        outcome.failures.len()
+    );
+    if outcome.polls_observed == 0 {
+        println!("warning: no campaign concluded a single poll; the oracles saw nothing");
+    }
+    if outcome.failures.is_empty() {
+        return;
+    }
+    if std::fs::create_dir_all(out_dir).is_err() {
+        fail(&format!("cannot create {out_dir}"));
+    }
+    for f in &outcome.failures {
+        let path = format!("{out_dir}/fuzz-{}-{}.json", f.gen_seed, f.violation.oracle);
+        match std::fs::write(&path, f.minimized.to_json()) {
+            Ok(()) => println!(
+                "seed {}: {} -> reproducer {path} (re-run with `lockss-sim run --file {path} \
+                 --scale quick --seed {}`)",
+                f.gen_seed, f.violation, f.run_seed
+            ),
+            Err(e) => fail(&format!("writing {path}: {e}")),
+        }
+    }
+    std::process::exit(1);
 }
 
 /// Compares a baseline bench report against one or more new reports
@@ -296,19 +411,19 @@ fn sweep_cmd(
 ) {
     let entry = resolve(registry, name);
     let scenario = entry.build(scale);
-    let default_path = format!("results/sweep-{}.json", entry.name);
+    let default_path = format!("results/sweep-{}.json", entry.name());
     let path = PathBuf::from(checkpoint.unwrap_or(&default_path));
     // --fresh ignores any existing checkpoint: without it, a rerun after a
     // code change would replay the stale per-seed summaries verbatim.
     let resume = if fresh {
         None
     } else {
-        load_checkpoint(&path, entry.name, scale.label())
+        load_checkpoint(&path, entry.name(), scale.label())
     };
     let done_before = resume.as_ref().map(|r| r.completed.len()).unwrap_or(0);
     println!(
         "sweeping '{}' at scale '{}': {} seed(s) on {} thread(s){}",
-        entry.name,
+        entry.name(),
         scale.label(),
         seeds.len(),
         threads,
@@ -320,7 +435,7 @@ fn sweep_cmd(
     );
     let report = run_sweep(
         &scenario,
-        entry.name,
+        entry.name(),
         scale.label(),
         seeds,
         threads,
@@ -474,7 +589,7 @@ fn list(registry: &ScenarioRegistry, scale: Scale) {
     );
     let mut table = Table::new(vec!["scenario", "paper", "description"]);
     for e in registry.entries() {
-        table.row(vec![e.name, e.paper_ref, e.description]);
+        table.row(vec![e.name(), e.paper_ref(), e.description()]);
     }
     print!("{}", table.render());
 }
@@ -482,9 +597,9 @@ fn list(registry: &ScenarioRegistry, scale: Scale) {
 fn describe(registry: &ScenarioRegistry, name: &str, scale: Scale) {
     let entry = resolve(registry, name);
     let s = entry.build(scale);
-    println!("scenario     {}", entry.name);
-    println!("paper        {}", entry.paper_ref);
-    println!("description  {}", entry.description);
+    println!("scenario     {}", entry.name());
+    println!("paper        {}", entry.paper_ref());
+    println!("description  {}", entry.description());
     println!("attack       {}", s.attack.label());
     println!(
         "world        {} peers x {} AUs, mtbf {} disk-years, poll interval {}",
@@ -498,20 +613,12 @@ fn describe(registry: &ScenarioRegistry, name: &str, scale: Scale) {
     );
 }
 
-fn run(
-    registry: &ScenarioRegistry,
-    name: &str,
-    scale: Scale,
-    seeds: &[u64],
-    json_out: bool,
-    record: Option<&str>,
-) {
-    let entry = resolve(registry, name);
+fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, record: Option<&str>) {
     let scenario = entry.build(scale);
     let attacked_label = scenario.attack.label();
     println!(
         "running '{}' at scale '{}' ({} seed(s), {} threads): {}",
-        entry.name,
+        entry.name(),
         scale.label(),
         seeds.len(),
         default_threads(),
@@ -532,7 +639,7 @@ fn run(
         // Recording is single-seed (enforced by the caller): the recorded
         // run doubles as the report run, since the sink never perturbs it.
         let meta = TraceMeta {
-            scenario: entry.name.to_string(),
+            scenario: entry.name().to_string(),
             scale: scale.label().to_string(),
             seed: seeds[0],
             run_length_ms: scenario.run_length.as_millis(),
@@ -629,8 +736,8 @@ fn run(
     }
 
     let json = render_json(
-        entry.name,
-        entry.paper_ref,
+        entry.name(),
+        entry.paper_ref(),
         scale,
         seeds,
         &attacked_label,
@@ -638,7 +745,7 @@ fn run(
         baseline.as_ref(),
         &phases,
     );
-    let path = format!("results/scenario-{}.json", entry.name);
+    let path = format!("results/scenario-{}.json", entry.name());
     if std::fs::create_dir_all("results").is_ok() && std::fs::write(&path, &json).is_ok() {
         println!("\nwrote {path}");
     }

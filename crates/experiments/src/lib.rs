@@ -20,11 +20,13 @@
 //! the absolute numbers of the authors' 2004 testbed — see EXPERIMENTS.md.
 
 pub mod cache;
+pub mod fuzz;
 pub mod layering;
 pub mod registry;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod spec;
 pub mod sweep;
 pub mod sweeps;
 
@@ -32,6 +34,7 @@ pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use runner::{run_scenario, MeasuredPoint};
 pub use scale::Scale;
 pub use scenario::{phased, AttackSpec, PhasedAttack, Scenario};
+pub use spec::{ScenarioSpec, SpecError, WorldSpec};
 pub use sweep::{run_sweep, SweepReport};
 
 use std::io::Write as _;

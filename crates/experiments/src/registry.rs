@@ -3,58 +3,133 @@
 //!
 //! The paper's evaluation is a handful of fixed sweeps; the registry turns
 //! each evaluated point — and every scenario beyond them — into a named
-//! entry with a description, a paper-section reference, and a builder, so
-//! new worlds (including composite campaigns) are one-line registrations
-//! discoverable from the `lockss-sim` CLI (`list` / `describe` / `run`).
-//! Determinism makes the names meaningful: a registered scenario plus a
-//! seed identifies a byte-reproducible execution, the record-and-replay
-//! property that makes attack debugging tractable.
-
-use lockss_adversary::Defection;
-use lockss_sim::Duration;
+//! entry with a description, a paper-section reference, and a declarative
+//! [`ScenarioSpec`], so new worlds (including composite campaigns) are one
+//! checked-in `scenarios/*.json` file, discoverable from the `lockss-sim`
+//! CLI (`list` / `describe` / `run`). Determinism makes the names
+//! meaningful: a registered scenario plus a seed identifies a
+//! byte-reproducible execution, the record-and-replay property that makes
+//! attack debugging tractable.
+//!
+//! The standard corpus is embedded with `include_str!` so
+//! [`ScenarioRegistry::standard`] stays infallible and independent of the
+//! working directory; `tests/golden_scenarios.rs` proves the corpus
+//! reproduces the pre-refactor hand-coded builders exactly, and the tests
+//! below pin the files to their canonical encoding.
 
 use crate::scale::Scale;
-use crate::scenario::{phased, AttackSpec, Scenario};
+use crate::scenario::Scenario;
+use crate::spec::ScenarioSpec;
 
-/// A production-scale world: `n_peers` peers preserving one AU with a
-/// skewed (production-realistic) access-link mix, shorter horizons than
-/// the figure worlds, and the lazy/sparse construction path exercised by
-/// the population size itself. The `scale-*` registry family builds on
-/// this.
-fn scale_world(scale: Scale, n_peers: usize, attack: AttackSpec) -> Scenario {
-    let mut s = Scenario::attacked(scale, 1, attack);
-    s.cfg.n_peers = n_peers;
-    // Most libraries on modest links, a few well-provisioned (drawn via
-    // the O(1) alias sampler).
-    s.cfg.link_mix = Some([0.6, 0.3, 0.1]);
-    s.run_length = match scale {
-        // Two poll generations: enough for every (peer, AU) to conclude
-        // polls while keeping the CI smoke run bounded.
-        Scale::Quick => Duration::from_days(200),
-        Scale::Default | Scale::Paper => Duration::from_days(540),
-    };
-    s
-}
-
-/// One registered scenario: metadata plus a builder.
-#[derive(Clone)]
+/// One registered scenario: a declarative spec (world, attack, catalog
+/// metadata).
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioEntry {
-    /// Unique, CLI-addressable name (kebab-case).
-    pub name: &'static str,
-    /// One-line description of the world and what it demonstrates.
-    pub description: &'static str,
-    /// The paper figure/table/section the scenario reproduces or extends.
-    pub paper_ref: &'static str,
-    /// Builds the scenario at a given experiment scale.
-    pub builder: fn(Scale) -> Scenario,
+    /// The spec this entry is backed by.
+    pub spec: ScenarioSpec,
 }
 
 impl ScenarioEntry {
+    /// Wraps a spec as a registry entry.
+    pub fn new(spec: ScenarioSpec) -> ScenarioEntry {
+        ScenarioEntry { spec }
+    }
+
+    /// Unique, CLI-addressable name (kebab-case).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// One-line description of the world and what it demonstrates.
+    pub fn description(&self) -> &str {
+        &self.spec.description
+    }
+
+    /// The paper figure/table/section the scenario reproduces or extends.
+    pub fn paper_ref(&self) -> &str {
+        &self.spec.paper_ref
+    }
+
     /// Builds the scenario at `scale`.
     pub fn build(&self, scale: Scale) -> Scenario {
-        (self.builder)(scale)
+        self.spec.build(scale)
     }
 }
+
+/// The standard corpus, in catalog order. Each file is the canonical
+/// encoding of its spec (`ScenarioSpec::to_json`); the registry tests
+/// reject a file that drifts from it.
+pub const STANDARD_SCENARIOS: [(&str, &str); 18] = [
+    ("baseline", include_str!("../../../scenarios/baseline.json")),
+    (
+        "baseline-large",
+        include_str!("../../../scenarios/baseline-large.json"),
+    ),
+    (
+        "pipe-stoppage",
+        include_str!("../../../scenarios/pipe-stoppage.json"),
+    ),
+    (
+        "pipe-stoppage-partial",
+        include_str!("../../../scenarios/pipe-stoppage-partial.json"),
+    ),
+    (
+        "admission-flood",
+        include_str!("../../../scenarios/admission-flood.json"),
+    ),
+    (
+        "admission-flood-partial",
+        include_str!("../../../scenarios/admission-flood-partial.json"),
+    ),
+    (
+        "brute-force-intro",
+        include_str!("../../../scenarios/brute-force-intro.json"),
+    ),
+    (
+        "brute-force-remaining",
+        include_str!("../../../scenarios/brute-force-remaining.json"),
+    ),
+    (
+        "brute-force-none",
+        include_str!("../../../scenarios/brute-force-none.json"),
+    ),
+    (
+        "vote-flood",
+        include_str!("../../../scenarios/vote-flood.json"),
+    ),
+    (
+        "churn-storm",
+        include_str!("../../../scenarios/churn-storm.json"),
+    ),
+    (
+        "sybil-ramp",
+        include_str!("../../../scenarios/sybil-ramp.json"),
+    ),
+    (
+        "stoppage-then-flood",
+        include_str!("../../../scenarios/stoppage-then-flood.json"),
+    ),
+    (
+        "storm-over-ramp",
+        include_str!("../../../scenarios/storm-over-ramp.json"),
+    ),
+    (
+        "stoppage-escalation",
+        include_str!("../../../scenarios/stoppage-escalation.json"),
+    ),
+    (
+        "scale-10k-baseline",
+        include_str!("../../../scenarios/scale-10k-baseline.json"),
+    ),
+    (
+        "scale-10k-churn-storm",
+        include_str!("../../../scenarios/scale-10k-churn-storm.json"),
+    ),
+    (
+        "scale-50k-attrition",
+        include_str!("../../../scenarios/scale-50k-attrition.json"),
+    ),
+];
 
 /// The registry: an ordered collection of named scenarios.
 pub struct ScenarioRegistry {
@@ -77,9 +152,9 @@ impl ScenarioRegistry {
     /// must be unique.
     pub fn register(&mut self, entry: ScenarioEntry) {
         assert!(
-            self.get(entry.name).is_none(),
+            self.get(entry.name()).is_none(),
             "duplicate scenario name '{}'",
-            entry.name
+            entry.name()
         );
         self.entries.push(entry);
     }
@@ -91,7 +166,7 @@ impl ScenarioRegistry {
 
     /// Looks an entry up by name.
     pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
-        self.entries.iter().find(|e| e.name == name)
+        self.entries.iter().find(|e| e.name() == name)
     }
 
     /// Builds the named scenario at `scale`, if registered.
@@ -100,8 +175,8 @@ impl ScenarioRegistry {
     }
 
     /// All registered names, in registration order.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.entries.iter().map(|e| e.name).collect()
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name()).collect()
     }
 
     /// Number of registered scenarios.
@@ -121,300 +196,33 @@ impl ScenarioRegistry {
         for e in &self.entries {
             out.push_str(&format!(
                 "| `{}` | {} | {} |\n",
-                e.name, e.paper_ref, e.description
+                e.name(),
+                e.paper_ref(),
+                e.description()
             ));
         }
         out
     }
 
     /// The standard registry: the paper's evaluated worlds plus the
-    /// dynamic-environment and composite campaigns.
+    /// dynamic-environment and composite campaigns, loaded from the
+    /// embedded `scenarios/` corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checked-in scenario file fails to parse — a build-time
+    /// defect, caught by every test that touches the registry.
     pub fn standard() -> ScenarioRegistry {
         let mut r = ScenarioRegistry::new();
-        r.register(ScenarioEntry {
-            name: "baseline",
-            description: "the §6.3 world, small collection, no attack",
-            paper_ref: "§6.3, Fig. 2",
-            builder: |scale| Scenario::baseline(scale, scale.small_collection()),
-        });
-        r.register(ScenarioEntry {
-            name: "baseline-large",
-            description: "the §6.3 world at the large collection size, no attack",
-            paper_ref: "§6.3, Fig. 2 (600-AU line)",
-            builder: |scale| Scenario::baseline(scale, scale.large_collection()),
-        });
-        r.register(ScenarioEntry {
-            name: "pipe-stoppage",
-            description: "total network blackout, 90-day cycles, 30-day recuperation",
-            paper_ref: "§7.2, Figs. 3-5",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::PipeStoppage {
-                        coverage: 1.0,
-                        days: 90,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "pipe-stoppage-partial",
-            description: "pipe stoppage against 40% of the population, 30-day cycles",
-            paper_ref: "§7.2, Figs. 3-5",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::PipeStoppage {
-                        coverage: 0.4,
-                        days: 30,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "admission-flood",
-            description: "garbage invitations to the whole population, sustained two years",
-            paper_ref: "§7.3, Figs. 6-8",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::AdmissionFlood {
-                        coverage: 1.0,
-                        days: 720,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "admission-flood-partial",
-            description: "admission flood against 40% of the population, 90-day cycles",
-            paper_ref: "§7.3, Figs. 6-8",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::AdmissionFlood {
-                        coverage: 0.4,
-                        days: 90,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "brute-force-intro",
-            description: "effortful reservation attack: valid intro efforts, desert after Poll",
-            paper_ref: "§7.4, Table 1 (INTRO)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::BruteForce {
-                        defection: Defection::Intro,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "brute-force-remaining",
-            description: "effortful wasteful attack: take the vote, never send the receipt",
-            paper_ref: "§7.4, Table 1 (REMAINING)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::BruteForce {
-                        defection: Defection::Remaining,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "brute-force-none",
-            description: "effortful full participation: indistinguishable but insatiable poller",
-            paper_ref: "§7.4, Table 1 (NONE)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::BruteForce {
-                        defection: Defection::None_,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "vote-flood",
-            description: "unsolicited bogus votes, four per victim every six hours",
-            paper_ref: "§5.1 (vote flood)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::VoteFlood {
-                        votes_per_wave: 4,
-                        wave_hours: 6,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "churn-storm",
-            description: "half the population departs each poll interval, timed over the \
-                          solicitation windows",
-            paper_ref: "§9 (dynamic environments)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::ChurnStorm {
-                        coverage: 0.5,
-                        duty: 0.7,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "sybil-ramp",
-            description: "sybil garbage invitations escalating +25% of the population every \
-                          45 days",
-            paper_ref: "§3.1 + §7.3 (unconstrained identities)",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::SybilRamp {
-                        step: 0.25,
-                        step_days: 45,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "stoppage-then-flood",
-            description: "composite: 60-day total blackout, then an admission flood timed \
-                          into the recovery window",
-            paper_ref: "§7.2 + §7.3 composed",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::Compose(vec![
-                        phased(
-                            0,
-                            AttackSpec::PipeStoppage {
-                                coverage: 1.0,
-                                days: 60,
-                            },
-                        ),
-                        phased(
-                            90,
-                            AttackSpec::AdmissionFlood {
-                                coverage: 1.0,
-                                days: 360,
-                            },
-                        ),
-                    ]),
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "storm-over-ramp",
-            description: "composite: churn storm and sybil admission ramp running \
-                          concurrently from the first instant",
-            paper_ref: "§9 + §7.3 composed",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::Compose(vec![
-                        phased(
-                            0,
-                            AttackSpec::ChurnStorm {
-                                coverage: 0.5,
-                                duty: 0.7,
-                            },
-                        ),
-                        phased(
-                            0,
-                            AttackSpec::SybilRamp {
-                                step: 0.25,
-                                step_days: 45,
-                            },
-                        ),
-                    ]),
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "stoppage-escalation",
-            description: "composite: partial pipe stoppage that escalates to a total \
-                          blackout after four months",
-            paper_ref: "§7.2 phased",
-            builder: |scale| {
-                Scenario::attacked(
-                    scale,
-                    scale.small_collection(),
-                    AttackSpec::Compose(vec![
-                        phased(
-                            0,
-                            AttackSpec::PipeStoppage {
-                                coverage: 0.4,
-                                days: 30,
-                            },
-                        ),
-                        phased(
-                            120,
-                            AttackSpec::PipeStoppage {
-                                coverage: 1.0,
-                                days: 60,
-                            },
-                        ),
-                    ]),
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "scale-10k-baseline",
-            description: "production-scale world: 10,000 peers, one AU, skewed link mix, \
-                          no attack",
-            paper_ref: "beyond the paper (scale layer)",
-            builder: |scale| scale_world(scale, 10_000, AttackSpec::None),
-        });
-        r.register(ScenarioEntry {
-            name: "scale-10k-churn-storm",
-            description: "10,000 peers under a poll-synchronized churn storm (30% depart, \
-                          50% duty)",
-            paper_ref: "§9 at production scale",
-            builder: |scale| {
-                scale_world(
-                    scale,
-                    10_000,
-                    AttackSpec::ChurnStorm {
-                        coverage: 0.3,
-                        duty: 0.5,
-                    },
-                )
-            },
-        });
-        r.register(ScenarioEntry {
-            name: "scale-50k-attrition",
-            description: "50,000 peers under a 40%-coverage admission-flood attrition \
-                          campaign, 90-day cycles",
-            paper_ref: "§7.3 at production scale",
-            builder: |scale| {
-                scale_world(
-                    scale,
-                    50_000,
-                    AttackSpec::AdmissionFlood {
-                        coverage: 0.4,
-                        days: 90,
-                    },
-                )
-            },
-        });
+        for (name, text) in STANDARD_SCENARIOS {
+            let spec = ScenarioSpec::from_json(text)
+                .unwrap_or_else(|e| panic!("checked-in scenario '{name}' is invalid: {e}"));
+            assert_eq!(
+                spec.name, name,
+                "scenario file name and embedded name disagree"
+            );
+            r.register(ScenarioEntry::new(spec));
+        }
         r
     }
 }
@@ -462,14 +270,32 @@ mod tests {
     #[test]
     fn every_scenario_validates_at_every_scale() {
         let r = ScenarioRegistry::standard();
+        for e in r.entries() {
+            e.spec
+                .validate()
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name()));
+        }
         for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
             for e in r.entries() {
                 let s = e.build(scale);
                 s.cfg
                     .validate()
-                    .unwrap_or_else(|err| panic!("{} at {:?}: {err}", e.name, scale));
+                    .unwrap_or_else(|err| panic!("{} at {:?}: {err}", e.name(), scale));
                 assert!(!s.run_length.is_zero());
             }
+        }
+    }
+
+    #[test]
+    fn corpus_files_are_canonical() {
+        for (name, text) in STANDARD_SCENARIOS {
+            let spec = ScenarioSpec::from_json(text).expect(name);
+            assert_eq!(
+                spec.to_json(),
+                text,
+                "scenarios/{name}.json is not in canonical encoding \
+                 (re-emit it with ScenarioSpec::to_json)"
+            );
         }
     }
 
@@ -487,12 +313,8 @@ mod tests {
     #[should_panic(expected = "duplicate scenario name")]
     fn duplicate_registration_panics() {
         let mut r = ScenarioRegistry::standard();
-        r.register(ScenarioEntry {
-            name: "baseline",
-            description: "dup",
-            paper_ref: "-",
-            builder: |scale| Scenario::baseline(scale, 1),
-        });
+        let dup = r.get("baseline").expect("registered").clone();
+        r.register(dup);
     }
 
     #[test]
@@ -500,7 +322,7 @@ mod tests {
         let r = ScenarioRegistry::standard();
         let md = r.catalog_markdown();
         for e in r.entries() {
-            assert!(md.contains(e.name), "catalog missing {}", e.name);
+            assert!(md.contains(e.name()), "catalog missing {}", e.name());
         }
         assert_eq!(md.lines().count(), r.len() + 2, "header + one row each");
     }

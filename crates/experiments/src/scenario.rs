@@ -200,7 +200,7 @@ impl AttackSpec {
 }
 
 /// One experiment point: configuration + attack + run length.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// The world to build (seed overwritten per run).
     pub cfg: WorldConfig,

@@ -1,0 +1,937 @@
+//! Declarative scenario files: the serialization layer behind the
+//! registry.
+//!
+//! A [`ScenarioSpec`] is the data form of one registry entry: world
+//! knobs, an [`AttackSpec`] tree (including phased composites), and the
+//! catalog metadata, all round-tripping through the workspace's
+//! fixed-schema JSON reader ([`lockss_sim::json`]). Three guarantees make
+//! the files first-class citizens:
+//!
+//! - **exact float round-trip** — floats are written in shortest-repr
+//!   form and parsed back to the same bits, so
+//!   `encode(decode(encode(s))) == encode(s)` byte-for-byte;
+//! - **schema errors with context** — syntax errors carry `line:column`
+//!   (via [`json::line_col`]), field errors carry the dotted field path
+//!   (`attack.members[1].coverage`), and unknown fields are rejected;
+//! - **builder equivalence** — [`ScenarioSpec::build`] layers the world
+//!   knobs over [`Scenario::attacked`] exactly as the pre-refactor
+//!   builder closures did, so a spec-loaded scenario is structurally
+//!   identical to its hand-coded ancestor (`tests/golden_scenarios.rs`
+//!   proves this for every checked-in file).
+//!
+//! The checked-in corpus lives in `scenarios/*.json`; the CLI loads
+//! further files at runtime (`lockss-sim run --file`, `validate`), and
+//! the campaign fuzzer ([`crate::fuzz`]) generates random specs from
+//! this grammar.
+
+use lockss_adversary::Defection;
+use lockss_sim::json::{self, Value};
+use lockss_sim::Duration;
+
+use crate::scale::Scale;
+use crate::scenario::{phased, AttackSpec, Scenario};
+
+use std::fmt;
+
+/// The format tag every scenario file must carry.
+pub const FORMAT: &str = "lockss-scenario-v1";
+
+/// A schema error: what went wrong, where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (empty for document-level
+    /// errors), e.g. `attack.members[1].coverage`.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+    /// `1`-based `(line, column)` for syntax errors.
+    pub location: Option<(usize, usize)>,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.location, self.path.is_empty()) {
+            (Some((line, col)), _) => write!(f, "line {line}:{col}: {}", self.message),
+            (None, false) => write!(f, "field '{}': {}", self.path, self.message),
+            (None, true) => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn field_err(path: &str, message: impl Into<String>) -> SpecError {
+    SpecError {
+        path: path.to_string(),
+        message: message.into(),
+        location: None,
+    }
+}
+
+/// Loyal-population size: follow the experiment scale, or pin a count
+/// (the production-scale worlds pin 10,000+).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeersSpec {
+    /// `Scale::n_peers()` (40 quick / 100 default and paper).
+    Scale,
+    /// A fixed population.
+    Fixed(usize),
+}
+
+/// Collection size: the scale's small or large collection, or a fixed
+/// AU count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AusSpec {
+    /// `Scale::small_collection()`.
+    Small,
+    /// `Scale::large_collection()`.
+    Large,
+    /// A fixed AU count.
+    Fixed(usize),
+}
+
+/// Run length: the scale's default horizon, one fixed length, or one
+/// length per scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunSpec {
+    /// `Scale::run_length()`.
+    Scale,
+    /// A fixed number of simulated days at every scale.
+    Days(u64),
+    /// A per-scale horizon (the scale-layer worlds run shorter smoke
+    /// horizons at `quick`).
+    PerScale {
+        /// Days at `Scale::Quick`.
+        quick: u64,
+        /// Days at `Scale::Default`.
+        default: u64,
+        /// Days at `Scale::Paper`.
+        paper: u64,
+    },
+}
+
+/// The world half of a scenario file: every knob the registry's builder
+/// closures used to set in code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldSpec {
+    /// Loyal population.
+    pub peers: PeersSpec,
+    /// Collection size.
+    pub aus: AusSpec,
+    /// Storage MTBF in years.
+    pub mtbf_years: f64,
+    /// Optional skewed access-link mix (low → high bandwidth weights).
+    pub link_mix: Option<[f64; 3]>,
+    /// Optional inter-poll interval override, in months.
+    pub poll_months: Option<u64>,
+    /// Run length.
+    pub run: RunSpec,
+}
+
+impl Default for WorldSpec {
+    fn default() -> WorldSpec {
+        WorldSpec {
+            peers: PeersSpec::Scale,
+            aus: AusSpec::Small,
+            mtbf_years: 5.0,
+            link_mix: None,
+            poll_months: None,
+            run: RunSpec::Scale,
+        }
+    }
+}
+
+/// One declarative scenario: catalog metadata, world, attack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique, CLI-addressable name (kebab-case).
+    pub name: String,
+    /// One-line description of the world and what it demonstrates.
+    pub description: String,
+    /// The paper figure/table/section the scenario reproduces or extends.
+    pub paper_ref: String,
+    /// World knobs.
+    pub world: WorldSpec,
+    /// The attack campaign.
+    pub attack: AttackSpec,
+}
+
+// ---------------------------------------------------------------------
+// Encoding: canonical, pretty-printed, shortest-repr floats.
+// ---------------------------------------------------------------------
+
+/// Shortest round-trip representation of a finite float (`5` for `5.0`,
+/// `0.30000000000000004` stays exact).
+fn fmt_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "scenario floats must be finite");
+    format!("{x}")
+}
+
+fn push_attack(out: &mut String, attack: &AttackSpec, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match attack {
+        AttackSpec::None => out.push_str("{\"kind\": \"none\"}"),
+        AttackSpec::PipeStoppage { coverage, days } => out.push_str(&format!(
+            "{{\"kind\": \"pipe-stoppage\", \"coverage\": {}, \"days\": {days}}}",
+            fmt_f64(*coverage)
+        )),
+        AttackSpec::AdmissionFlood { coverage, days } => out.push_str(&format!(
+            "{{\"kind\": \"admission-flood\", \"coverage\": {}, \"days\": {days}}}",
+            fmt_f64(*coverage)
+        )),
+        AttackSpec::BruteForce { defection } => out.push_str(&format!(
+            "{{\"kind\": \"brute-force\", \"defection\": \"{}\"}}",
+            defection.label()
+        )),
+        AttackSpec::VoteFlood {
+            votes_per_wave,
+            wave_hours,
+        } => out.push_str(&format!(
+            "{{\"kind\": \"vote-flood\", \"votes_per_wave\": {votes_per_wave}, \
+             \"wave_hours\": {wave_hours}}}"
+        )),
+        AttackSpec::ChurnStorm { coverage, duty } => out.push_str(&format!(
+            "{{\"kind\": \"churn-storm\", \"coverage\": {}, \"duty\": {}}}",
+            fmt_f64(*coverage),
+            fmt_f64(*duty)
+        )),
+        AttackSpec::SybilRamp { step, step_days } => out.push_str(&format!(
+            "{{\"kind\": \"sybil-ramp\", \"step\": {}, \"step_days\": {step_days}}}",
+            fmt_f64(*step)
+        )),
+        AttackSpec::Compose(members) => {
+            out.push_str("{\n");
+            out.push_str(&format!("{inner}\"kind\": \"compose\",\n"));
+            out.push_str(&format!("{inner}\"members\": ["));
+            if members.is_empty() {
+                out.push_str("]\n");
+            } else {
+                out.push('\n');
+                let member_pad = "  ".repeat(indent + 2);
+                for (i, m) in members.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{member_pad}{{\"start_days\": {}, \"attack\": ",
+                        m.start_days
+                    ));
+                    push_attack(out, &m.attack, indent + 2);
+                    out.push('}');
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&format!("{inner}]\n"));
+            }
+            out.push_str(&format!("{pad}}}"));
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The canonical file encoding: stable field order, two-space
+    /// indent, shortest-repr floats, trailing newline. Every checked-in
+    /// `scenarios/*.json` file is exactly this function's output.
+    pub fn to_json(&self) -> String {
+        let w = &self.world;
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+        out.push_str(&format!("  \"name\": \"{}\",\n", json::escape(&self.name)));
+        out.push_str(&format!(
+            "  \"description\": \"{}\",\n",
+            json::escape(&self.description)
+        ));
+        out.push_str(&format!(
+            "  \"paper_ref\": \"{}\",\n",
+            json::escape(&self.paper_ref)
+        ));
+        out.push_str("  \"world\": {\n");
+        out.push_str(&match w.peers {
+            PeersSpec::Scale => "    \"peers\": \"scale\",\n".to_string(),
+            PeersSpec::Fixed(n) => format!("    \"peers\": {n},\n"),
+        });
+        out.push_str(&match w.aus {
+            AusSpec::Small => "    \"aus\": \"small\",\n".to_string(),
+            AusSpec::Large => "    \"aus\": \"large\",\n".to_string(),
+            AusSpec::Fixed(n) => format!("    \"aus\": {n},\n"),
+        });
+        out.push_str(&format!("    \"mtbf_years\": {},\n", fmt_f64(w.mtbf_years)));
+        out.push_str(&match w.link_mix {
+            None => "    \"link_mix\": null,\n".to_string(),
+            Some(mix) => format!(
+                "    \"link_mix\": [{}, {}, {}],\n",
+                fmt_f64(mix[0]),
+                fmt_f64(mix[1]),
+                fmt_f64(mix[2])
+            ),
+        });
+        out.push_str(&match w.poll_months {
+            None => "    \"poll_months\": null,\n".to_string(),
+            Some(m) => format!("    \"poll_months\": {m},\n"),
+        });
+        out.push_str(&match w.run {
+            RunSpec::Scale => "    \"run_days\": \"scale\"\n".to_string(),
+            RunSpec::Days(d) => format!("    \"run_days\": {d}\n"),
+            RunSpec::PerScale {
+                quick,
+                default,
+                paper,
+            } => format!(
+                "    \"run_days\": {{\"quick\": {quick}, \"default\": {default}, \
+                 \"paper\": {paper}}}\n"
+            ),
+        });
+        out.push_str("  },\n");
+        out.push_str("  \"attack\": ");
+        push_attack(&mut out, &self.attack, 1);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses one scenario file. Unknown fields, wrong types, missing
+    /// fields, and unknown attack kinds are all rejected with the
+    /// offending field path; syntax errors carry their `line:column`.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let doc = json::parse(text).map_err(|e| SpecError {
+            path: String::new(),
+            message: e.message,
+            location: Some(json::line_col(text, e.at)),
+        })?;
+        let root = expect_object(&doc, "")?;
+        reject_unknown(
+            root,
+            &[
+                "format",
+                "name",
+                "description",
+                "paper_ref",
+                "world",
+                "attack",
+            ],
+            "",
+        )?;
+        let format = str_field(root, "format", "format")?;
+        if format != FORMAT {
+            return Err(field_err(
+                "format",
+                format!("unsupported format '{format}' (this build reads '{FORMAT}')"),
+            ));
+        }
+        Ok(ScenarioSpec {
+            name: str_field(root, "name", "name")?.to_string(),
+            description: str_field(root, "description", "description")?.to_string(),
+            paper_ref: str_field(root, "paper_ref", "paper_ref")?.to_string(),
+            world: decode_world(require(root, "world", "world")?)?,
+            attack: decode_attack(require(root, "attack", "attack")?, "attack")?,
+        })
+    }
+
+    /// Builds the runnable scenario at `scale`, layering the world knobs
+    /// over [`Scenario::attacked`] exactly as the pre-refactor builder
+    /// closures did.
+    pub fn build(&self, scale: Scale) -> Scenario {
+        let n_aus = match self.world.aus {
+            AusSpec::Small => scale.small_collection(),
+            AusSpec::Large => scale.large_collection(),
+            AusSpec::Fixed(n) => n,
+        };
+        let mut s = Scenario::attacked(scale, n_aus, self.attack.clone());
+        if let PeersSpec::Fixed(n) = self.world.peers {
+            s.cfg.n_peers = n;
+        }
+        s.cfg.mtbf_years = self.world.mtbf_years;
+        s.cfg.link_mix = self.world.link_mix;
+        if let Some(months) = self.world.poll_months {
+            s.cfg.protocol.poll_interval = Duration::MONTH * months;
+        }
+        match self.world.run {
+            RunSpec::Scale => {}
+            RunSpec::Days(d) => s.run_length = Duration::from_days(d),
+            RunSpec::PerScale {
+                quick,
+                default,
+                paper,
+            } => {
+                s.run_length = Duration::from_days(match scale {
+                    Scale::Quick => quick,
+                    Scale::Default => default,
+                    Scale::Paper => paper,
+                });
+            }
+        }
+        s
+    }
+
+    /// Semantic checks beyond the schema: kebab-case name, finite knobs,
+    /// and a world that validates at every scale.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return Err(format!("name '{}' is not kebab-case", self.name));
+        }
+        if !self.world.mtbf_years.is_finite() || self.world.mtbf_years <= 0.0 {
+            return Err("mtbf_years must be positive and finite".into());
+        }
+        if self.world.poll_months == Some(0) {
+            return Err("poll_months must be positive".into());
+        }
+        validate_attack(&self.attack)?;
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            let s = self.build(scale);
+            s.cfg
+                .validate()
+                .map_err(|e| format!("world invalid at {} scale: {e}", scale.label()))?;
+            if s.run_length.is_zero() {
+                return Err(format!("run length is zero at {} scale", scale.label()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_attack(attack: &AttackSpec) -> Result<(), String> {
+    let unit = |x: f64, what: &str| {
+        if x.is_finite() && (0.0..=1.0).contains(&x) {
+            Ok(())
+        } else {
+            Err(format!("{what} must be in [0,1]"))
+        }
+    };
+    match attack {
+        AttackSpec::None | AttackSpec::BruteForce { .. } => Ok(()),
+        AttackSpec::PipeStoppage { coverage, days }
+        | AttackSpec::AdmissionFlood { coverage, days } => {
+            unit(*coverage, "coverage")?;
+            if *days == 0 {
+                return Err("attack cycle days must be positive".into());
+            }
+            Ok(())
+        }
+        AttackSpec::VoteFlood {
+            votes_per_wave,
+            wave_hours,
+        } => {
+            if *votes_per_wave == 0 || *wave_hours == 0 {
+                return Err("vote-flood wave shape must be positive".into());
+            }
+            Ok(())
+        }
+        AttackSpec::ChurnStorm { coverage, duty } => {
+            unit(*coverage, "coverage")?;
+            unit(*duty, "duty")
+        }
+        AttackSpec::SybilRamp { step, step_days } => {
+            unit(*step, "step")?;
+            if *step_days == 0 {
+                return Err("sybil-ramp step_days must be positive".into());
+            }
+            Ok(())
+        }
+        AttackSpec::Compose(members) => {
+            for m in members {
+                validate_attack(&m.attack)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding helpers: dotted field paths, unknown-field rejection.
+// ---------------------------------------------------------------------
+
+fn expect_object<'v>(v: &'v Value, path: &str) -> Result<&'v [(String, Value)], SpecError> {
+    match v {
+        Value::Obj(fields) => Ok(fields),
+        other => Err(field_err(
+            path,
+            format!("expected object, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn reject_unknown(
+    fields: &[(String, Value)],
+    allowed: &[&str],
+    path: &str,
+) -> Result<(), SpecError> {
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            let at = if path.is_empty() {
+                key.clone()
+            } else {
+                format!("{path}.{key}")
+            };
+            return Err(field_err(
+                &at,
+                format!("unknown field (expected one of: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn require<'v>(
+    fields: &'v [(String, Value)],
+    key: &str,
+    path: &str,
+) -> Result<&'v Value, SpecError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| field_err(path, format!("missing field '{key}'")))
+}
+
+fn str_field<'v>(
+    fields: &'v [(String, Value)],
+    key: &str,
+    path: &str,
+) -> Result<&'v str, SpecError> {
+    require(fields, key, path)?
+        .as_str(key)
+        .map_err(|m| field_err(path, m))
+}
+
+fn f64_field(fields: &[(String, Value)], key: &str, path: &str) -> Result<f64, SpecError> {
+    let x = require(fields, key, path)?
+        .as_f64(key)
+        .map_err(|m| field_err(path, m))?;
+    if !x.is_finite() {
+        return Err(field_err(path, "must be finite"));
+    }
+    Ok(x)
+}
+
+fn u64_field(fields: &[(String, Value)], key: &str, path: &str) -> Result<u64, SpecError> {
+    require(fields, key, path)?
+        .as_u64(key)
+        .map_err(|m| field_err(path, m))
+}
+
+fn decode_world(v: &Value) -> Result<WorldSpec, SpecError> {
+    let fields = expect_object(v, "world")?;
+    reject_unknown(
+        fields,
+        &[
+            "peers",
+            "aus",
+            "mtbf_years",
+            "link_mix",
+            "poll_months",
+            "run_days",
+        ],
+        "world",
+    )?;
+    let peers = match require(fields, "peers", "world")? {
+        Value::Str(s) if s == "scale" => PeersSpec::Scale,
+        Value::Str(s) => {
+            return Err(field_err(
+                "world.peers",
+                format!("expected \"scale\" or a count, got \"{s}\""),
+            ))
+        }
+        n => PeersSpec::Fixed(n.as_u64("peers").map_err(|m| field_err("world.peers", m))? as usize),
+    };
+    let aus = match require(fields, "aus", "world")? {
+        Value::Str(s) if s == "small" => AusSpec::Small,
+        Value::Str(s) if s == "large" => AusSpec::Large,
+        Value::Str(s) => {
+            return Err(field_err(
+                "world.aus",
+                format!("expected \"small\", \"large\", or a count, got \"{s}\""),
+            ))
+        }
+        n => AusSpec::Fixed(n.as_u64("aus").map_err(|m| field_err("world.aus", m))? as usize),
+    };
+    let mtbf_years = f64_field(fields, "mtbf_years", "world.mtbf_years")?;
+    let link_mix = match json::get_opt(fields, "link_mix") {
+        None => {
+            require(fields, "link_mix", "world")?; // absent vs explicit null
+            None
+        }
+        Some(v) => {
+            let items = v
+                .as_array("link_mix")
+                .map_err(|m| field_err("world.link_mix", m))?;
+            if items.len() != 3 {
+                return Err(field_err(
+                    "world.link_mix",
+                    format!("expected exactly 3 weights, got {}", items.len()),
+                ));
+            }
+            let mut mix = [0.0; 3];
+            for (i, item) in items.iter().enumerate() {
+                mix[i] = item
+                    .as_f64("weight")
+                    .map_err(|m| field_err(&format!("world.link_mix[{i}]"), m))?;
+            }
+            Some(mix)
+        }
+    };
+    let poll_months = match json::get_opt(fields, "poll_months") {
+        None => {
+            require(fields, "poll_months", "world")?;
+            None
+        }
+        Some(v) => Some(
+            v.as_u64("poll_months")
+                .map_err(|m| field_err("world.poll_months", m))?,
+        ),
+    };
+    let run = match require(fields, "run_days", "world")? {
+        Value::Str(s) if s == "scale" => RunSpec::Scale,
+        Value::Str(s) => {
+            return Err(field_err(
+                "world.run_days",
+                format!("expected \"scale\", a day count, or a per-scale object, got \"{s}\""),
+            ))
+        }
+        Value::Obj(per) => {
+            reject_unknown(per, &["quick", "default", "paper"], "world.run_days")?;
+            RunSpec::PerScale {
+                quick: u64_field(per, "quick", "world.run_days.quick")?,
+                default: u64_field(per, "default", "world.run_days.default")?,
+                paper: u64_field(per, "paper", "world.run_days.paper")?,
+            }
+        }
+        n => RunSpec::Days(
+            n.as_u64("run_days")
+                .map_err(|m| field_err("world.run_days", m))?,
+        ),
+    };
+    Ok(WorldSpec {
+        peers,
+        aus,
+        mtbf_years,
+        link_mix,
+        poll_months,
+        run,
+    })
+}
+
+fn decode_attack(v: &Value, path: &str) -> Result<AttackSpec, SpecError> {
+    let fields = expect_object(v, path)?;
+    let kind = str_field(fields, "kind", path)?;
+    let only = |allowed: &[&str]| reject_unknown(fields, allowed, path);
+    let sub = |key: &str| format!("{path}.{key}");
+    match kind {
+        "none" => {
+            only(&["kind"])?;
+            Ok(AttackSpec::None)
+        }
+        "pipe-stoppage" => {
+            only(&["kind", "coverage", "days"])?;
+            Ok(AttackSpec::PipeStoppage {
+                coverage: f64_field(fields, "coverage", &sub("coverage"))?,
+                days: u64_field(fields, "days", &sub("days"))?,
+            })
+        }
+        "admission-flood" => {
+            only(&["kind", "coverage", "days"])?;
+            Ok(AttackSpec::AdmissionFlood {
+                coverage: f64_field(fields, "coverage", &sub("coverage"))?,
+                days: u64_field(fields, "days", &sub("days"))?,
+            })
+        }
+        "brute-force" => {
+            only(&["kind", "defection"])?;
+            let defection = match str_field(fields, "defection", &sub("defection"))? {
+                "INTRO" => Defection::Intro,
+                "REMAINING" => Defection::Remaining,
+                "NONE" => Defection::None_,
+                other => {
+                    return Err(field_err(
+                        &sub("defection"),
+                        format!("unknown defection point '{other}' (INTRO, REMAINING, NONE)"),
+                    ))
+                }
+            };
+            Ok(AttackSpec::BruteForce { defection })
+        }
+        "vote-flood" => {
+            only(&["kind", "votes_per_wave", "wave_hours"])?;
+            let votes = u64_field(fields, "votes_per_wave", &sub("votes_per_wave"))?;
+            let votes = u32::try_from(votes)
+                .map_err(|_| field_err(&sub("votes_per_wave"), "does not fit in u32"))?;
+            Ok(AttackSpec::VoteFlood {
+                votes_per_wave: votes,
+                wave_hours: u64_field(fields, "wave_hours", &sub("wave_hours"))?,
+            })
+        }
+        "churn-storm" => {
+            only(&["kind", "coverage", "duty"])?;
+            Ok(AttackSpec::ChurnStorm {
+                coverage: f64_field(fields, "coverage", &sub("coverage"))?,
+                duty: f64_field(fields, "duty", &sub("duty"))?,
+            })
+        }
+        "sybil-ramp" => {
+            only(&["kind", "step", "step_days"])?;
+            Ok(AttackSpec::SybilRamp {
+                step: f64_field(fields, "step", &sub("step"))?,
+                step_days: u64_field(fields, "step_days", &sub("step_days"))?,
+            })
+        }
+        "compose" => {
+            only(&["kind", "members"])?;
+            let members_path = sub("members");
+            let items = require(fields, "members", path)?
+                .as_array("members")
+                .map_err(|m| field_err(&members_path, m))?;
+            let mut members = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let member_path = format!("{members_path}[{i}]");
+                let member = expect_object(item, &member_path)?;
+                reject_unknown(member, &["start_days", "attack"], &member_path)?;
+                let start_days = u64_field(member, "start_days", &member_path)?;
+                let attack = decode_attack(
+                    require(member, "attack", &member_path)?,
+                    &format!("{member_path}.attack"),
+                )?;
+                members.push(phased(start_days, attack));
+            }
+            Ok(AttackSpec::Compose(members))
+        }
+        other => Err(field_err(
+            &sub("kind"),
+            format!(
+                "unknown attack kind '{other}' (none, pipe-stoppage, admission-flood, \
+                 brute-force, vote-flood, churn-storm, sybil-ramp, compose)"
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "stoppage-then-flood".into(),
+            description: "composite demo".into(),
+            paper_ref: "§7.2 + §7.3".into(),
+            world: WorldSpec::default(),
+            attack: AttackSpec::Compose(vec![
+                phased(
+                    0,
+                    AttackSpec::PipeStoppage {
+                        coverage: 1.0,
+                        days: 60,
+                    },
+                ),
+                phased(
+                    90,
+                    AttackSpec::AdmissionFlood {
+                        coverage: 0.30000000000000004,
+                        days: 360,
+                    },
+                ),
+            ]),
+        }
+    }
+
+    #[test]
+    fn encode_decode_encode_is_identity() {
+        let spec = sample();
+        let once = spec.to_json();
+        let decoded = ScenarioSpec::from_json(&once).expect("decode");
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.to_json(), once, "byte identity");
+    }
+
+    #[test]
+    fn every_attack_kind_round_trips() {
+        let attacks = [
+            AttackSpec::None,
+            AttackSpec::PipeStoppage {
+                coverage: 0.4,
+                days: 30,
+            },
+            AttackSpec::AdmissionFlood {
+                coverage: 1.0,
+                days: 720,
+            },
+            AttackSpec::BruteForce {
+                defection: Defection::Intro,
+            },
+            AttackSpec::BruteForce {
+                defection: Defection::Remaining,
+            },
+            AttackSpec::BruteForce {
+                defection: Defection::None_,
+            },
+            AttackSpec::VoteFlood {
+                votes_per_wave: 4,
+                wave_hours: 6,
+            },
+            AttackSpec::ChurnStorm {
+                coverage: 0.5,
+                duty: 0.7,
+            },
+            AttackSpec::SybilRamp {
+                step: 0.25,
+                step_days: 45,
+            },
+            AttackSpec::Compose(vec![phased(
+                10,
+                AttackSpec::Compose(vec![phased(
+                    5,
+                    AttackSpec::VoteFlood {
+                        votes_per_wave: 1,
+                        wave_hours: 12,
+                    },
+                )]),
+            )]),
+        ];
+        for attack in attacks {
+            let spec = ScenarioSpec {
+                attack: attack.clone(),
+                ..sample()
+            };
+            let round = ScenarioSpec::from_json(&spec.to_json()).expect("decode");
+            assert_eq!(round.attack, attack);
+        }
+    }
+
+    #[test]
+    fn world_variants_round_trip() {
+        let worlds = [
+            WorldSpec::default(),
+            WorldSpec {
+                peers: PeersSpec::Fixed(10_000),
+                aus: AusSpec::Fixed(1),
+                link_mix: Some([0.6, 0.3, 0.1]),
+                run: RunSpec::PerScale {
+                    quick: 200,
+                    default: 540,
+                    paper: 540,
+                },
+                ..WorldSpec::default()
+            },
+            WorldSpec {
+                aus: AusSpec::Large,
+                mtbf_years: 1.25,
+                poll_months: Some(6),
+                run: RunSpec::Days(180),
+                ..WorldSpec::default()
+            },
+        ];
+        for world in worlds {
+            let spec = ScenarioSpec {
+                world: world.clone(),
+                ..sample()
+            };
+            let round = ScenarioSpec::from_json(&spec.to_json()).expect("decode");
+            assert_eq!(round.world, world);
+        }
+    }
+
+    #[test]
+    fn build_matches_hand_built_baseline() {
+        let spec = ScenarioSpec {
+            name: "baseline".into(),
+            description: "d".into(),
+            paper_ref: "p".into(),
+            world: WorldSpec::default(),
+            attack: AttackSpec::None,
+        };
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            let built = spec.build(scale);
+            let legacy = Scenario::baseline(scale, scale.small_collection());
+            assert_eq!(built, legacy, "at {scale:?}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        let err = ScenarioSpec::from_json("{\n  \"format\": !\n}").unwrap_err();
+        let (line, _col) = err.location.expect("location");
+        assert_eq!(line, 2);
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_paths() {
+        let mut spec = sample();
+        spec.attack = AttackSpec::None;
+        let doc = spec.to_json().replace(
+            "\"mtbf_years\": 5,",
+            "\"mtbf_years\": 5,\n    \"mtbf_yaers\": 5,",
+        );
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert_eq!(err.path, "world.mtbf_yaers");
+        assert!(err.to_string().contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn wrong_types_and_missing_fields_name_the_field() {
+        let base = ScenarioSpec {
+            attack: AttackSpec::None,
+            ..sample()
+        };
+        let doc = base
+            .to_json()
+            .replace("\"mtbf_years\": 5", "\"mtbf_years\": \"five\"");
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert_eq!(err.path, "world.mtbf_years");
+        assert!(err.message.contains("expected number"), "{err}");
+
+        let doc = base.to_json().replace("    \"peers\": \"scale\",\n", "");
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert!(err.message.contains("missing field 'peers'"), "{err}");
+    }
+
+    #[test]
+    fn dangling_compose_member_is_rejected() {
+        let doc = sample().to_json().replace(
+            "{\"start_days\": 90, \"attack\": {\"kind\": \"admission-flood\", \
+             \"coverage\": 0.30000000000000004, \"days\": 360}}",
+            "{\"start_days\": 90}",
+        );
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert_eq!(err.path, "attack.members[1]");
+        assert!(err.message.contains("missing field 'attack'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_attack_kind_lists_the_grammar() {
+        let doc = sample().to_json().replace(
+            "\"kind\": \"admission-flood\"",
+            "\"kind\": \"admission-floood\"",
+        );
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert_eq!(err.path, "attack.members[1].attack.kind");
+        assert!(err.message.contains("unknown attack kind"), "{err}");
+    }
+
+    #[test]
+    fn format_tag_is_enforced() {
+        let doc = sample().to_json().replace(FORMAT, "lockss-scenario-v0");
+        let err = ScenarioSpec::from_json(&doc).unwrap_err();
+        assert_eq!(err.path, "format");
+    }
+
+    #[test]
+    fn validate_catches_semantic_nonsense() {
+        let mut spec = sample();
+        spec.validate().expect("sample is sound");
+        spec.world.mtbf_years = -1.0;
+        assert!(spec.validate().is_err());
+        spec.world.mtbf_years = 5.0;
+        spec.name = "Not Kebab".into();
+        assert!(spec.validate().is_err());
+        spec.name = "ok".into();
+        spec.attack = AttackSpec::ChurnStorm {
+            coverage: 1.5,
+            duty: 0.5,
+        };
+        assert!(spec.validate().is_err());
+        spec.attack = AttackSpec::None;
+        spec.world.peers = PeersSpec::Fixed(3); // below inner circle + 1
+        assert!(spec.validate().is_err());
+    }
+}

@@ -19,8 +19,9 @@
 //!   sketches (see `lockss-metrics::streaming`), so sweeping a 10k-peer
 //!   world costs one world at a time per worker, not a buffered history.
 //!
-//! The checkpoint/report format is a small fixed-schema JSON document; the
-//! reader below is a self-hosted recursive-descent parser (the offline
+//! The checkpoint/report format is a small fixed-schema JSON document,
+//! parsed by the workspace's one self-hosted recursive-descent reader
+//! ([`lockss_sim::json`], re-exported here as [`json`]; the offline
 //! dependency policy bans serde).
 
 use std::path::Path;
@@ -332,246 +333,11 @@ pub fn run_sweep(
 }
 
 // ---------------------------------------------------------------------
-// Minimal JSON reader (fixed-schema documents only).
+// Fixed-schema JSON reader: shared with bench reports and scenario
+// specs, hosted in the substrate crate (`lockss_sim::json`).
 // ---------------------------------------------------------------------
 
-/// A tiny recursive-descent JSON reader for the sweep's own documents.
-///
-/// Supports the subset the writer emits — objects, arrays, strings without
-/// exotic escapes, numbers (kept as raw text so `f64` values re-parse to
-/// the exact bits that were formatted), `true`/`false`/`null`.
-pub mod json {
-    /// A parsed JSON value.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// A number, kept as its raw text.
-        Num(String),
-        /// A string (escapes `\"`, `\\`, `\n`, `\t` decoded).
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in document order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// True for `null`.
-        pub fn is_null(&self) -> bool {
-            matches!(self, Value::Null)
-        }
-
-        /// The object fields, or an error naming `what`.
-        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
-            match self {
-                Value::Obj(fields) => Ok(fields),
-                other => Err(format!("{what}: expected object, got {other:?}")),
-            }
-        }
-
-        /// The array elements, or an error naming `what`.
-        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
-            match self {
-                Value::Arr(items) => Ok(items),
-                other => Err(format!("{what}: expected array, got {other:?}")),
-            }
-        }
-
-        /// The string contents, or an error naming `what`.
-        pub fn as_str(&self, what: &str) -> Result<&str, String> {
-            match self {
-                Value::Str(s) => Ok(s),
-                other => Err(format!("{what}: expected string, got {other:?}")),
-            }
-        }
-
-        /// The number as `u64`, or an error naming `what`.
-        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
-            match self {
-                Value::Num(raw) => raw
-                    .parse()
-                    .map_err(|_| format!("{what}: '{raw}' is not a u64")),
-                other => Err(format!("{what}: expected number, got {other:?}")),
-            }
-        }
-
-        /// The number as `f64`, or an error naming `what`.
-        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
-            match self {
-                Value::Num(raw) => raw
-                    .parse()
-                    .map_err(|_| format!("{what}: '{raw}' is not an f64")),
-                other => Err(format!("{what}: expected number, got {other:?}")),
-            }
-        }
-    }
-
-    /// Looks up a field of an object parsed by this module.
-    pub fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
-        fields
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field '{key}'"))
-    }
-
-    /// Parses one JSON document (trailing whitespace allowed, trailing
-    /// garbage rejected).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
-        if *pos < b.len() && b[*pos] == ch {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {pos}", ch as char))
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            None => Err("unexpected end of document".into()),
-            Some(b'{') => parse_object(b, pos),
-            Some(b'[') => parse_array(b, pos),
-            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
-            Some(b't') => parse_literal(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_literal(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_literal(b, pos, "null", Value::Null),
-            Some(_) => parse_number(b, pos),
-        }
-    }
-
-    fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        if start == *pos {
-            return Err(format!("expected a value at byte {start}"));
-        }
-        let raw = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-        // Validate now so later as_f64/as_u64 errors are about type, not
-        // syntax.
-        raw.parse::<f64>()
-            .map_err(|_| format!("'{raw}' is not a number"))?;
-        Ok(Value::Num(raw.to_string()))
-    }
-
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        while *pos < b.len() {
-            match b[*pos] {
-                b'"' => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    *pos += 1;
-                    let esc = b.get(*pos).ok_or("dangling escape")?;
-                    out.push(match esc {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'r' => '\r',
-                        other => return Err(format!("unsupported escape '\\{}'", *other as char)),
-                    });
-                    *pos += 1;
-                }
-                _ => {
-                    // Multi-byte UTF-8 sequences pass through unharmed: we
-                    // only branch on ASCII bytes, which never occur inside
-                    // a continuation.
-                    let start = *pos;
-                    while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
-                        *pos += 1;
-                    }
-                    out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
-                }
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(parse_value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut fields = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = parse_string(b, pos)?;
-            skip_ws(b, pos);
-            expect(b, pos, b':')?;
-            let value = parse_value(b, pos)?;
-            fields.push((key, value));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
-    }
-}
+pub use lockss_sim::json;
 
 #[cfg(test)]
 mod tests {

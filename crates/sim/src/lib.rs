@@ -13,6 +13,7 @@
 
 pub mod engine;
 pub mod fxmap;
+pub mod json;
 pub mod rng;
 pub mod time;
 pub mod weighted;

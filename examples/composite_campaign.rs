@@ -27,11 +27,11 @@ fn main() {
         .expect("'stoppage-then-flood' is registered");
     let scenario = entry.build(Scale::Quick);
 
-    println!("Composite campaign: {}", entry.name);
-    println!("  {}", entry.description);
+    println!("Composite campaign: {}", entry.name());
+    println!("  {}", entry.description());
     println!(
         "  paper: {}   attack: {}\n",
-        entry.paper_ref,
+        entry.paper_ref(),
         scenario.attack.label()
     );
 

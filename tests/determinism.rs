@@ -54,7 +54,7 @@ fn run_once_identical_across_two_runs() {
 /// Every registered scenario, shrunk to a smoke-test world: 30 peers,
 /// 2 AUs, 150 simulated days (enough to cover every composite's latest
 /// phase offset, 120 days).
-fn shrunken_registry_jobs() -> Vec<(&'static str, Scenario)> {
+fn shrunken_registry_jobs() -> Vec<(String, Scenario)> {
     ScenarioRegistry::standard()
         .entries()
         .iter()
@@ -63,7 +63,7 @@ fn shrunken_registry_jobs() -> Vec<(&'static str, Scenario)> {
             s.cfg.n_peers = 30;
             s.cfg.n_aus = 2;
             s.run_length = Duration::from_days(150);
-            (e.name, s)
+            (e.name().to_string(), s)
         })
         .collect()
 }
@@ -118,12 +118,12 @@ fn record_hash(name: &str, scenario: &Scenario, seed: u64) -> String {
 fn golden_trace_hashes_are_stable_across_runs() {
     let pinned = ["baseline", "pipe-stoppage", "stoppage-then-flood"];
     for (name, s) in shrunken_registry_jobs() {
-        if !pinned.contains(&name) {
+        if !pinned.contains(&name.as_str()) {
             continue;
         }
         for seed in [7u64, 11] {
-            let a = record_hash(name, &s, seed);
-            let b = record_hash(name, &s, seed);
+            let a = record_hash(&name, &s, seed);
+            let b = record_hash(&name, &s, seed);
             assert_eq!(a, b, "trace hash of '{name}' seed {seed} not reproducible");
         }
     }
@@ -137,11 +137,12 @@ fn golden_trace_hashes_are_thread_invariant() {
         .into_iter()
         .find(|(n, _)| *n == "stoppage-then-flood")
         .expect("registered");
-    let sequential = record_hash(name, &s, 7);
+    let sequential = record_hash(&name, &s, 7);
     let concurrent: Vec<String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let s = s.clone();
+                let name = &name;
                 scope.spawn(move || record_hash(name, &s, 7))
             })
             .collect();

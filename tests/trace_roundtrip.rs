@@ -13,7 +13,7 @@ use lockss::experiments::{Scale, ScenarioRegistry};
 use lockss::sim::Duration;
 use lockss::trace::{trace_stats, TraceMeta};
 
-fn shrunken_registry_jobs() -> Vec<(&'static str, Scenario)> {
+fn shrunken_registry_jobs() -> Vec<(String, Scenario)> {
     ScenarioRegistry::standard()
         .entries()
         .iter()
@@ -22,7 +22,7 @@ fn shrunken_registry_jobs() -> Vec<(&'static str, Scenario)> {
             s.cfg.n_peers = 30;
             s.cfg.n_aus = 2;
             s.run_length = Duration::from_days(150);
-            (e.name, s)
+            (e.name().to_string(), s)
         })
         .collect()
 }
@@ -39,7 +39,7 @@ fn meta_for(name: &str, seed: u64, s: &Scenario) -> TraceMeta {
 #[test]
 fn every_registered_scenario_replays_with_zero_divergence() {
     for (name, s) in shrunken_registry_jobs() {
-        let (summary, _phases, trace) = run_once_recorded(&s, 7, &meta_for(name, 7, &s));
+        let (summary, _phases, trace) = run_once_recorded(&s, 7, &meta_for(&name, 7, &s));
         let report = replay_once(&s, 7, &trace)
             .unwrap_or_else(|e| panic!("scenario '{name}' replay failed to decode: {e}"));
         assert!(
@@ -62,7 +62,7 @@ fn every_registered_scenario_replays_with_zero_divergence() {
 #[test]
 fn perturbed_replay_reports_time_and_kind_of_the_fork() {
     let (name, s) = shrunken_registry_jobs().remove(0);
-    let (_, _, trace) = run_once_recorded(&s, 7, &meta_for(name, 7, &s));
+    let (_, _, trace) = run_once_recorded(&s, 7, &meta_for(&name, 7, &s));
     let report = replay_once(&s, 8, &trace).expect("decodes");
     assert!(!report.is_equivalent(), "a different seed must diverge");
     let divergence = report.divergence.as_ref().expect("has a divergence");
