@@ -34,7 +34,10 @@ use lockss_experiments::runner::{
     default_threads, replay_once, run_batch, run_once, run_once_recorded, run_once_with_phases,
     run_once_with_stats, RunStats,
 };
-use lockss_experiments::sweep::{self, load_checkpoint, parse_seed_range, run_sweep};
+use lockss_experiments::sweep::{
+    self, dispatch, jobfile, load_checkpoint, merge_files, parse_seed_range, parse_shard_arg,
+    run_sweep, run_sweep_shard, DispatchPlan, ShardTag,
+};
 use lockss_experiments::{Scale, ScenarioEntry, ScenarioRegistry, ScenarioSpec};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
@@ -58,7 +61,19 @@ fn usage() -> ! {
          \x20                          reproducers land in --out on violation\n\
          \x20 sweep <name>             run a seed sweep on a worker pool; the merged\n\
          \x20                          report is byte-identical for any --threads and\n\
-         \x20                          resumes from --checkpoint after interruption\n\
+         \x20                          resumes from --checkpoint after interruption;\n\
+         \x20                          --shard i/N runs only the i-th disjoint slice\n\
+         \x20                          of the seed range and tags the checkpoint with\n\
+         \x20                          the topology\n\
+         \x20 sweep merge <files>...   validate a set of shard checkpoints (disjoint,\n\
+         \x20                          complete, same campaign) and write the merged\n\
+         \x20                          report — byte-identical to a single-process\n\
+         \x20                          run; any topology violation exits 1\n\
+         \x20 sweep dispatch <name>    fan --shards N worker subprocesses out over\n\
+         \x20                          the seed range with retry + backoff, straggler\n\
+         \x20                          re-dispatch via checkpoint freshness, and a\n\
+         \x20                          final validated merge; --jobfile writes the\n\
+         \x20                          per-shard command lines instead of running\n\
          \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
          \x20                          event-for-event equivalence\n\
          \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
@@ -75,9 +90,26 @@ fn usage() -> ! {
          \x20                                 sweep also accepts a range A..B\n\
          \x20 --threads <N>                   sweep worker threads (default: all cores)\n\
          \x20 --checkpoint <path>             sweep: resumable checkpoint/report path\n\
-         \x20                                 (default results/sweep-<name>.json)\n\
+         \x20                                 (default results/sweep-<name>.json, or\n\
+         \x20                                 ...-shard-<i>of<N>.json with --shard)\n\
          \x20 --fresh                         sweep: ignore an existing checkpoint\n\
          \x20                                 and recompute every seed\n\
+         \x20 --shard <i/N>                   sweep: run the i-th of N disjoint seed\n\
+         \x20                                 slices (1-based)\n\
+         \x20 --shards <N>                    dispatch: shard count (default: cores)\n\
+         \x20 --out <path>                    merge/dispatch: merged report path\n\
+         \x20                                 (default results/sweep-<name>.json)\n\
+         \x20 --dir <path>                    dispatch: shard checkpoint/log directory\n\
+         \x20                                 (default results)\n\
+         \x20 --jobfile <path>                dispatch: write per-shard command lines\n\
+         \x20                                 to <path> instead of running them\n\
+         \x20 --retries <N>                   dispatch: re-dispatches per shard\n\
+         \x20                                 (default 3)\n\
+         \x20 --backoff-ms <N>                dispatch: base retry backoff, doubling\n\
+         \x20                                 per attempt (default 250)\n\
+         \x20 --stall-secs <N>                dispatch: kill + re-dispatch a worker\n\
+         \x20                                 whose checkpoint is idle this long\n\
+         \x20                                 (default: off)\n\
          \x20 --mem-report                    print peak RSS and arena/table occupancy\n\
          \x20 --record <path>                 record the run's event trace (one seed)\n\
          \x20 --out <dir>                     fuzz: reproducer directory (default\n\
@@ -159,31 +191,59 @@ fn main() {
             let out = flag_value(&args, "--out").unwrap_or_else(|| "results/fuzz".to_string());
             fuzz(&seeds, &out);
         }
-        Some("sweep") => {
-            let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            let seeds = match flag_value(&args, "--seeds") {
-                Some(arg) => parse_seed_range(&arg).unwrap_or_else(|e| fail(&e)),
-                None => (1..=scale.seeds()).collect(),
-            };
-            let threads: usize = flag_value(&args, "--threads")
-                .map(|s| s.parse().expect("--threads N"))
-                .unwrap_or_else(default_threads);
-            let checkpoint = flag_value(&args, "--checkpoint");
-            let fresh = args.iter().any(|a| a == "--fresh");
-            let json = args.iter().any(|a| a == "--json");
-            let mem = args.iter().any(|a| a == "--mem-report");
-            sweep_cmd(
-                &registry,
-                &name,
-                scale,
-                &seeds,
-                threads,
-                checkpoint.as_deref(),
-                fresh,
-                json,
-                mem,
-            );
-        }
+        Some("sweep") => match args.get(1).map(String::as_str) {
+            Some("merge") => {
+                let files: Vec<PathBuf> = args[2..]
+                    .iter()
+                    .take_while(|a| !a.starts_with("--"))
+                    .map(PathBuf::from)
+                    .collect();
+                if files.is_empty() {
+                    usage();
+                }
+                let out = flag_value(&args, "--out");
+                let json = args.iter().any(|a| a == "--json");
+                sweep_merge(&files, out.as_deref(), json);
+            }
+            Some("dispatch") => {
+                let name = args.get(2).cloned().unwrap_or_else(|| usage());
+                if name.starts_with("--") {
+                    usage();
+                }
+                sweep_dispatch(&registry, &name, scale, &args);
+            }
+            Some(name) if !name.starts_with("--") => {
+                let name = name.to_string();
+                let seeds = match flag_value(&args, "--seeds") {
+                    Some(arg) => parse_seed_range(&arg).unwrap_or_else(|e| fail(&e)),
+                    None => (1..=scale.seeds()).collect(),
+                };
+                let shard = flag_value(&args, "--shard").map(|arg| {
+                    let (index, count) = parse_shard_arg(&arg).unwrap_or_else(|e| fail(&e));
+                    ShardTag::new(index, count, seeds.clone()).unwrap_or_else(|e| fail(&e))
+                });
+                let threads: usize = flag_value(&args, "--threads")
+                    .map(|s| s.parse().expect("--threads N"))
+                    .unwrap_or_else(default_threads);
+                let checkpoint = flag_value(&args, "--checkpoint");
+                let fresh = args.iter().any(|a| a == "--fresh");
+                let json = args.iter().any(|a| a == "--json");
+                let mem = args.iter().any(|a| a == "--mem-report");
+                sweep_cmd(
+                    &registry,
+                    &name,
+                    scale,
+                    &seeds,
+                    shard,
+                    threads,
+                    checkpoint.as_deref(),
+                    fresh,
+                    json,
+                    mem,
+                );
+            }
+            _ => usage(),
+        },
         Some("replay") => {
             let path = args.get(1).cloned().unwrap_or_else(|| usage());
             let seed = flag_value(&args, "--seed").map(|s| s.parse().expect("--seed N"));
@@ -391,7 +451,8 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
     }
 }
 
-/// Runs a seed sweep of one registered scenario across a worker pool.
+/// Runs a seed sweep of one registered scenario across a worker pool —
+/// the whole campaign, or (with `--shard i/N`) one disjoint slice of it.
 ///
 /// The merged report is byte-identical regardless of `threads` (per-seed
 /// result slots, seed-ordered reduction), and a sweep interrupted mid-way
@@ -403,6 +464,7 @@ fn sweep_cmd(
     name: &str,
     scale: Scale,
     seeds: &[u64],
+    shard: Option<ShardTag>,
     threads: usize,
     checkpoint: Option<&str>,
     fresh: bool,
@@ -411,21 +473,39 @@ fn sweep_cmd(
 ) {
     let entry = resolve(registry, name);
     let scenario = entry.build(scale);
-    let default_path = format!("results/sweep-{}.json", entry.name());
+    let default_path = match &shard {
+        Some(tag) => format!(
+            "results/sweep-{}-shard-{}of{}.json",
+            entry.name(),
+            tag.index,
+            tag.count
+        ),
+        None => format!("results/sweep-{}.json", entry.name()),
+    };
     let path = PathBuf::from(checkpoint.unwrap_or(&default_path));
     // --fresh ignores any existing checkpoint: without it, a rerun after a
     // code change would replay the stale per-seed summaries verbatim.
     let resume = if fresh {
         None
     } else {
-        load_checkpoint(&path, entry.name(), scale.label())
+        load_checkpoint(&path, entry.name(), scale.label(), shard.as_ref())
     };
     let done_before = resume.as_ref().map(|r| r.completed.len()).unwrap_or(0);
+    let shard_seeds = shard.as_ref().map(ShardTag::seeds);
+    let my_seeds: &[u64] = shard_seeds.as_deref().unwrap_or(seeds);
     println!(
-        "sweeping '{}' at scale '{}': {} seed(s) on {} thread(s){}",
+        "sweeping '{}' at scale '{}': {} seed(s){} on {} thread(s){}",
         entry.name(),
         scale.label(),
-        seeds.len(),
+        my_seeds.len(),
+        shard
+            .as_ref()
+            .map(|t| format!(
+                " (shard {} of a {}-seed campaign)",
+                t.label(),
+                t.campaign.len()
+            ))
+            .unwrap_or_default(),
         threads,
         if done_before > 0 {
             format!(" ({done_before} already in {})", path.display())
@@ -433,15 +513,26 @@ fn sweep_cmd(
             String::new()
         }
     );
-    let report = run_sweep(
-        &scenario,
-        entry.name(),
-        scale.label(),
-        seeds,
-        threads,
-        Some(&path),
-        resume,
-    );
+    let report = match shard {
+        Some(tag) => run_sweep_shard(
+            &scenario,
+            entry.name(),
+            scale.label(),
+            tag,
+            threads,
+            Some(&path),
+            resume,
+        ),
+        None => run_sweep(
+            &scenario,
+            entry.name(),
+            scale.label(),
+            seeds,
+            threads,
+            Some(&path),
+            resume,
+        ),
+    };
 
     let mut table = Table::new(vec![
         "seed",
@@ -489,11 +580,152 @@ fn sweep_cmd(
             path.display()
         )),
     }
+    if let Some(tag) = &report.shard {
+        println!(
+            "shard {} complete; reassemble the campaign with: \
+             lockss-sim sweep merge <all {} shard checkpoints>",
+            tag.label(),
+            tag.count
+        );
+    }
     if json_out {
         print!("{}", report.to_json());
     }
     if mem {
         mem_report(&scenario, report.seeds.first().copied().unwrap_or(1));
+    }
+}
+
+/// `sweep merge`-style failures exit 1 — a diagnostic about the *input
+/// files*, distinct from exit 2 (CLI misuse).
+fn fail_merge(msg: &str) -> ! {
+    eprintln!("lockss-sim: sweep merge: {msg}");
+    std::process::exit(1);
+}
+
+/// Validates and reassembles shard checkpoints into the campaign report.
+/// Every topology violation — overlapping or missing seed ranges,
+/// mismatched scenario/scale tags, truncated files, a foreign format
+/// version, duplicate shard submissions — is a distinct diagnostic and
+/// exit 1. On success the merged report is byte-identical to what a
+/// single-process sweep of the whole seed range writes.
+fn sweep_merge(files: &[PathBuf], out: Option<&str>, json_out: bool) {
+    let report = merge_files(files).unwrap_or_else(|e| fail_merge(&e));
+    let default_path = format!("results/sweep-{}.json", report.scenario);
+    let path = PathBuf::from(out.unwrap_or(&default_path));
+    let rendered = report.to_json();
+    if let Err(e) = sweep::write_checkpoint(&path, &rendered) {
+        fail_merge(&format!("writing {}: {e}", path.display()));
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(on_disk) if on_disk == rendered => {}
+        _ => fail_merge(&format!(
+            "merged report at {} is missing or stale after writing it",
+            path.display()
+        )),
+    }
+    let merged = report.merged().expect("a valid merge has completed seeds");
+    println!(
+        "merged {} shard(s) of '{}' (scale '{}') covering {} seed(s): \
+         access failure {}, {} ok / {} failed",
+        files.len(),
+        report.scenario,
+        report.scale,
+        report.seeds.len(),
+        sci(merged.access_failure_probability),
+        merged.successful_polls,
+        merged.failed_polls,
+    );
+    println!("wrote {}", path.display());
+    if json_out {
+        print!("{rendered}");
+    }
+}
+
+/// Fans a campaign out over shard worker subprocesses (or, with
+/// `--jobfile`, writes their command lines for host-level fan-out),
+/// survives worker deaths via retry-with-backoff and checkpoint-freshness
+/// straggler re-dispatch, then merges and writes the campaign report.
+fn sweep_dispatch(registry: &ScenarioRegistry, name: &str, scale: Scale, args: &[String]) {
+    let entry = resolve(registry, name);
+    let seeds_arg = flag_value(args, "--seeds").unwrap_or_else(|| scale.seeds().to_string());
+    let campaign = parse_seed_range(&seeds_arg).unwrap_or_else(|e| fail(&e));
+    let parse_num = |flag: &str, default: u64| -> u64 {
+        flag_value(args, flag)
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| fail(&format!("{flag} wants a number, got '{s}'")))
+            })
+            .unwrap_or(default)
+    };
+    let plan = DispatchPlan {
+        scenario: entry.name().to_string(),
+        scale: scale.label().to_string(),
+        seeds_arg,
+        campaign,
+        shards: parse_num("--shards", default_threads() as u64),
+        threads_per_shard: parse_num("--threads", 1) as usize,
+        retries: parse_num("--retries", 3) as u32,
+        backoff_ms: parse_num("--backoff-ms", 250),
+        stall_secs: flag_value(args, "--stall-secs").map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--stall-secs wants a number"))
+        }),
+        dir: PathBuf::from(flag_value(args, "--dir").unwrap_or_else(|| "results".into())),
+        out: PathBuf::from(
+            flag_value(args, "--out")
+                .unwrap_or_else(|| format!("results/sweep-{}.json", entry.name())),
+        ),
+        fresh: args.iter().any(|a| a == "--fresh"),
+    };
+    let bin = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+
+    if let Some(jobfile_path) = flag_value(args, "--jobfile") {
+        let text = jobfile(&plan, &bin).unwrap_or_else(|e| fail(&e));
+        std::fs::write(&jobfile_path, &text)
+            .unwrap_or_else(|e| fail(&format!("writing {jobfile_path}: {e}")));
+        println!(
+            "wrote {jobfile_path}: {} shard command(s) + 1 merge for '{}' \
+             ({} seed(s), scale '{}')",
+            plan.shards,
+            plan.scenario,
+            plan.campaign.len(),
+            plan.scale
+        );
+        return;
+    }
+
+    println!(
+        "dispatching '{}' at scale '{}': {} seed(s) over {} shard worker(s) \
+         x {} thread(s), {} retr{} each{}",
+        plan.scenario,
+        plan.scale,
+        plan.campaign.len(),
+        plan.shards,
+        plan.threads_per_shard,
+        plan.retries,
+        if plan.retries == 1 { "y" } else { "ies" },
+        plan.stall_secs
+            .map(|s| format!(", {s}s stall window"))
+            .unwrap_or_default()
+    );
+    let report = dispatch(&bin, &plan, &mut |line| println!("  {line}")).unwrap_or_else(|e| {
+        eprintln!("lockss-sim: sweep dispatch: {e}");
+        std::process::exit(1);
+    });
+    let merged = report.merged().expect("a dispatched campaign has results");
+    println!(
+        "campaign complete: {} seed(s), access failure {}, {} ok / {} failed, \
+         loyal {:.0} CPU-s",
+        report.completed.len(),
+        sci(merged.access_failure_probability),
+        merged.successful_polls,
+        merged.failed_polls,
+        merged.loyal_effort_secs
+    );
+    println!("wrote {}", plan.out.display());
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.to_json());
     }
 }
 

@@ -35,7 +35,9 @@ pub use runner::{run_scenario, MeasuredPoint};
 pub use scale::Scale;
 pub use scenario::{phased, AttackSpec, PhasedAttack, Scenario};
 pub use spec::{ScenarioSpec, SpecError, WorldSpec};
-pub use sweep::{run_sweep, SweepReport};
+pub use sweep::{
+    dispatch, jobfile, merge_files, run_sweep, run_sweep_shard, DispatchPlan, ShardTag, SweepReport,
+};
 
 use std::io::Write as _;
 use std::path::Path;

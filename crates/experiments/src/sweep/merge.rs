@@ -1,0 +1,380 @@
+//! Shard reassembly: `sweep merge <files...>`.
+//!
+//! Merging is unforgiving by design — a Monte Carlo campaign whose
+//! shards silently overlap (a seed averaged twice) or leave a gap (a
+//! seed never run) produces a *plausible-looking wrong number*, which is
+//! the worst failure mode a statistics pipeline can have. Every
+//! topology violation is therefore a hard error with a diagnostic that
+//! names the offending file and says what to do about it; the merged
+//! report is emitted only when the shards provably cover the campaign
+//! exactly once, and it is then byte-identical to what a single-process
+//! run of the whole seed range would have written.
+
+use super::plan::SweepReport;
+
+/// Reads, parses, and merges shard checkpoint files. Any unreadable,
+/// truncated, foreign-format, or topology-violating input is a hard
+/// error carrying the file name.
+pub fn merge_files(paths: &[std::path::PathBuf]) -> Result<SweepReport, String> {
+    if paths.is_empty() {
+        return Err("nothing to merge: pass at least one shard checkpoint file".into());
+    }
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in paths {
+        let label = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{label}: {e}"))?;
+        let report = SweepReport::from_json(&text)
+            .map_err(|e| format!("{label}: {e} (truncated or torn write?)"))?;
+        shards.push((label, report));
+    }
+    merge_reports(&shards)
+}
+
+/// Merges already-parsed shard reports (each paired with a display label,
+/// normally its file name). See [`merge_files`] for the contract.
+pub fn merge_reports(shards: &[(String, SweepReport)]) -> Result<SweepReport, String> {
+    let (first_label, first) = &shards[0];
+    let reference = first.shard.as_ref().ok_or_else(|| {
+        format!(
+            "{first_label}: is a single-process report, not a shard checkpoint; \
+             merge reassembles files written with --shard i/N"
+        )
+    })?;
+
+    // Pass 1: every file agrees on what campaign it belongs to.
+    for (label, report) in shards {
+        let tag = report.shard.as_ref().ok_or_else(|| {
+            format!(
+                "{label}: is a single-process report, not a shard checkpoint; \
+                 merge reassembles files written with --shard i/N"
+            )
+        })?;
+        if report.scenario != first.scenario {
+            return Err(format!(
+                "{label}: scenario '{}' does not match '{}' from {first_label}; \
+                 shards of different campaigns cannot be merged",
+                report.scenario, first.scenario
+            ));
+        }
+        if report.scale != first.scale {
+            return Err(format!(
+                "{label}: scale '{}' does not match '{}' from {first_label}; \
+                 re-run the shard at the campaign's scale",
+                report.scale, first.scale
+            ));
+        }
+        if tag.count != reference.count {
+            return Err(format!(
+                "{label}: {}-way shard topology does not match the {}-way topology \
+                 of {first_label}",
+                tag.count, reference.count
+            ));
+        }
+        if tag.campaign != reference.campaign {
+            return Err(format!(
+                "{label}: campaign seed list ({} seed(s)) differs from {first_label} \
+                 ({} seed(s)); the shards were cut from different --seeds ranges",
+                tag.campaign.len(),
+                reference.campaign.len()
+            ));
+        }
+    }
+
+    // Pass 2: exactly one submission per shard index, none missing.
+    let count = reference.count;
+    let mut seen: Vec<Option<&String>> = vec![None; count as usize];
+    for (label, report) in shards {
+        let tag = report.shard.as_ref().expect("checked in pass 1");
+        let slot = &mut seen[(tag.index - 1) as usize];
+        if let Some(prior) = slot {
+            return Err(format!(
+                "shard {} submitted twice: {prior} and {label}; \
+                 drop one (identical shards recompute the same bytes, but a stale \
+                 duplicate would silently shadow a fresh one)",
+                tag.label()
+            ));
+        }
+        *slot = Some(label);
+    }
+    let missing: Vec<String> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| (i + 1).to_string())
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "missing shard(s) {} of {count}; merge needs the complete topology \
+             (run the missing shards or re-dispatch)",
+            missing.join(", ")
+        ));
+    }
+
+    // Pass 3: the shard seed slices tile the campaign exactly once.
+    let mut owner: Vec<(u64, &String)> = Vec::with_capacity(reference.campaign.len());
+    for (label, report) in shards {
+        for &seed in &report.seeds {
+            owner.push((seed, label));
+        }
+    }
+    owner.sort_unstable_by_key(|a| a.0);
+    for pair in owner.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(format!(
+                "seed {} appears in both {} and {}: shard seed ranges overlap, \
+                 so its summary would be averaged twice",
+                pair[0].0, pair[0].1, pair[1].1
+            ));
+        }
+    }
+    let covered: Vec<u64> = owner.iter().map(|(s, _)| *s).collect();
+    if covered != reference.campaign {
+        let missing: Vec<String> = reference
+            .campaign
+            .iter()
+            .filter(|s| covered.binary_search(s).is_err())
+            .take(8)
+            .map(u64::to_string)
+            .collect();
+        return Err(format!(
+            "the shards do not cover the campaign: seed(s) {}{} are in no shard",
+            missing.join(", "),
+            if missing.len() == 8 { ", ..." } else { "" }
+        ));
+    }
+
+    // Pass 4: every shard actually finished its slice.
+    for (label, report) in shards {
+        if !report.is_complete() {
+            let pending: Vec<String> = report
+                .seeds
+                .iter()
+                .filter(|s| !report.completed.iter().any(|(done, _)| done == *s))
+                .take(8)
+                .map(u64::to_string)
+                .collect();
+            let tag = report.shard.as_ref().expect("checked in pass 1");
+            return Err(format!(
+                "{label}: shard {} is incomplete ({} of {} seed(s) finished; \
+                 pending: {}); resume it with --shard {} --checkpoint {label}",
+                tag.label(),
+                report.completed.len(),
+                report.seeds.len(),
+                pending.join(", "),
+                tag.label(),
+            ));
+        }
+    }
+
+    // Reduce in global seed order. The completed summaries round-tripped
+    // through JSON bit-exactly, so this report — including its merged
+    // mean — renders the same bytes a single-process run would have.
+    let mut merged = SweepReport::new(&first.scenario, &first.scale, reference.campaign.clone());
+    let mut rows: Vec<(u64, lockss_metrics::Summary)> = shards
+        .iter()
+        .flat_map(|(_, r)| r.completed.iter().cloned())
+        .collect();
+    rows.sort_unstable_by_key(|(seed, _)| *seed);
+    merged.completed = rows;
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::plan::summary_from_json;
+    use super::super::shard::ShardTag;
+    use super::*;
+    use lockss_metrics::Summary;
+    use lockss_sim::json;
+    use lockss_sim::{Duration, SimRng};
+
+    /// A synthetic, seed-determined summary with "interesting" float
+    /// bits (non-terminating binary fractions) so byte-identity failures
+    /// would show.
+    fn summary(seed: u64) -> Summary {
+        Summary {
+            access_failure_probability: 1.0 / (seed as f64 * 7.0 + 0.3),
+            mean_time_between_successes: Some(Duration::from_millis(seed * 1000 + 17)),
+            gap_p50: (!seed.is_multiple_of(3)).then(|| Duration::from_millis(seed * 500)),
+            gap_p90: Some(Duration::from_millis(seed * 900)),
+            successful_polls: seed * 13 % 101,
+            failed_polls: seed % 7,
+            alarms: seed % 2,
+            loyal_effort_secs: 0.1 * seed as f64,
+            adversary_effort_secs: 1.0 / (seed as f64 + 0.7),
+        }
+    }
+
+    fn campaign_report(seeds: &[u64]) -> SweepReport {
+        let mut r = SweepReport::new("synthetic", "quick", seeds.to_vec());
+        for &s in seeds {
+            r.record(s, summary(s));
+        }
+        r
+    }
+
+    fn shard_reports(seeds: &[u64], count: u64) -> Vec<(String, SweepReport)> {
+        (1..=count)
+            .map(|i| {
+                let tag = ShardTag::new(i, count, seeds.to_vec()).unwrap();
+                let mut r = SweepReport::new_shard("synthetic", "quick", tag);
+                for s in r.seeds.clone() {
+                    r.record(s, summary(s));
+                }
+                (format!("shard-{i}.json"), r)
+            })
+            .collect()
+    }
+
+    /// The satellite property test: random topologies (N ∈ 1..16, uneven
+    /// ranges, shuffled merge input) always merge to the exact bytes of
+    /// the unsharded reduction, and merge is order-invariant.
+    #[test]
+    fn random_topologies_merge_to_the_unsharded_bytes() {
+        let mut rng = SimRng::seed_from_u64(0x5eed_fab0);
+        for _ in 0..200 {
+            let start = 1 + rng.below(1000) as u64;
+            let len = 1 + rng.below(40) as u64;
+            let seeds: Vec<u64> = (start..start + len).collect();
+            let count = 1 + rng.below(seeds.len().min(16)) as u64;
+            let expected = campaign_report(&seeds).to_json();
+
+            let mut shards = shard_reports(&seeds, count);
+            // Shuffle the merge input: file order must be irrelevant.
+            rng.shuffle(&mut shards);
+            let merged = merge_reports(&shards).expect("valid topology merges");
+            assert_eq!(
+                merged.to_json(),
+                expected,
+                "{count}-way shuffle of {len} seeds must equal the unsharded reduction"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_round_trips_through_checkpoint_bytes() {
+        // Serialize each shard to JSON and back before merging — the path
+        // real files take — and still demand byte identity.
+        let seeds: Vec<u64> = (5..=27).collect();
+        let expected = campaign_report(&seeds).to_json();
+        let shards: Vec<(String, SweepReport)> = shard_reports(&seeds, 4)
+            .into_iter()
+            .map(|(label, r)| {
+                let reparsed = SweepReport::from_json(&r.to_json()).expect("round-trips");
+                (label, reparsed)
+            })
+            .collect();
+        assert_eq!(merge_reports(&shards).unwrap().to_json(), expected);
+    }
+
+    #[test]
+    fn duplicate_shard_is_rejected() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let mut shards = shard_reports(&seeds, 3);
+        shards[2] = shards[0].clone();
+        let e = merge_reports(&shards).unwrap_err();
+        assert!(e.contains("submitted twice"), "got: {e}");
+    }
+
+    #[test]
+    fn missing_shard_is_rejected() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let mut shards = shard_reports(&seeds, 3);
+        shards.remove(1);
+        let e = merge_reports(&shards).unwrap_err();
+        assert!(e.contains("missing shard(s) 2 of 3"), "got: {e}");
+    }
+
+    #[test]
+    fn overlapping_seed_ranges_are_rejected() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let mut shards = shard_reports(&seeds, 2);
+        // Hand-doctor shard 2's seed list to re-claim a shard-1 seed.
+        shards[1].1.seeds.insert(0, 3);
+        shards[1].1.record(3, summary(3));
+        let e = merge_reports(&shards).unwrap_err();
+        assert!(e.contains("overlap"), "got: {e}");
+        assert!(e.contains("seed 3"), "got: {e}");
+    }
+
+    #[test]
+    fn uncovered_seeds_are_rejected() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let mut shards = shard_reports(&seeds, 2);
+        // Shard 2 claims (and ran) fewer seeds than its slice.
+        shards[1].1.seeds.pop();
+        shards[1].1.completed.pop();
+        let e = merge_reports(&shards).unwrap_err();
+        assert!(e.contains("do not cover the campaign"), "got: {e}");
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let base = shard_reports(&seeds, 2);
+
+        let mut other = base.clone();
+        other[1].1.scenario = "other-scenario".into();
+        let e = merge_reports(&other).unwrap_err();
+        assert!(e.contains("scenario 'other-scenario'"), "got: {e}");
+
+        let mut other = base.clone();
+        other[1].1.scale = "paper".into();
+        let e = merge_reports(&other).unwrap_err();
+        assert!(e.contains("scale 'paper'"), "got: {e}");
+
+        let mut other = base.clone();
+        other[1].1.shard.as_mut().unwrap().campaign.push(99);
+        let e = merge_reports(&other).unwrap_err();
+        assert!(e.contains("campaign seed list"), "got: {e}");
+
+        let mut other = base;
+        other[1].1.shard = None;
+        let e = merge_reports(&other).unwrap_err();
+        assert!(e.contains("single-process report"), "got: {e}");
+    }
+
+    #[test]
+    fn incomplete_shard_is_rejected_with_resume_hint() {
+        let seeds: Vec<u64> = (1..=10).collect();
+        let mut shards = shard_reports(&seeds, 2);
+        shards[1].1.completed.pop();
+        let e = merge_reports(&shards).unwrap_err();
+        assert!(e.contains("incomplete"), "got: {e}");
+        assert!(e.contains("resume it with --shard 2/2"), "got: {e}");
+    }
+
+    #[test]
+    fn merge_files_reports_unreadable_and_torn_input() {
+        let dir = std::env::temp_dir().join(format!("lockss-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = shard_reports(&(1..=4).collect::<Vec<u64>>(), 2);
+
+        let a = dir.join("a.json");
+        std::fs::write(&a, good[0].1.to_json()).unwrap();
+        let torn = dir.join("torn.json");
+        let full = good[1].1.to_json();
+        std::fs::write(&torn, &full[..full.len() / 2]).unwrap();
+        let e = merge_files(&[a.clone(), torn]).unwrap_err();
+        assert!(e.contains("torn.json"), "got: {e}");
+        assert!(e.contains("truncated or torn write?"), "got: {e}");
+
+        let absent = dir.join("absent.json");
+        let e = merge_files(&[a, absent]).unwrap_err();
+        assert!(e.contains("absent.json"), "got: {e}");
+        assert!(merge_files(&[]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_round_trip_is_bit_exact() {
+        // The merge's byte-identity promise rests on this: a summary's
+        // JSON parses back to the same float bits.
+        for seed in 1..50u64 {
+            let s = summary(seed);
+            let text = super::super::plan::summary_to_json(&s);
+            let v = json::parse(&text).unwrap();
+            assert_eq!(summary_from_json(&v).unwrap(), s);
+        }
+    }
+}

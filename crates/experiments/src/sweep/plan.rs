@@ -1,64 +1,85 @@
-//! The deterministic parallel sweep orchestrator.
+//! Sweep planning: the report/checkpoint model and the in-process
+//! orchestrator.
 //!
-//! `lockss-sim sweep <scenario> --seeds A..B --threads N` runs one
-//! registered scenario across a seed range on a worker pool and merges the
-//! per-seed summaries into one report. Three properties make sweeps safe
-//! to parallelize and interrupt at production scale:
+//! Three properties make sweeps safe to parallelize and interrupt at
+//! production scale:
 //!
-//! - **thread-count invariance** — workers claim `(seed)` jobs off an
-//!   atomic cursor but slot results by seed index, and the merge reduces
-//!   in seed order, so the rendered report is byte-identical for
-//!   `--threads 1` and `--threads 8`;
-//! - **resumable checkpoints** — with `--checkpoint <path>`, the partial
-//!   report is rewritten (atomically, via a temp file + rename) as each
-//!   seed completes; rerunning the same sweep loads it, skips the
-//!   already-finished seeds, and produces a final report byte-identical to
-//!   an uninterrupted run (summaries round-trip exactly: shortest-repr
-//!   float formatting parses back to the same bits);
+//! - **thread-count invariance** — workers claim seeds off an atomic
+//!   cursor but slot results by seed index, and the merge reduces in seed
+//!   order, so the rendered report is byte-identical for `--threads 1`
+//!   and `--threads 8`;
+//! - **resumable checkpoints** — with a checkpoint path, the partial
+//!   report is rewritten (atomically and durably, see
+//!   [`write_checkpoint`]) as each seed completes; rerunning the same
+//!   sweep loads it, skips the already-finished seeds, and produces a
+//!   final report byte-identical to an uninterrupted run (summaries
+//!   round-trip exactly: shortest-repr float formatting parses back to
+//!   the same bits);
 //! - **streaming memory** — each seed's run keeps fixed-size metric
 //!   sketches (see `lockss-metrics::streaming`), so sweeping a 10k-peer
 //!   world costs one world at a time per worker, not a buffered history.
-//!
-//! The checkpoint/report format is a small fixed-schema JSON document,
-//! parsed by the workspace's one self-hosted recursive-descent reader
-//! ([`lockss_sim::json`], re-exported here as [`json`]; the offline
-//! dependency policy bans serde).
 
+use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use lockss_metrics::Summary;
+use lockss_sim::json;
 use lockss_sim::Duration;
 
+use super::shard::{CrashHook, ShardTag};
 use crate::runner::run_once;
 use crate::scenario::Scenario;
+
+/// The checkpoint/report format tag. Any file carrying a different tag
+/// was written by a different grammar version and is rejected by both
+/// [`SweepReport::from_json`] and `sweep merge`.
+pub const FORMAT: &str = "lockss-sweep-v1";
 
 // ---------------------------------------------------------------------
 // Report model.
 // ---------------------------------------------------------------------
 
-/// The (possibly partial) outcome of one sweep.
+/// The (possibly partial) outcome of one sweep — a whole campaign, or
+/// one shard of it when `shard` is set.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepReport {
     /// Registered scenario name.
     pub scenario: String,
     /// Scale label the scenario was built at.
     pub scale: String,
-    /// Every seed the sweep was asked to run, ascending.
+    /// The shard topology tag, when this report covers one shard of a
+    /// larger campaign rather than the whole seed range.
+    pub shard: Option<ShardTag>,
+    /// Every seed this report was asked to run, ascending.
     pub seeds: Vec<u64>,
     /// Finished seeds with their summaries, ascending by seed.
     pub completed: Vec<(u64, Summary)>,
 }
 
 impl SweepReport {
-    /// An empty report for a planned sweep.
+    /// An empty report for a planned single-process sweep.
     pub fn new(scenario: &str, scale: &str, mut seeds: Vec<u64>) -> SweepReport {
         seeds.sort_unstable();
         seeds.dedup();
         SweepReport {
             scenario: scenario.to_string(),
             scale: scale.to_string(),
+            shard: None,
+            seeds,
+            completed: Vec::new(),
+        }
+    }
+
+    /// An empty report for one shard of a campaign: the seed list is the
+    /// shard's own slice, computed from the topology tag.
+    pub fn new_shard(scenario: &str, scale: &str, shard: ShardTag) -> SweepReport {
+        let seeds = shard.seeds();
+        SweepReport {
+            scenario: scenario.to_string(),
+            scale: scale.to_string(),
+            shard: Some(shard),
             seeds,
             completed: Vec::new(),
         }
@@ -101,9 +122,9 @@ impl SweepReport {
 
     /// Renders the canonical JSON form: fixed field order, ascending
     /// seeds, shortest-round-trip floats. Byte-deterministic for a given
-    /// logical content.
+    /// logical content — which is what lets `sweep merge` promise a
+    /// merged report byte-identical to a single-process run.
     pub fn to_json(&self) -> String {
-        let seed_list: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
         let rows: Vec<String> = self
             .completed
             .iter()
@@ -118,28 +139,54 @@ impl SweepReport {
             .merged()
             .map(|m| summary_to_json(&m))
             .unwrap_or_else(|| "null".to_string());
+        let shard = self
+            .shard
+            .as_ref()
+            .map(ShardTag::to_json)
+            .unwrap_or_else(|| "null".to_string());
         format!(
-            "{{\n  \"sweep\": \"{}\",\n  \"scale\": \"{}\",\n  \"seeds\": [{}],\n  \
-             \"completed\": [\n{}\n  ],\n  \"merged\": {merged}\n}}\n",
+            "{{\n  \"format\": \"{FORMAT}\",\n  \"sweep\": \"{}\",\n  \"scale\": \"{}\",\n  \
+             \"shard\": {shard},\n  \"seeds\": [{}],\n  \"completed\": [\n{}\n  ],\n  \
+             \"merged\": {merged}\n}}\n",
             self.scenario,
             self.scale,
-            seed_list.join(", "),
+            json::u64_list(&self.seeds),
             rows.join(",\n"),
         )
     }
 
     /// Parses a report previously written by [`SweepReport::to_json`].
+    /// A missing or foreign `format` tag is a hard error: the file was
+    /// written by a different grammar version and its summaries cannot be
+    /// trusted to round-trip.
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
-        let value = json::parse(text)?;
+        let value = json::parse(text).map_err(|e| format!("not a sweep checkpoint: {e}"))?;
         let obj = value.as_object("report")?;
+        match json::get_opt(obj, "format") {
+            None => {
+                return Err(format!(
+                    "missing 'format' tag (a pre-fabric checkpoint or a foreign file); \
+                     this binary reads '{FORMAT}'"
+                ))
+            }
+            Some(v) => {
+                let found = v.as_str("format")?;
+                if found != FORMAT {
+                    return Err(format!(
+                        "checkpoint format '{found}' was written by a different grammar \
+                         version; this binary reads '{FORMAT}'"
+                    ));
+                }
+            }
+        }
         let scenario = json::get(obj, "sweep")?.as_str("sweep")?.to_string();
         let scale = json::get(obj, "scale")?.as_str("scale")?.to_string();
-        let seeds = json::get(obj, "seeds")?
-            .as_array("seeds")?
-            .iter()
-            .map(|v| v.as_u64("seed"))
-            .collect::<Result<Vec<u64>, String>>()?;
+        let seeds = json::get(obj, "seeds")?.as_u64_array("seeds")?;
         let mut report = SweepReport::new(&scenario, &scale, seeds);
+        report.shard = match json::get_opt(obj, "shard") {
+            Some(v) => Some(ShardTag::from_json(v)?),
+            None => None,
+        };
         for row in json::get(obj, "completed")?.as_array("completed")? {
             let row = row.as_object("completed row")?;
             let seed = json::get(row, "seed")?.as_u64("seed")?;
@@ -241,32 +288,52 @@ pub fn parse_seed_range(arg: &str) -> Result<Vec<u64>, String> {
 }
 
 /// Loads the resumable state from `checkpoint`, if it exists and matches
-/// the planned sweep (scenario, scale); a mismatched or unreadable file is
-/// ignored rather than trusted.
-pub fn load_checkpoint(checkpoint: &Path, scenario: &str, scale: &str) -> Option<SweepReport> {
+/// the planned sweep (scenario, scale, and — for shard runs — the exact
+/// shard topology); a mismatched, truncated, or otherwise unreadable file
+/// is ignored rather than trusted, so a torn write surfaced by a crash
+/// costs a recompute, never a corrupt resume.
+pub fn load_checkpoint(
+    checkpoint: &Path,
+    scenario: &str,
+    scale: &str,
+    shard: Option<&ShardTag>,
+) -> Option<SweepReport> {
     let text = std::fs::read_to_string(checkpoint).ok()?;
     let report = SweepReport::from_json(&text).ok()?;
-    (report.scenario == scenario && report.scale == scale).then_some(report)
+    (report.scenario == scenario && report.scale == scale && report.shard.as_ref() == shard)
+        .then_some(report)
 }
 
-/// Atomic-enough checkpoint write: temp file in the same directory, then
-/// rename over the target (rename is atomic on POSIX filesystems).
-fn write_checkpoint(path: &Path, content: &str) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
+/// Durable atomic checkpoint write: temp file in the same directory,
+/// fsync the contents, rename over the target (atomic on POSIX
+/// filesystems), then fsync the directory so the rename itself survives
+/// a crash. Without the two fsyncs a power cut shortly after the rename
+/// can legally surface an *empty* checkpoint — the rename's metadata can
+/// reach disk before the temp file's data blocks do.
+pub fn write_checkpoint(path: &Path, content: &str) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::create_dir_all(dir)?;
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(content.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
-/// Runs the sweep: seeds already present in `resume` are reused verbatim,
-/// the rest are executed across `threads` workers, and the returned report
-/// is identical no matter the thread count or how the work was split
-/// across interruptions.
+/// Runs a single-process (unsharded) sweep: seeds already present in
+/// `resume` are reused verbatim, the rest are executed across `threads`
+/// workers, and the returned report is identical no matter the thread
+/// count or how the work was split across interruptions.
 ///
-/// With `checkpoint`, the partial report is persisted after every finished
-/// seed and the final report overwrites it at the end.
+/// With `checkpoint`, the partial report is persisted after every
+/// finished seed and the final report overwrites it at the end.
 pub fn run_sweep(
     scenario: &Scenario,
     name: &str,
@@ -276,9 +343,36 @@ pub fn run_sweep(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
 ) -> SweepReport {
-    let mut plan = SweepReport::new(name, scale, seeds.to_vec());
+    let plan = SweepReport::new(name, scale, seeds.to_vec());
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume)
+}
+
+/// Runs one shard of a campaign: the seed slice is computed from the
+/// topology tag, and the checkpoint carries the tag so `sweep merge` can
+/// validate the reassembled campaign.
+pub fn run_sweep_shard(
+    scenario: &Scenario,
+    name: &str,
+    scale: &str,
+    shard: ShardTag,
+    threads: usize,
+    checkpoint: Option<&Path>,
+    resume: Option<SweepReport>,
+) -> SweepReport {
+    let plan = SweepReport::new_shard(name, scale, shard);
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume)
+}
+
+fn run_sweep_plan(
+    scenario: &Scenario,
+    mut plan: SweepReport,
+    threads: usize,
+    checkpoint: Option<&Path>,
+    resume: Option<SweepReport>,
+) -> SweepReport {
     if let Some(mut prior) = resume {
-        prior.restrict_to(&plan.seeds);
+        let seeds = plan.seeds.clone();
+        prior.restrict_to(&seeds);
         plan.completed = prior.completed;
     }
     let todo: Vec<u64> = plan
@@ -287,8 +381,10 @@ pub fn run_sweep(
         .copied()
         .filter(|s| !plan.completed.iter().any(|(done, _)| done == s))
         .collect();
+    let crash_hook = CrashHook::from_env(plan.shard.as_ref().map(|t| t.index));
 
     let shared = Mutex::new(plan);
+    let done_here = AtomicUsize::new(0);
     let cursor = AtomicUsize::new(0);
     let threads = threads.max(1).min(todo.len().max(1));
     std::thread::scope(|scope| {
@@ -303,6 +399,13 @@ pub fn run_sweep(
                     .lock()
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
                 plan.record(seed, summary);
+                let done = done_here.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(hook) = &crash_hook {
+                    // Test-only fault injection: dies here, holding the
+                    // lock, leaving a torn temp file — the worst-case
+                    // `kill -9` mid-checkpoint-write.
+                    hook.maybe_crash(done, checkpoint, &plan.to_json());
+                }
                 if let Some(path) = checkpoint {
                     // Best-effort mid-run persistence; a failing disk must
                     // not kill the sweep, but it must not be silent either
@@ -331,13 +434,6 @@ pub fn run_sweep(
     }
     report
 }
-
-// ---------------------------------------------------------------------
-// Fixed-schema JSON reader: shared with bench reports and scenario
-// specs, hosted in the substrate crate (`lockss_sim::json`).
-// ---------------------------------------------------------------------
-
-pub use lockss_sim::json;
 
 #[cfg(test)]
 mod tests {
@@ -396,6 +492,33 @@ mod tests {
     }
 
     #[test]
+    fn shard_report_roundtrips_exactly() {
+        let tag = ShardTag::new(2, 3, vec![1, 2, 3, 4, 5, 6, 7]).expect("valid topology");
+        let mut report = SweepReport::new_shard("baseline", "quick", tag.clone());
+        assert_eq!(report.seeds, tag.seeds(), "seed list is the shard slice");
+        for &s in &report.seeds.clone() {
+            report.record(s, summary(s));
+        }
+        let text = report.to_json();
+        let back = SweepReport::from_json(&text).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "byte round-trip");
+        assert_eq!(back.shard.as_ref(), Some(&tag));
+    }
+
+    #[test]
+    fn foreign_format_tags_are_rejected() {
+        let report = SweepReport::new("x", "quick", vec![1]);
+        let text = report.to_json();
+        let e = SweepReport::from_json(&text.replace(FORMAT, "lockss-sweep-v0")).unwrap_err();
+        assert!(e.contains("different grammar version"), "got: {e}");
+        // A pre-fabric checkpoint (no format tag at all) is also refused.
+        let stripped = text.replace("  \"format\": \"lockss-sweep-v1\",\n", "");
+        let e = SweepReport::from_json(&stripped).unwrap_err();
+        assert!(e.contains("missing 'format' tag"), "got: {e}");
+    }
+
+    #[test]
     fn record_is_sorted_and_replaces() {
         let mut report = SweepReport::new("x", "quick", vec![5, 1, 3, 1]);
         assert_eq!(report.seeds, vec![1, 3, 5], "sorted, deduped");
@@ -450,10 +573,52 @@ mod tests {
         let path = dir.join("sweep-test.json");
         let s = tiny();
         let report = run_sweep(&s, "tiny", "quick", &[1, 2], 2, Some(&path), None);
-        let loaded = load_checkpoint(&path, "tiny", "quick").expect("checkpoint exists");
+        let loaded = load_checkpoint(&path, "tiny", "quick", None).expect("checkpoint exists");
         assert_eq!(loaded, report);
         // A mismatched scenario name is ignored.
-        assert!(load_checkpoint(&path, "other", "quick").is_none());
+        assert!(load_checkpoint(&path, "other", "quick", None).is_none());
+        // So is a shard/unsharded mismatch.
+        let tag = ShardTag::new(1, 2, vec![1, 2]).unwrap();
+        assert!(load_checkpoint(&path, "tiny", "quick", Some(&tag)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the fsync-before-rename fix: the write leaves no
+    /// temp residue, survives a pre-existing torn temp file from an
+    /// earlier crash, and a torn *target* (what an unsynced rename can
+    /// legally surface after power loss) is ignored on resume instead of
+    /// trusted.
+    #[test]
+    fn checkpoint_write_survives_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("lockss-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let tmp = path.with_extension("json.tmp");
+
+        let mut report = SweepReport::new("tiny", "quick", vec![1, 2]);
+        report.record(1, summary(1));
+        let full = report.to_json();
+
+        // A torn temp file left by a crashed writer must not leak into
+        // the next write.
+        std::fs::write(&tmp, &full[..full.len() / 2]).unwrap();
+        write_checkpoint(&path, &full).expect("write succeeds");
+        assert!(!tmp.exists(), "temp file renamed away, no residue");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), full);
+        assert_eq!(
+            load_checkpoint(&path, "tiny", "quick", None).expect("loads"),
+            report
+        );
+
+        // A torn target — truncated mid-document — is a fresh start, not
+        // a parse panic and not a corrupt resume.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load_checkpoint(&path, "tiny", "quick", None).is_none());
+        assert!(SweepReport::from_json(&full[..full.len() / 2]).is_err());
+        // An *empty* target (the exact artifact the missing fsync could
+        // produce) is likewise ignored.
+        std::fs::write(&path, "").unwrap();
+        assert!(load_checkpoint(&path, "tiny", "quick", None).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

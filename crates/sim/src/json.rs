@@ -151,6 +151,23 @@ impl Value {
             other => Err(format!("{what}: expected bool, got {}", other.type_name())),
         }
     }
+
+    /// The value as an array of `u64` — the shape every seed list in the
+    /// sweep wire format takes — or an error naming `what`.
+    pub fn as_u64_array(&self, what: &str) -> Result<Vec<u64>, String> {
+        self.as_array(what)?
+            .iter()
+            .map(|v| v.as_u64(what))
+            .collect()
+    }
+}
+
+/// Renders a `u64` slice in the canonical element form shared by the
+/// fixed-schema writers (`", "`-separated, no brackets): the writer-side
+/// counterpart of [`Value::as_u64_array`].
+pub fn u64_list(xs: &[u64]) -> String {
+    let strs: Vec<String> = xs.iter().map(u64::to_string).collect();
+    strs.join(", ")
 }
 
 /// Looks up a field of an object parsed by this module.
@@ -425,6 +442,16 @@ mod tests {
         let s = "a \"quoted\" line\nwith\ttabs and \\slashes";
         let doc = format!("\"{}\"", escape(s));
         assert_eq!(parse(&doc).unwrap().as_str("s").unwrap(), s);
+    }
+
+    #[test]
+    fn u64_lists_round_trip() {
+        let xs = [3u64, 1, 4, 1, 5];
+        let doc = format!("[{}]", u64_list(&xs));
+        assert_eq!(parse(&doc).unwrap().as_u64_array("xs").unwrap(), xs);
+        assert_eq!(u64_list(&[]), "");
+        assert!(parse("[1, -2]").unwrap().as_u64_array("xs").is_err());
+        assert!(parse("3").unwrap().as_u64_array("xs").is_err());
     }
 
     #[test]

@@ -220,8 +220,8 @@ fn sweep_checkpoint_resume_equals_uninterrupted() {
         Some(&interrupted),
         None,
     );
-    let prior =
-        load_checkpoint(&interrupted, "scale-10k-baseline", "quick").expect("checkpoint loads");
+    let prior = load_checkpoint(&interrupted, "scale-10k-baseline", "quick", None)
+        .expect("checkpoint loads");
     assert_eq!(prior.completed.len(), 2);
     let resumed = run_sweep(
         &s,
