@@ -36,6 +36,7 @@ pub mod adversary;
 pub mod churn;
 pub mod config;
 pub mod msg;
+pub mod obs;
 pub mod peer;
 pub mod poller;
 pub mod realproto;
@@ -50,6 +51,7 @@ pub mod world;
 pub use adversary::{Adversary, NullAdversary};
 pub use config::{ProtocolConfig, WorldConfig};
 pub use msg::Message;
+pub use obs::CoreObs;
 pub use peer::{AuState, PeerTable, TableOccupancy};
 pub use trace::{AdmissionVerdict, MsgKind, PollConclusion, TraceEvent, TraceEventKind, TraceSink};
 pub use types::{Identity, PollId};

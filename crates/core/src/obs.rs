@@ -1,0 +1,114 @@
+//! Pre-registered metric handles for the protocol layer (see `lockss-obs`).
+//!
+//! The same discipline as [`crate::trace::TraceSink`]: the world holds
+//! `Option<Box<CoreObs>>`, each instrumented site pays one null check
+//! when observability is off, and everything recorded here is strictly
+//! out-of-band — counters never feed back into protocol decisions, so a
+//! run's results are byte-identical with or without them.
+
+use lockss_obs::{Counter, Histogram, RegistryBuilder};
+
+/// Counter and histogram handles for the poll lifecycle, admission
+/// (suppression) verdicts, and repair traffic.
+#[derive(Clone)]
+pub struct CoreObs {
+    /// Polls opened by pollers.
+    pub polls_started: Counter,
+    /// Polls concluded with a landslide win.
+    pub polls_win: Counter,
+    /// Polls concluded with a landslide loss.
+    pub polls_loss: Counter,
+    /// Quorate polls with a non-landslide split.
+    pub polls_inconclusive: Counter,
+    /// Polls that never reached quorum.
+    pub polls_inquorate: Counter,
+    /// Votes received per concluded poll.
+    pub poll_votes: Histogram,
+    /// Protocol messages handed to the network.
+    pub msgs_sent: Counter,
+    /// Messages suppressed at the source (pipe stoppage).
+    pub msgs_suppressed: Counter,
+    /// Invitations admitted the ordinary way.
+    pub admission_admitted: Counter,
+    /// Invitations admitted via a valid introduction.
+    pub admission_introduced: Counter,
+    /// Invitations dropped by the random-drop defense.
+    pub admission_random_drop: Counter,
+    /// Invitations refused by the per-AU refractory period.
+    pub admission_refractory: Counter,
+    /// Invitations refused by the per-peer rate limit.
+    pub admission_rate_limited: Counter,
+    /// Repair blocks requested by outvoted pollers.
+    pub repairs_requested: Counter,
+    /// Repair blocks received and applied by pollers.
+    pub repairs_applied: Counter,
+    /// Storage bit-rot damage events.
+    pub damage_events: Counter,
+    /// Loyal peers that joined after the start (churn).
+    pub peer_joins: Counter,
+    /// Provenance-tagged adversary decision points.
+    pub adversary_actions: Counter,
+}
+
+impl CoreObs {
+    /// Registers the protocol metrics on `b` and returns the handles.
+    pub fn register(b: &mut RegistryBuilder) -> CoreObs {
+        CoreObs {
+            polls_started: b.counter("polls_started_total", "Polls opened by pollers"),
+            polls_win: b.counter("polls_win_total", "Polls concluded with a landslide win"),
+            polls_loss: b.counter("polls_loss_total", "Polls concluded with a landslide loss"),
+            polls_inconclusive: b.counter(
+                "polls_inconclusive_total",
+                "Quorate polls with a non-landslide split",
+            ),
+            polls_inquorate: b.counter("polls_inquorate_total", "Polls that never reached quorum"),
+            poll_votes: b.histogram(
+                "poll_votes",
+                "Votes received per concluded poll",
+                &[1, 2, 4, 8, 16, 32],
+            ),
+            msgs_sent: b.counter("msgs_sent_total", "Protocol messages handed to the network"),
+            msgs_suppressed: b.counter(
+                "msgs_suppressed_total",
+                "Messages suppressed at the source by pipe stoppage",
+            ),
+            admission_admitted: b.counter(
+                "admission_admitted_total",
+                "Invitations admitted the ordinary way",
+            ),
+            admission_introduced: b.counter(
+                "admission_introduced_total",
+                "Invitations admitted via a valid introduction",
+            ),
+            admission_random_drop: b.counter(
+                "admission_random_drop_total",
+                "Invitations dropped by the random-drop defense",
+            ),
+            admission_refractory: b.counter(
+                "admission_refractory_total",
+                "Invitations refused by the per-AU refractory period",
+            ),
+            admission_rate_limited: b.counter(
+                "admission_rate_limited_total",
+                "Invitations refused by the per-peer rate limit",
+            ),
+            repairs_requested: b.counter(
+                "repairs_requested_total",
+                "Repair blocks requested by outvoted pollers",
+            ),
+            repairs_applied: b.counter(
+                "repairs_applied_total",
+                "Repair blocks received and applied by pollers",
+            ),
+            damage_events: b.counter("damage_events_total", "Storage bit-rot damage events"),
+            peer_joins: b.counter(
+                "peer_joins_total",
+                "Loyal peers that joined after the start",
+            ),
+            adversary_actions: b.counter(
+                "adversary_actions_total",
+                "Provenance-tagged adversary decision points",
+            ),
+        }
+    }
+}

@@ -19,10 +19,13 @@ use lockss_net::{Network, NodeId};
 use lockss_sim::{Duration, Engine, SimRng, SimTime};
 use lockss_storage::{AuId, DamageProcess};
 
+use lockss_obs::{SharedProfiler, Span};
+
 use crate::admission::AdmissionOutcome;
 use crate::adversary::Adversary;
 use crate::config::WorldConfig;
 use crate::msg::Message;
+use crate::obs::CoreObs;
 use crate::peer::{AuState, PeerTable};
 use crate::poller::{InviteeStatus, PollPhase, PollState};
 use crate::reflist::RefList;
@@ -60,6 +63,12 @@ pub struct World {
     /// pay one `Option` null check per emission point and never construct
     /// event payloads (see [`World::trace`]).
     trace_sink: Option<Box<dyn TraceSink>>,
+    /// Metric handles (see [`crate::obs`]); unobserved runs pay one null
+    /// check per recording site, the same discipline as the trace sink.
+    obs: Option<Box<CoreObs>>,
+    /// Profiler shared with the runner, for spans around poll evaluation.
+    /// Strictly out-of-band: wall-clock only, never read by the protocol.
+    profiler: Option<SharedProfiler>,
     next_poll_id: u64,
     n_loyal: usize,
     /// Network node → loyal peer index (nodes absent here belong to the
@@ -126,6 +135,8 @@ impl World {
             adversary: None,
             adversary_channel: 0,
             trace_sink: None,
+            obs: None,
+            profiler: None,
             next_poll_id: 0,
             n_loyal: nodes.len(),
             node_to_peer,
@@ -198,6 +209,27 @@ impl World {
         self.trace_sink.is_some()
     }
 
+    /// Installs metric handles: the poll lifecycle, admission verdicts,
+    /// and repair traffic are counted from here on. Install before
+    /// [`World::start`] for complete totals.
+    pub fn set_obs(&mut self, obs: CoreObs) {
+        self.obs = Some(Box::new(obs));
+    }
+
+    /// The installed metric handles, if any. Recording sites do
+    /// `if let Some(o) = world.obs() { ... }` — one null check when off.
+    #[inline]
+    pub fn obs(&self) -> Option<&CoreObs> {
+        self.obs.as_deref()
+    }
+
+    /// Shares a profiler with the world; poll evaluation opens spans on
+    /// it. The world only ever *writes* wall-clock timings here, so
+    /// simulation behaviour is independent of the profiler's presence.
+    pub fn set_profiler(&mut self, profiler: SharedProfiler) {
+        self.profiler = Some(profiler);
+    }
+
     /// Emits one trace event. The payload closure only runs when a sink is
     /// installed, so untraced runs pay exactly one null check here; a sink
     /// that asks to stop (replay divergence) aborts the engine's run loop.
@@ -216,6 +248,9 @@ impl World {
     /// stoppage cycle starting, a flood wave launching, a sybil escalation
     /// step — so a trace names *which* adversary move caused what follows.
     pub fn note_adversary_action(&mut self, eng: &mut Eng, label: &'static str, magnitude: u64) {
+        if let Some(o) = self.obs() {
+            o.adversary_actions.inc();
+        }
         let channel = self.adversary_channel;
         self.trace(eng, || TraceEvent::AdversaryAction {
             channel,
@@ -313,6 +348,9 @@ impl World {
         let replica = &mut self.peers.au_mut(peer, au as usize).replica;
         let was_intact = replica.is_intact();
         replica.damage(block);
+        if let Some(o) = self.obs() {
+            o.damage_events.inc();
+        }
         self.trace(eng, || TraceEvent::Damage {
             peer: peer as u32,
             au,
@@ -338,6 +376,13 @@ impl World {
     pub fn send_message(&mut self, eng: &mut Eng, from: NodeId, to: NodeId, msg: Message) -> bool {
         let bytes = msg.wire_bytes(&self.cfg.cost);
         let delay = self.net.send(from, to, bytes);
+        if let Some(o) = self.obs() {
+            if delay.is_none() {
+                o.msgs_suppressed.inc();
+            } else {
+                o.msgs_sent.inc();
+            }
+        }
         self.trace(eng, || TraceEvent::MessageSend {
             from: from.0,
             to: to.0,
@@ -423,6 +468,9 @@ impl World {
         let synchronous = self.cfg.protocol.ablation.synchronous_solicitation;
         let now = eng.now();
         self.metrics.polls.register(p as u32, au.0, now);
+        if let Some(o) = self.obs() {
+            o.polls_started.inc();
+        }
         let id = self.alloc_poll_id();
         self.trace(eng, || TraceEvent::PollStart {
             peer: p as u32,
@@ -839,6 +887,9 @@ impl World {
             au_state.replica.repair(block);
             !was_intact && au_state.replica.is_intact()
         };
+        if let Some(o) = self.obs() {
+            o.repairs_applied.inc();
+        }
         self.trace(eng, || TraceEvent::Repair {
             peer: p as u32,
             au: au.0,
@@ -932,6 +983,7 @@ impl World {
         if !self.poll_is_current(p, au, id) {
             return;
         }
+        let _span = Span::enter(&self.profiler, "poll-evaluate");
         let now = eng.now();
         // Penalize invitees that committed but never delivered (§5.1).
         let deserters = {
@@ -1032,6 +1084,9 @@ impl World {
             return;
         }
         for (block, voter) in repair_plan {
+            if let Some(o) = self.obs() {
+                o.repairs_requested.inc();
+            }
             let Some(to) = self.node_of(voter) else {
                 let poll = self
                     .peers
@@ -1084,6 +1139,7 @@ impl World {
         if !self.poll_is_current(p, au, id) {
             return;
         }
+        let _span = Span::enter(&self.profiler, "poll-finalize");
         // Scalar copies instead of a whole-config clone; the one helper
         // that takes `&ProtocolConfig` gets it through a split borrow below.
         let quorum = self.cfg.protocol.quorum;
@@ -1107,6 +1163,18 @@ impl World {
         let landslide_loss = quorate && disagreeing >= inner_votes.saturating_sub(max_disagree);
         let inconclusive = quorate && !landslide_win && !landslide_loss;
         let n_votes = poll.votes.len() as u32;
+        if let Some(o) = self.obs() {
+            if landslide_win {
+                o.polls_win.inc();
+            } else if landslide_loss {
+                o.polls_loss.inc();
+            } else if inconclusive {
+                o.polls_inconclusive.inc();
+            } else {
+                o.polls_inquorate.inc();
+            }
+            o.poll_votes.observe(n_votes as u64);
+        }
         self.trace(eng, || TraceEvent::PollOutcome {
             peer: p as u32,
             au: au.0,
@@ -1213,6 +1281,19 @@ impl World {
                 .admission
                 .filter(poller, &au_state.known, now, &cfg.protocol, rng)
         };
+        if let Some(o) = self.obs() {
+            match outcome {
+                AdmissionOutcome::Admitted {
+                    via_introduction: true,
+                } => o.admission_introduced.inc(),
+                AdmissionOutcome::Admitted {
+                    via_introduction: false,
+                } => o.admission_admitted.inc(),
+                AdmissionOutcome::RandomDrop => o.admission_random_drop.inc(),
+                AdmissionOutcome::Refractory => o.admission_refractory.inc(),
+                AdmissionOutcome::RateLimited => o.admission_rate_limited.inc(),
+            }
+        }
         self.trace(eng, || TraceEvent::Admission {
             peer: p as u32,
             poller: poller.0,

@@ -30,19 +30,23 @@
 //! per-poll/per-phase timelines from one.
 
 use lockss_experiments::fuzz::run_fuzz;
+use lockss_experiments::obs::{ObsSession, SweepObs, Telemetry};
 use lockss_experiments::runner::{
-    default_threads, replay_once, run_batch, run_once, run_once_recorded, run_once_with_phases,
-    run_once_with_stats, RunStats,
+    default_threads, replay_once, run_batch_observed, run_once_observed,
+    run_once_recorded_observed, run_once_with_stats, RunStats,
 };
 use lockss_experiments::sweep::{
-    self, dispatch, jobfile, load_checkpoint, merge_files, parse_seed_range, parse_shard_arg,
-    run_sweep, run_sweep_shard, DispatchPlan, ShardTag,
+    self, campaign_status, dispatch, jobfile, load_checkpoint, merge_files, parse_seed_range,
+    parse_shard_arg, render_status, run_sweep_observed, run_sweep_shard_observed, DispatchPlan,
+    ShardTag,
 };
 use lockss_experiments::{Scale, ScenarioEntry, ScenarioRegistry, ScenarioSpec};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
+use lockss_obs::{unix_ms_now, Profiler};
 use lockss_trace::{diff_traces, trace_stats, Trace, TraceMeta};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 fn usage() -> ! {
     eprintln!(
@@ -71,16 +75,22 @@ fn usage() -> ! {
          \x20                          run; any topology violation exits 1\n\
          \x20 sweep dispatch <name>    fan --shards N worker subprocesses out over\n\
          \x20                          the seed range with retry + backoff, straggler\n\
-         \x20                          re-dispatch via checkpoint freshness, and a\n\
-         \x20                          final validated merge; --jobfile writes the\n\
-         \x20                          per-shard command lines instead of running\n\
+         \x20                          re-dispatch via heartbeat/checkpoint freshness,\n\
+         \x20                          and a final validated merge; --jobfile writes\n\
+         \x20                          the per-shard command lines instead of running\n\
+         \x20 sweep status <dir>       render campaign progress from the checkpoints\n\
+         \x20                          (and heartbeat telemetry) under <dir>\n\
          \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
          \x20                          event-for-event equivalence\n\
          \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
          \x20 trace stats <trace>      per-poll/per-phase timelines from a trace\n\
+         \x20                          (--json: machine-readable stats)\n\
          \x20 bench diff <base> <new>..  compare bench reports mean-vs-mean with a\n\
          \x20                          noise band; --gate exits 1 on a >25%\n\
-         \x20                          regression of the named hot benches\n\
+         \x20                          regression of the named hot benches;\n\
+         \x20                          --gate-pct N tightens the limit to N%, and\n\
+         \x20                          --gate-bench <glob> (repeatable) gates only\n\
+         \x20                          the named benches\n\
          \n\
          options:\n\
          \x20 --scale <quick|default|paper>   experiment scale (or LOCKSS_SCALE)\n\
@@ -108,8 +118,20 @@ fn usage() -> ! {
          \x20 --backoff-ms <N>                dispatch: base retry backoff, doubling\n\
          \x20                                 per attempt (default 250)\n\
          \x20 --stall-secs <N>                dispatch: kill + re-dispatch a worker\n\
-         \x20                                 whose checkpoint is idle this long\n\
-         \x20                                 (default: off)\n\
+         \x20                                 making no heartbeat/checkpoint progress\n\
+         \x20                                 this long (default: off)\n\
+         \x20 --profile                       run/sweep: time span trees (world build,\n\
+         \x20                                 simulate, trace seal, worker chunks) and\n\
+         \x20                                 write results/profile-<name>.json\n\
+         \x20 --metrics-out <path>            run/sweep: snapshot the metrics registry\n\
+         \x20                                 as JSON at <path> plus Prometheus text\n\
+         \x20                                 at <path stem>.prom\n\
+         \x20 --telemetry <dir>               sweep: append heartbeat JSONL records\n\
+         \x20                                 under <dir> every ~2s; dispatch: pass\n\
+         \x20                                 through to workers and prefer heartbeat\n\
+         \x20                                 freshness for stall detection; status:\n\
+         \x20                                 heartbeat directory when it differs from\n\
+         \x20                                 the checkpoint directory\n\
          \x20 --mem-report                    print peak RSS and arena/table occupancy\n\
          \x20 --record <path>                 record the run's event trace (one seed)\n\
          \x20 --out <dir>                     fuzz: reproducer directory (default\n\
@@ -171,7 +193,17 @@ fn main() {
                 eprintln!("--record captures exactly one run; pass --seed N (or --seeds 1)");
                 std::process::exit(2);
             }
-            run(&entry, scale, &seeds, json, record.as_deref());
+            let profile = args.iter().any(|a| a == "--profile");
+            let metrics_out = flag_value(&args, "--metrics-out");
+            run(
+                &entry,
+                scale,
+                &seeds,
+                json,
+                record.as_deref(),
+                profile,
+                metrics_out.as_deref(),
+            );
             if args.iter().any(|a| a == "--mem-report") {
                 mem_report(&entry.build(scale), seeds[0]);
             }
@@ -212,6 +244,14 @@ fn main() {
                 }
                 sweep_dispatch(&registry, &name, scale, &args);
             }
+            Some("status") => {
+                let dir = args.get(2).cloned().unwrap_or_else(|| usage());
+                if dir.starts_with("--") {
+                    usage();
+                }
+                let telemetry = flag_value(&args, "--telemetry").unwrap_or_else(|| dir.clone());
+                sweep_status(Path::new(&dir), Path::new(&telemetry));
+            }
             Some(name) if !name.starts_with("--") => {
                 let name = name.to_string();
                 let seeds = match flag_value(&args, "--seeds") {
@@ -229,6 +269,11 @@ fn main() {
                 let fresh = args.iter().any(|a| a == "--fresh");
                 let json = args.iter().any(|a| a == "--json");
                 let mem = args.iter().any(|a| a == "--mem-report");
+                let obs = SweepObsFlags {
+                    profile: args.iter().any(|a| a == "--profile"),
+                    metrics_out: flag_value(&args, "--metrics-out"),
+                    telemetry: flag_value(&args, "--telemetry"),
+                };
                 sweep_cmd(
                     &registry,
                     &name,
@@ -240,6 +285,7 @@ fn main() {
                     fresh,
                     json,
                     mem,
+                    &obs,
                 );
             }
             _ => usage(),
@@ -251,14 +297,46 @@ fn main() {
         }
         Some("bench") => match args.get(1).map(String::as_str) {
             Some("diff") => {
-                let files: Vec<&String> =
-                    args[2..].iter().filter(|a| !a.starts_with("--")).collect();
+                // Flag values ("2", "world/simulate*") must not be
+                // mistaken for report files, so walk the args by hand.
+                let mut files: Vec<String> = Vec::new();
+                let mut gate = false;
+                let mut gate_pct: Option<f64> = None;
+                let mut gate_benches: Vec<String> = Vec::new();
+                let mut i = 2;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--gate" => gate = true,
+                        "--gate-pct" => {
+                            i += 1;
+                            let v = args
+                                .get(i)
+                                .and_then(|s| s.parse::<f64>().ok())
+                                .filter(|p| p.is_finite() && *p > 0.0)
+                                .unwrap_or_else(|| fail("--gate-pct wants a percentage > 0"));
+                            gate_pct = Some(v);
+                        }
+                        "--gate-bench" => {
+                            i += 1;
+                            let v = args
+                                .get(i)
+                                .cloned()
+                                .unwrap_or_else(|| fail("--gate-bench wants a bench name or glob"));
+                            gate_benches.push(v);
+                        }
+                        a if a.starts_with("--") => usage(),
+                        a => files.push(a.to_string()),
+                    }
+                    i += 1;
+                }
                 let (base, news) = match files.split_first() {
                     Some((base, news)) if !news.is_empty() => (base, news),
                     _ => usage(),
                 };
-                let gate = args.iter().any(|a| a == "--gate");
-                bench_diff(base, news, gate);
+                // A tightened limit or an explicit bench list implies gating.
+                let gate = gate || gate_pct.is_some() || !gate_benches.is_empty();
+                let threshold = gate_pct.map(|p| p / 100.0).unwrap_or(0.25);
+                bench_diff(base, news, gate, threshold, &gate_benches);
             }
             _ => usage(),
         },
@@ -274,9 +352,16 @@ fn main() {
             }
             Some("stats") => {
                 let path = args.get(2).cloned().unwrap_or_else(|| usage());
+                if path.starts_with("--") {
+                    usage();
+                }
                 let stats = trace_stats(&load_trace(&path))
                     .unwrap_or_else(|e| fail(&format!("stats: {e}")));
-                print!("{stats}");
+                if args.iter().any(|a| a == "--json") {
+                    print!("{}", stats.to_json());
+                } else {
+                    print!("{stats}");
+                }
             }
             _ => usage(),
         },
@@ -371,10 +456,18 @@ fn fuzz(seeds: &[u64], out_dir: &str) {
 
 /// Compares a baseline bench report against one or more new reports
 /// (merged in argument order) and prints the per-bench deltas. With
-/// `gate`, exits 1 if any of the hot benches named in
-/// [`lockss_bench::diff::GATED_BENCHES`] regressed by more than 25%, or if
-/// a gated baseline bench is missing from the new reports.
-fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
+/// `gate`, exits 1 if any gated bench regressed beyond `threshold`
+/// (a ratio; `--gate-pct N` sets N/100, default 0.25), or if a gated
+/// baseline bench is missing from the new reports. `patterns` overrides
+/// the default [`lockss_bench::diff::GATED_BENCHES`] list when
+/// non-empty.
+fn bench_diff(
+    base_path: &str,
+    new_paths: &[String],
+    gate: bool,
+    threshold: f64,
+    patterns: &[String],
+) {
     use lockss_bench::diff::{self, GATED_BENCHES};
 
     let read = |path: &str| -> Vec<diff::ParsedBench> {
@@ -387,6 +480,11 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
     for p in new_paths {
         new.extend(read(p));
     }
+    let pats: Vec<&str> = if patterns.is_empty() {
+        GATED_BENCHES.to_vec()
+    } else {
+        patterns.iter().map(String::as_str).collect()
+    };
 
     fn fmt_ns(ns: f64) -> String {
         if ns >= 1e6 {
@@ -423,16 +521,15 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
     }
 
     if gate {
-        let threshold = 0.25;
-        let offenders = diff::gate(&report, &GATED_BENCHES, threshold);
+        let offenders = diff::gate(&report, &pats, threshold);
         let missing_gated: Vec<&String> = report
             .missing
             .iter()
-            .filter(|n| GATED_BENCHES.iter().any(|p| diff::name_matches(p, n)))
+            .filter(|n| pats.iter().any(|p| diff::name_matches(p, n)))
             .collect();
         for d in &offenders {
             eprintln!(
-                "GATE: {} regressed {:+.1}% (limit +{:.0}%)",
+                "GATE: {} regressed {:+.1}% (limit +{:.1}%)",
                 d.name,
                 (d.ratio - 1.0) * 100.0,
                 threshold * 100.0
@@ -445,10 +542,55 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
             std::process::exit(1);
         }
         println!(
-            "gate passed: no gated bench regressed more than {:.0}%",
+            "gate passed: no gated bench regressed more than {:.1}%",
             threshold * 100.0
         );
     }
+}
+
+/// The observability switches a `run` or `sweep` invocation carries:
+/// span profiling, a registry snapshot destination, and (sweeps only)
+/// the heartbeat telemetry directory.
+struct SweepObsFlags {
+    profile: bool,
+    metrics_out: Option<String>,
+    telemetry: Option<String>,
+}
+
+impl SweepObsFlags {
+    fn any(&self) -> bool {
+        self.profile || self.metrics_out.is_some() || self.telemetry.is_some()
+    }
+}
+
+/// Writes the merged span tree to `results/profile-<name>.json`.
+fn write_profile(prof: &Profiler, name: &str) {
+    let path = format!("results/profile-{name}.json");
+    if std::fs::create_dir_all("results").is_err()
+        || std::fs::write(&path, prof.to_json(name)).is_err()
+    {
+        fail(&format!("writing {path}"));
+    }
+    println!("wrote {path}");
+}
+
+/// Snapshots `session`'s registry as JSON at `out` plus Prometheus text
+/// beside it.
+fn write_metrics(session: &ObsSession, out: &str) {
+    match session.write_metrics(Path::new(out)) {
+        Ok(prom) => println!("wrote {out} and {}", prom.display()),
+        Err(e) => fail(&format!("writing {out}: {e}")),
+    }
+}
+
+/// Renders campaign progress from the checkpoints under `dir`, pairing
+/// each with its heartbeat file under `telemetry`.
+fn sweep_status(dir: &Path, telemetry: &Path) {
+    let statuses = campaign_status(dir, telemetry).unwrap_or_else(|e| {
+        eprintln!("lockss-sim: sweep status: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", render_status(&statuses, unix_ms_now()));
 }
 
 /// Runs a seed sweep of one registered scenario across a worker pool —
@@ -457,7 +599,8 @@ fn bench_diff(base_path: &str, new_paths: &[&String], gate: bool) {
 /// The merged report is byte-identical regardless of `threads` (per-seed
 /// result slots, seed-ordered reduction), and a sweep interrupted mid-way
 /// resumes from its `--checkpoint` file, producing the same final bytes
-/// as an uninterrupted run.
+/// as an uninterrupted run. Observability (`--profile`, `--metrics-out`,
+/// `--telemetry`) is strictly out-of-band: it never changes those bytes.
 #[allow(clippy::too_many_arguments)]
 fn sweep_cmd(
     registry: &ScenarioRegistry,
@@ -470,6 +613,7 @@ fn sweep_cmd(
     fresh: bool,
     json_out: bool,
     mem: bool,
+    obs: &SweepObsFlags,
 ) {
     let entry = resolve(registry, name);
     let scenario = entry.build(scale);
@@ -513,8 +657,18 @@ fn sweep_cmd(
             String::new()
         }
     );
+    let session = obs.any().then(ObsSession::new);
+    let merged_prof = obs.profile.then(|| Mutex::new(Profiler::new()));
+    let sweep_obs = session.as_ref().map(|s| SweepObs {
+        session: s,
+        profiler: merged_prof.as_ref(),
+        telemetry: obs
+            .telemetry
+            .as_deref()
+            .map(|d| Telemetry::new(Path::new(d))),
+    });
     let report = match shard {
-        Some(tag) => run_sweep_shard(
+        Some(tag) => run_sweep_shard_observed(
             &scenario,
             entry.name(),
             scale.label(),
@@ -522,8 +676,9 @@ fn sweep_cmd(
             threads,
             Some(&path),
             resume,
+            sweep_obs.as_ref(),
         ),
-        None => run_sweep(
+        None => run_sweep_observed(
             &scenario,
             entry.name(),
             scale.label(),
@@ -531,6 +686,7 @@ fn sweep_cmd(
             threads,
             Some(&path),
             resume,
+            sweep_obs.as_ref(),
         ),
     };
 
@@ -587,6 +743,12 @@ fn sweep_cmd(
             tag.label(),
             tag.count
         );
+    }
+    if let Some(m) = &merged_prof {
+        write_profile(&m.lock().unwrap(), entry.name());
+    }
+    if let (Some(s), Some(out)) = (&session, obs.metrics_out.as_deref()) {
+        write_metrics(s, out);
     }
     if json_out {
         print!("{}", report.to_json());
@@ -677,6 +839,7 @@ fn sweep_dispatch(registry: &ScenarioRegistry, name: &str, scale: Scale, args: &
                 .unwrap_or_else(|| format!("results/sweep-{}.json", entry.name())),
         ),
         fresh: args.iter().any(|a| a == "--fresh"),
+        telemetry: flag_value(args, "--telemetry").map(PathBuf::from),
     };
     let bin = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
 
@@ -697,7 +860,7 @@ fn sweep_dispatch(registry: &ScenarioRegistry, name: &str, scale: Scale, args: &
 
     println!(
         "dispatching '{}' at scale '{}': {} seed(s) over {} shard worker(s) \
-         x {} thread(s), {} retr{} each{}",
+         x {} thread(s), {} retr{} each{}{}",
         plan.scenario,
         plan.scale,
         plan.campaign.len(),
@@ -707,6 +870,10 @@ fn sweep_dispatch(registry: &ScenarioRegistry, name: &str, scale: Scale, args: &
         if plan.retries == 1 { "y" } else { "ies" },
         plan.stall_secs
             .map(|s| format!(", {s}s stall window"))
+            .unwrap_or_default(),
+        plan.telemetry
+            .as_ref()
+            .map(|d| format!(", heartbeats under {}", d.display()))
             .unwrap_or_default()
     );
     let report = dispatch(&bin, &plan, &mut |line| println!("  {line}")).unwrap_or_else(|e| {
@@ -845,7 +1012,16 @@ fn describe(registry: &ScenarioRegistry, name: &str, scale: Scale) {
     );
 }
 
-fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, record: Option<&str>) {
+#[allow(clippy::too_many_arguments)]
+fn run(
+    entry: &ScenarioEntry,
+    scale: Scale,
+    seeds: &[u64],
+    json_out: bool,
+    record: Option<&str>,
+    profile: bool,
+    metrics_out: Option<&str>,
+) {
     let scenario = entry.build(scale);
     let attacked_label = scenario.attack.label();
     println!(
@@ -856,6 +1032,17 @@ fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, recor
         default_threads(),
         attacked_label,
     );
+
+    // Observability is out-of-band: the observed run variants produce
+    // byte-identical summaries, so they are used unconditionally (with
+    // empty instruments when nothing was requested).
+    let session = (profile || metrics_out.is_some()).then(ObsSession::new);
+    let merged_prof = profile.then(|| Mutex::new(Profiler::new()));
+    let sp = profile.then(Profiler::shared);
+    let ins = session
+        .as_ref()
+        .map(|s| s.instruments(sp.clone()))
+        .unwrap_or_default();
 
     // Matched baseline for the ratio metrics, skipped for baselines.
     let jobs = if scenario.attack.is_none() {
@@ -876,7 +1063,7 @@ fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, recor
             seed: seeds[0],
             run_length_ms: scenario.run_length.as_millis(),
         };
-        let (a, phases, trace) = run_once_recorded(&jobs[0], seeds[0], &meta);
+        let (a, phases, trace) = run_once_recorded_observed(&jobs[0], seeds[0], &meta, &ins);
         match trace.write_to(Path::new(path)) {
             Ok(()) => println!(
                 "recorded {} event(s) to {path} (content hash {})",
@@ -885,18 +1072,24 @@ fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, recor
             ),
             Err(e) => fail(&format!("writing {path}: {e}")),
         }
-        let b = jobs.get(1).map(|j| run_once(j, seeds[0]));
+        let b = jobs.get(1).map(|j| run_once_observed(j, seeds[0], &ins).0);
         (a, b, phases)
     } else if seeds.len() == 1 {
-        let (a, phases) = run_once_with_phases(&jobs[0], seeds[0]);
-        let b = jobs.get(1).map(|j| run_once(j, seeds[0]));
+        let (a, phases) = run_once_observed(&jobs[0], seeds[0], &ins);
+        let b = jobs.get(1).map(|j| run_once_observed(j, seeds[0], &ins).0);
         (a, b, phases)
     } else {
-        let out = run_batch(&jobs, seeds.len() as u64, default_threads());
+        let out = run_batch_observed(
+            &jobs,
+            seeds.len() as u64,
+            default_threads(),
+            session.as_ref(),
+            merged_prof.as_ref(),
+        );
         let mut it = out.into_iter();
         let a = it.next().expect("attacked summary");
         let phases = if scenario.attack.is_composite() {
-            run_once_with_phases(&scenario, seeds[0]).1
+            run_once_observed(&scenario, seeds[0], &ins).1
         } else {
             Vec::new()
         };
@@ -980,6 +1173,17 @@ fn run(entry: &ScenarioEntry, scale: Scale, seeds: &[u64], json_out: bool, recor
     let path = format!("results/scenario-{}.json", entry.name());
     if std::fs::create_dir_all("results").is_ok() && std::fs::write(&path, &json).is_ok() {
         println!("\nwrote {path}");
+    }
+    if let Some(m) = &merged_prof {
+        // The single-seed paths profiled into `sp`; batch workers have
+        // already absorbed theirs into the merge target.
+        if let Some(sp) = &sp {
+            m.lock().unwrap().absorb(&sp.borrow());
+        }
+        write_profile(&m.lock().unwrap(), entry.name());
+    }
+    if let (Some(s), Some(out)) = (&session, metrics_out) {
+        write_metrics(s, out);
     }
     if json_out {
         println!("{json}");

@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod fuzz;
 pub mod layering;
+pub mod obs;
 pub mod registry;
 pub mod runner;
 pub mod scale;
@@ -30,8 +31,9 @@ pub mod spec;
 pub mod sweep;
 pub mod sweeps;
 
+pub use obs::{heartbeat_path, ObsSession, SweepObs, Telemetry};
 pub use registry::{ScenarioEntry, ScenarioRegistry};
-pub use runner::{run_scenario, MeasuredPoint};
+pub use runner::{run_scenario, Instruments, MeasuredPoint};
 pub use scale::Scale;
 pub use scenario::{phased, AttackSpec, PhasedAttack, Scenario};
 pub use spec::{ScenarioSpec, SpecError, WorldSpec};

@@ -5,9 +5,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use lockss_core::{TableOccupancy, World, WorldConfig};
+use lockss_core::{CoreObs, TableOccupancy, World, WorldConfig};
 use lockss_metrics::{PhaseSummary, Summary};
-use lockss_sim::{Engine, SimTime};
+use lockss_obs::{Profiler, SharedProfiler, Span};
+use lockss_sim::{Engine, EngineObs, SimTime};
 use lockss_trace::{Recorder, ReplayReport, Trace, TraceError, TraceMeta, Verifier};
 
 use crate::scenario::Scenario;
@@ -61,6 +62,31 @@ impl MeasuredPoint {
     }
 }
 
+/// Out-of-band instruments for one run: metric handles cloned into the
+/// world/engine and an optional profiler for span timing. `Default` is
+/// fully off — the run pays one `Option` check per instrumented site.
+///
+/// Instruments never perturb a run: counters and spans read protocol
+/// state, they never feed it, so summaries, traces, and reports are
+/// byte-identical with instruments on or off (enforced by
+/// `tests/observability.rs`).
+#[derive(Clone, Default)]
+pub struct Instruments {
+    /// Protocol-layer counters (poll lifecycle, admission, repairs).
+    pub core: Option<CoreObs>,
+    /// Engine counters (events, arena occupancy).
+    pub engine: Option<EngineObs>,
+    /// Wall-clock span profiler.
+    pub profiler: Option<SharedProfiler>,
+}
+
+impl Instruments {
+    /// True when nothing is being observed.
+    pub fn is_off(&self) -> bool {
+        self.core.is_none() && self.engine.is_none() && self.profiler.is_none()
+    }
+}
+
 /// Runs one seed of a scenario to completion.
 pub fn run_once(scenario: &Scenario, seed: u64) -> Summary {
     run_once_with_phases(scenario, seed).0
@@ -70,16 +96,43 @@ pub fn run_once(scenario: &Scenario, seed: u64) -> Summary {
 /// unless the attack is a phased composite, which records a mark as each
 /// member starts).
 pub fn run_once_with_phases(scenario: &Scenario, seed: u64) -> (Summary, Vec<PhaseSummary>) {
+    run_once_observed(scenario, seed, &Instruments::default())
+}
+
+/// [`run_once_with_phases`] with instruments installed: spans around
+/// world build and the simulation loop, metric handles wired into the
+/// world and engine.
+pub fn run_once_observed(
+    scenario: &Scenario,
+    seed: u64,
+    ins: &Instruments,
+) -> (Summary, Vec<PhaseSummary>) {
     let mut cfg = scenario.cfg.clone();
     cfg.seed = seed;
-    let mut world = World::new(cfg);
-    if let Some(adv) = scenario.attack.build() {
-        world.install_adversary(adv);
+    let mut world = {
+        let _span = Span::enter(&ins.profiler, "world-build");
+        let mut world = World::new(cfg);
+        if let Some(adv) = scenario.attack.build() {
+            world.install_adversary(adv);
+        }
+        world
+    };
+    if let Some(core) = &ins.core {
+        world.set_obs(core.clone());
+    }
+    if let Some(prof) = &ins.profiler {
+        world.set_profiler(prof.clone());
     }
     let mut eng: Engine<World> = engine_for(&scenario.cfg);
-    world.start(&mut eng);
+    if let Some(engine) = &ins.engine {
+        eng.set_obs(engine.clone());
+    }
     let end = SimTime::ZERO + scenario.run_length;
-    eng.run_until(&mut world, end);
+    {
+        let _span = Span::enter(&ins.profiler, "simulate");
+        world.start(&mut eng);
+        eng.run_until(&mut world, end);
+    }
     (
         world.metrics.summarize(end),
         world.metrics.phase_summaries(end),
@@ -97,23 +150,52 @@ pub fn run_once_recorded(
     seed: u64,
     meta: &TraceMeta,
 ) -> (Summary, Vec<PhaseSummary>, Trace) {
+    run_once_recorded_observed(scenario, seed, meta, &Instruments::default())
+}
+
+/// [`run_once_recorded`] with instruments installed; adds a
+/// `trace-seal` span around sealing the recorded stream.
+pub fn run_once_recorded_observed(
+    scenario: &Scenario,
+    seed: u64,
+    meta: &TraceMeta,
+    ins: &Instruments,
+) -> (Summary, Vec<PhaseSummary>, Trace) {
     let recorder = Recorder::new(meta);
     let mut cfg = scenario.cfg.clone();
     cfg.seed = seed;
-    let mut world = World::new(cfg);
-    world.set_trace_sink(Box::new(recorder.clone()));
-    if let Some(adv) = scenario.attack.build() {
-        world.install_adversary(adv);
+    let mut world = {
+        let _span = Span::enter(&ins.profiler, "world-build");
+        let mut world = World::new(cfg);
+        world.set_trace_sink(Box::new(recorder.clone()));
+        if let Some(adv) = scenario.attack.build() {
+            world.install_adversary(adv);
+        }
+        world
+    };
+    if let Some(core) = &ins.core {
+        world.set_obs(core.clone());
+    }
+    if let Some(prof) = &ins.profiler {
+        world.set_profiler(prof.clone());
     }
     let mut eng: Engine<World> = engine_for(&scenario.cfg);
-    world.start(&mut eng);
+    if let Some(engine) = &ins.engine {
+        eng.set_obs(engine.clone());
+    }
     let end = SimTime::ZERO + scenario.run_length;
-    eng.run_until(&mut world, end);
-    (
-        world.metrics.summarize(end),
-        world.metrics.phase_summaries(end),
-        recorder.finish(),
-    )
+    {
+        let _span = Span::enter(&ins.profiler, "simulate");
+        world.start(&mut eng);
+        eng.run_until(&mut world, end);
+    }
+    let summary = world.metrics.summarize(end);
+    let phases = world.metrics.phase_summaries(end);
+    let trace = {
+        let _span = Span::enter(&ins.profiler, "trace-seal");
+        recorder.finish()
+    };
+    (summary, phases, trace)
 }
 
 /// Replays a scenario at `seed` against a recorded trace, verifying
@@ -212,6 +294,19 @@ pub fn run_scenario(scenario: &Scenario, seeds: u64) -> Summary {
 /// order-sensitive) is byte-identical no matter how many threads raced —
 /// `threads = 1` and `threads = 4` agree exactly.
 pub fn run_batch(jobs: &[Scenario], seeds: u64, threads: usize) -> Vec<Summary> {
+    run_batch_observed(jobs, seeds, threads, None, None)
+}
+
+/// [`run_batch`] with instruments: workers share the session's metric
+/// handles, and each worker profiles into its own tree (under a
+/// `worker-chunk` root) that is merged into `profiler` as it exits.
+pub fn run_batch_observed(
+    jobs: &[Scenario],
+    seeds: u64,
+    threads: usize,
+    session: Option<&crate::obs::ObsSession>,
+    profiler: Option<&Mutex<Profiler>>,
+) -> Vec<Summary> {
     // Expand into (job index, seed) work items, claimed by atomic index.
     let work: Vec<(usize, u64)> = (0..jobs.len())
         .flat_map(|j| (0..seeds).map(move |s| (j, s + 1)))
@@ -224,13 +319,31 @@ pub fn run_batch(jobs: &[Scenario], seeds: u64, threads: usize) -> Vec<Summary> 
     let threads = threads.max(1).min(work.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let item = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(j, seed)) = work.get(item) else {
-                    break;
+            scope.spawn(|| {
+                // Profilers are single-threaded (`Rc`); each worker grows
+                // its own tree and merges it on the way out.
+                let wprof = profiler.map(|_| Profiler::shared());
+                let ins = match session {
+                    Some(s) => s.instruments(wprof.clone()),
+                    None => Instruments::default(),
                 };
-                let summary = run_once(&jobs[j], seed);
-                lock(&results[j])[(seed - 1) as usize] = Some(summary);
+                let chunk = Span::enter(&wprof, "worker-chunk");
+                loop {
+                    let item = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(j, seed)) = work.get(item) else {
+                        break;
+                    };
+                    let summary = if ins.is_off() {
+                        run_once(&jobs[j], seed)
+                    } else {
+                        run_once_observed(&jobs[j], seed, &ins).0
+                    };
+                    lock(&results[j])[(seed - 1) as usize] = Some(summary);
+                }
+                drop(chunk);
+                if let (Some(wp), Some(merged)) = (wprof, profiler) {
+                    lock(merged).absorb(&wp.borrow());
+                }
             });
         }
     });

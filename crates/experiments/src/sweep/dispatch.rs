@@ -8,9 +8,16 @@
 //! preempted by the scheduler, the driver re-dispatches it (after an
 //! exponential backoff) and the replacement resumes from whatever the
 //! dead worker durably checkpointed. Preemption without process death is
-//! caught by **checkpoint freshness**: a worker whose checkpoint file
-//! stops advancing for `--stall-secs` is presumed stuck, killed, and
+//! caught by **liveness freshness**: with `--telemetry` on, the driver
+//! reads each shard's heartbeat file and counts it fresh only while the
+//! protocol counters (seeds done, polls opened) advance — polls advance
+//! *during* a seed, so a long seed is never mistaken for a stall, and a
+//! deadlocked worker whose heartbeat thread still appends records is
+//! still caught. Without telemetry it falls back to checkpoint-file
+//! mtime (which only moves per finished seed). Either way, a worker
+//! stale for `--stall-secs` is presumed stuck, killed, and
 //! re-dispatched — the straggler never holds the campaign hostage.
+//! Heartbeats also feed per-shard progress lines with an ETA.
 //!
 //! `--jobfile` writes the per-shard command lines (plus the final merge)
 //! to a file instead of executing anything, for fanning shards out over
@@ -18,13 +25,18 @@
 //! worker can run anywhere, because the shard topology is derived, not
 //! assigned.
 
+use std::io::{BufRead as _, BufReader, Read, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration as StdDuration, Instant, SystemTime};
 
+use lockss_obs::{unix_ms_now, utc_timestamp};
+
 use super::merge::merge_files;
 use super::plan::{write_checkpoint, SweepReport};
 use super::shard::ShardTag;
+use super::status::last_heartbeat;
+use crate::obs::heartbeat_path;
 
 /// Everything a dispatch run needs to know.
 #[derive(Clone, Debug)]
@@ -46,9 +58,10 @@ pub struct DispatchPlan {
     pub retries: u32,
     /// Base backoff before a re-dispatch; doubles per attempt.
     pub backoff_ms: u64,
-    /// Checkpoint-freshness window: a running worker whose checkpoint
-    /// has not advanced for this long is killed and re-dispatched.
-    /// `None` disables straggler detection.
+    /// Liveness-freshness window: a running worker that shows no
+    /// progress (heartbeat counters, or checkpoint mtime as fallback)
+    /// for this long is killed and re-dispatched. `None` disables
+    /// straggler detection.
     pub stall_secs: Option<u64>,
     /// Directory for shard checkpoints and worker logs.
     pub dir: PathBuf,
@@ -56,6 +69,9 @@ pub struct DispatchPlan {
     pub out: PathBuf,
     /// Ignore (delete) existing shard checkpoints before starting.
     pub fresh: bool,
+    /// Heartbeat telemetry directory, passed through to every worker;
+    /// also what the driver's stall detector and progress lines read.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl DispatchPlan {
@@ -78,7 +94,7 @@ impl DispatchPlan {
 
     /// The argv tail of shard `index`'s worker invocation.
     pub fn shard_args(&self, index: u64) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "sweep".into(),
             self.scenario.clone(),
             "--scale".into(),
@@ -91,7 +107,20 @@ impl DispatchPlan {
             self.threads_per_shard.to_string(),
             "--checkpoint".into(),
             self.shard_checkpoint(index).display().to_string(),
-        ]
+        ];
+        if let Some(dir) = &self.telemetry {
+            args.push("--telemetry".into());
+            args.push(dir.display().to_string());
+        }
+        args
+    }
+
+    /// The heartbeat file shard `index`'s worker appends to, when
+    /// telemetry is on.
+    pub fn shard_heartbeat(&self, index: u64) -> Option<PathBuf> {
+        self.telemetry
+            .as_ref()
+            .map(|dir| heartbeat_path(dir, &self.scenario, Some((index, self.shards))))
     }
 
     /// Validates the topology early (shard count vs campaign size).
@@ -136,6 +165,13 @@ enum ShardState {
         attempts: u32,
         last_fresh: Instant,
         last_mtime: Option<SystemTime>,
+        /// Throttles heartbeat-file reads (the loop spins at 25ms).
+        last_hb_check: Instant,
+        /// Last observed `(seeds_done, polls)`; freshness means these
+        /// advanced, not merely that the heartbeat file grew.
+        last_progress: Option<(u64, u64)>,
+        /// First observed `seeds_done` and when, for the ETA rate.
+        progress_base: Option<(u64, Instant)>,
     },
     /// Exited 0; checkpoint validated at merge time.
     Done,
@@ -217,7 +253,7 @@ fn babysit(
                 } => {
                     all_done = false;
                     if Instant::now() >= *not_before {
-                        let child = spawn_shard(bin, plan, index)?;
+                        let child = spawn_shard(bin, plan, index, *attempts + 1)?;
                         log(&format!(
                             "shard {index}/{}: worker pid {} started (attempt {})",
                             plan.shards,
@@ -229,6 +265,9 @@ fn babysit(
                             attempts: *attempts,
                             last_fresh: Instant::now(),
                             last_mtime: None,
+                            last_hb_check: Instant::now(),
+                            last_progress: None,
+                            progress_base: None,
                         };
                     }
                 }
@@ -237,6 +276,9 @@ fn babysit(
                     attempts,
                     last_fresh,
                     last_mtime,
+                    last_hb_check,
+                    last_progress,
+                    progress_base,
                 } => {
                     all_done = false;
                     match child.try_wait() {
@@ -254,20 +296,47 @@ fn babysit(
                             *state = next_attempt(plan, index, *attempts, &died, log)?;
                         }
                         Ok(None) => {
-                            // Preemption detection: the worker is alive
-                            // but its checkpoint stopped advancing.
-                            if let Some(window) = stall {
+                            // Liveness and progress, throttled to ~4 Hz so
+                            // the 25ms loop doesn't hammer the filesystem.
+                            if last_hb_check.elapsed() >= StdDuration::from_millis(250) {
+                                *last_hb_check = Instant::now();
+                                // Preferred signal: heartbeat counters.
+                                // Polls advance *during* a seed, so a slow
+                                // seed still reads as progress; a wedged
+                                // worker's counters freeze even though its
+                                // heartbeat thread keeps appending.
+                                let hb =
+                                    plan.shard_heartbeat(index).and_then(|p| last_heartbeat(&p));
+                                if let Some(hb) = hb {
+                                    let progress = (hb.seeds_done, hb.polls);
+                                    if *last_progress != Some(progress) {
+                                        let prev = last_progress.map(|(d, _)| d);
+                                        *last_progress = Some(progress);
+                                        *last_fresh = Instant::now();
+                                        if progress_base.is_none() {
+                                            *progress_base = Some((hb.seeds_done, Instant::now()));
+                                        }
+                                        if prev.is_some_and(|d| d != hb.seeds_done) {
+                                            log(&progress_line(plan, index, &hb, progress_base));
+                                        }
+                                    }
+                                }
+                                // Fallback signal: checkpoint mtime, which
+                                // only moves once per finished seed.
                                 let mtime = std::fs::metadata(plan.shard_checkpoint(index))
                                     .and_then(|m| m.modified())
                                     .ok();
                                 if mtime != *last_mtime {
                                     *last_mtime = mtime;
                                     *last_fresh = Instant::now();
-                                } else if last_fresh.elapsed() > window {
+                                }
+                            }
+                            if let Some(window) = stall {
+                                if last_fresh.elapsed() > window {
                                     let _ = child.kill();
                                     let _ = child.wait();
                                     let msg = format!(
-                                        "shard {index}/{}: checkpoint idle for {}s, presumed \
+                                        "shard {index}/{}: no progress for {}s, presumed \
                                          preempted; killed the straggler",
                                         plan.shards,
                                         window.as_secs()
@@ -317,25 +386,74 @@ fn next_attempt(
     })
 }
 
-/// Spawns one shard worker, its stdout+stderr appended to the shard log.
-fn spawn_shard(bin: &Path, plan: &DispatchPlan, index: u64) -> Result<Child, String> {
-    let open_log = || {
-        std::fs::OpenOptions::new()
+/// One per-shard progress line, with an ETA once the driver has seen
+/// the completion count move.
+fn progress_line(
+    plan: &DispatchPlan,
+    index: u64,
+    hb: &super::status::HeartbeatRecord,
+    progress_base: &Option<(u64, Instant)>,
+) -> String {
+    let mut line = format!(
+        "shard {index}/{}: {}/{} seeds, {:.1} polls/s",
+        plan.shards, hb.seeds_done, hb.seeds_total, hb.polls_per_sec
+    );
+    if let Some((base_done, base_at)) = progress_base {
+        let advanced = hb.seeds_done.saturating_sub(*base_done);
+        let elapsed = base_at.elapsed().as_secs_f64();
+        let remaining = hb.seeds_total.saturating_sub(hb.seeds_done);
+        if advanced > 0 && elapsed > 0.0 && remaining > 0 {
+            let eta = remaining as f64 * elapsed / advanced as f64;
+            line.push_str(&format!(", ETA ~{}s", eta.round() as u64));
+        }
+    }
+    line
+}
+
+/// Forwards one of a worker's output streams into the shard log, each
+/// line stamped `[<utc> s<index>/<shards> a<attempt>]` so interleaved
+/// attempts (and the two streams) stay attributable.
+fn tee_stream<R: Read + Send + 'static>(stream: R, log_path: PathBuf, tag: String) {
+    std::thread::spawn(move || {
+        let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(plan.shard_log(index))
-    };
-    let (out, err) = match (open_log(), open_log()) {
-        (Ok(a), Ok(b)) => (Stdio::from(a), Stdio::from(b)),
-        _ => (Stdio::null(), Stdio::null()),
-    };
-    Command::new(bin)
+            .open(&log_path)
+        else {
+            // No log file: drain the pipe anyway so the child never
+            // blocks on a full stdout.
+            let mut sink = std::io::sink();
+            let _ = std::io::copy(&mut BufReader::new(stream), &mut sink);
+            return;
+        };
+        for line in BufReader::new(stream).lines() {
+            let Ok(line) = line else { break };
+            let stamped = format!("[{} {tag}] {line}\n", utc_timestamp(unix_ms_now()));
+            // One write per line: O_APPEND keeps concurrent writers from
+            // interleaving mid-line.
+            let _ = f.write_all(stamped.as_bytes());
+        }
+    });
+}
+
+/// Spawns one shard worker, its stdout+stderr piped through the
+/// timestamping tee into the shard log.
+fn spawn_shard(bin: &Path, plan: &DispatchPlan, index: u64, attempt: u32) -> Result<Child, String> {
+    let mut child = Command::new(bin)
         .args(plan.shard_args(index))
         .stdin(Stdio::null())
-        .stdout(out)
-        .stderr(err)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
         .spawn()
-        .map_err(|e| format!("spawning shard {index} ({}): {e}", bin.display()))
+        .map_err(|e| format!("spawning shard {index} ({}): {e}", bin.display()))?;
+    let tag = format!("s{index}/{} a{attempt}", plan.shards);
+    if let Some(out) = child.stdout.take() {
+        tee_stream(out, plan.shard_log(index), tag.clone());
+    }
+    if let Some(err) = child.stderr.take() {
+        tee_stream(err, plan.shard_log(index), tag);
+    }
+    Ok(child)
 }
 
 #[cfg(test)]
@@ -357,6 +475,7 @@ mod tests {
             dir: PathBuf::from("results"),
             out: PathBuf::from("results/sweep-baseline.json"),
             fresh: false,
+            telemetry: None,
         }
     }
 
@@ -369,6 +488,41 @@ mod tests {
             "sweep baseline --scale quick --seeds 1..10 --shard 2/3 --threads 2 \
              --checkpoint results/sweep-baseline-shard-2of3.json"
         );
+    }
+
+    #[test]
+    fn telemetry_flows_into_worker_args_and_heartbeat_paths() {
+        let mut p = plan();
+        assert!(p.shard_heartbeat(1).is_none());
+        p.telemetry = Some(PathBuf::from("tele"));
+        let args = p.shard_args(2).join(" ");
+        assert!(args.ends_with("--telemetry tele"), "{args}");
+        assert_eq!(
+            p.shard_heartbeat(2).unwrap(),
+            PathBuf::from("tele/heartbeat-baseline-s2of3.jsonl")
+        );
+    }
+
+    #[test]
+    fn progress_lines_carry_rate_and_eta() {
+        use super::super::status::HeartbeatRecord;
+        let p = plan();
+        let hb = HeartbeatRecord {
+            unix_ms: 0,
+            seeds_done: 3,
+            seeds_total: 4,
+            polls: 300,
+            polls_per_sec: 12.34,
+            vm_rss_kb: 1024,
+        };
+        // No baseline yet: rate only.
+        let line = progress_line(&p, 2, &hb, &None);
+        assert_eq!(line, "shard 2/3: 3/4 seeds, 12.3 polls/s");
+        // With a baseline observed one second ago having seen 1 seed
+        // done, 2 seeds advanced in ~1s leaves ~1s for the last one.
+        let base = Some((1, Instant::now() - StdDuration::from_secs(1)));
+        let line = progress_line(&p, 2, &hb, &base);
+        assert!(line.contains(", ETA ~"), "{line}");
     }
 
     #[test]

@@ -20,16 +20,18 @@
 //!   world costs one world at a time per worker, not a buffered history.
 
 use std::io::Write as _;
-use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use lockss_metrics::Summary;
+use lockss_obs::{current_rss_kb, unix_ms_now, Heartbeat, Profiler, Span};
 use lockss_sim::json;
 use lockss_sim::Duration;
 
 use super::shard::{CrashHook, ShardTag};
-use crate::runner::run_once;
+use crate::obs::{heartbeat_path, SweepObs};
+use crate::runner::{run_once, run_once_observed, Instruments};
 use crate::scenario::Scenario;
 
 /// The checkpoint/report format tag. Any file carrying a different tag
@@ -343,8 +345,27 @@ pub fn run_sweep(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
 ) -> SweepReport {
+    run_sweep_observed(
+        scenario, name, scale, seeds, threads, checkpoint, resume, None,
+    )
+}
+
+/// [`run_sweep`] with observability hooks: workers bump the session's
+/// counters and profile into per-worker trees, and a monitor thread
+/// appends heartbeats while they run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_observed(
+    scenario: &Scenario,
+    name: &str,
+    scale: &str,
+    seeds: &[u64],
+    threads: usize,
+    checkpoint: Option<&Path>,
+    resume: Option<SweepReport>,
+    obs: Option<&SweepObs<'_>>,
+) -> SweepReport {
     let plan = SweepReport::new(name, scale, seeds.to_vec());
-    run_sweep_plan(scenario, plan, threads, checkpoint, resume)
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs)
 }
 
 /// Runs one shard of a campaign: the seed slice is computed from the
@@ -359,8 +380,79 @@ pub fn run_sweep_shard(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
 ) -> SweepReport {
+    run_sweep_shard_observed(
+        scenario, name, scale, shard, threads, checkpoint, resume, None,
+    )
+}
+
+/// [`run_sweep_shard`] with observability hooks (see
+/// [`run_sweep_observed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_shard_observed(
+    scenario: &Scenario,
+    name: &str,
+    scale: &str,
+    shard: ShardTag,
+    threads: usize,
+    checkpoint: Option<&Path>,
+    resume: Option<SweepReport>,
+    obs: Option<&SweepObs<'_>>,
+) -> SweepReport {
     let plan = SweepReport::new_shard(name, scale, shard);
-    run_sweep_plan(scenario, plan, threads, checkpoint, resume)
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs)
+}
+
+/// Everything a heartbeat needs that doesn't change while the sweep
+/// runs: destination path and the identity/topology fields.
+struct HeartbeatCtx {
+    path: PathBuf,
+    scenario: String,
+    scale: String,
+    shard: u32,
+    shards: u32,
+    seeds_total: u64,
+}
+
+impl HeartbeatCtx {
+    /// Snapshots the live counters into one heartbeat record and appends
+    /// it. Best-effort: telemetry failures never fail the sweep.
+    fn emit(
+        &self,
+        obs: &SweepObs<'_>,
+        shared: &Mutex<SweepReport>,
+        last_seed: &AtomicU64,
+        polls_at_start: u64,
+        started: std::time::Instant,
+    ) {
+        let seeds_done = shared
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .completed
+            .len() as u64;
+        let polls = obs.session.core.polls_started.get();
+        let elapsed = started.elapsed().as_secs_f64();
+        let hb = Heartbeat {
+            unix_ms: unix_ms_now(),
+            scenario: self.scenario.clone(),
+            scale: self.scale.clone(),
+            shard: self.shard,
+            shards: self.shards,
+            seeds_done,
+            seeds_total: self.seeds_total,
+            last_seed: last_seed.load(Ordering::Relaxed),
+            polls,
+            events: obs.session.engine.events_executed.get(),
+            polls_per_sec: if elapsed > 0.0 {
+                (polls - polls_at_start) as f64 / elapsed
+            } else {
+                0.0
+            },
+            vm_rss_kb: current_rss_kb(),
+            arena_live: obs.session.engine.arena_live.get(),
+            arena_total: obs.session.engine.arena_total.get(),
+        };
+        let _ = hb.append_to(&self.path);
+    }
 }
 
 fn run_sweep_plan(
@@ -369,6 +461,7 @@ fn run_sweep_plan(
     threads: usize,
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
+    obs: Option<&SweepObs<'_>>,
 ) -> SweepReport {
     if let Some(mut prior) = resume {
         let seeds = plan.seeds.clone();
@@ -383,42 +476,117 @@ fn run_sweep_plan(
         .collect();
     let crash_hook = CrashHook::from_env(plan.shard.as_ref().map(|t| t.index));
 
+    // Heartbeat context is frozen before the plan moves into the lock.
+    let hb_ctx = obs.and_then(|o| o.telemetry.as_ref()).map(|tele| {
+        let _ = std::fs::create_dir_all(&tele.dir);
+        let shard = plan.shard.as_ref().map(|t| (t.index, t.count));
+        HeartbeatCtx {
+            path: heartbeat_path(&tele.dir, &plan.scenario, shard),
+            scenario: plan.scenario.clone(),
+            scale: plan.scale.clone(),
+            shard: shard.map_or(1, |(i, _)| i as u32),
+            shards: shard.map_or(1, |(_, n)| n as u32),
+            seeds_total: plan.seeds.len() as u64,
+        }
+    });
+    let hb_interval = obs
+        .and_then(|o| o.telemetry.as_ref())
+        .map(|t| t.interval)
+        .unwrap_or_default();
+
     let shared = Mutex::new(plan);
     let done_here = AtomicUsize::new(0);
+    let last_seed = AtomicU64::new(0);
     let cursor = AtomicUsize::new(0);
+    let stop_monitor = AtomicBool::new(false);
     let threads = threads.max(1).min(todo.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&seed) = todo.get(i) else {
-                    break;
-                };
-                let summary = run_once(scenario, seed);
-                let mut plan = shared
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                plan.record(seed, summary);
-                let done = done_here.fetch_add(1, Ordering::Relaxed) + 1;
-                if let Some(hook) = &crash_hook {
-                    // Test-only fault injection: dies here, holding the
-                    // lock, leaving a torn temp file — the worst-case
-                    // `kill -9` mid-checkpoint-write.
-                    hook.maybe_crash(done, checkpoint, &plan.to_json());
-                }
-                if let Some(path) = checkpoint {
-                    // Best-effort mid-run persistence; a failing disk must
-                    // not kill the sweep, but it must not be silent either
-                    // (the caller re-verifies the final file).
-                    if let Err(e) = write_checkpoint(path, &plan.to_json()) {
-                        eprintln!(
-                            "warning: checkpoint write to {} failed: {e}",
-                            path.display()
-                        );
+    std::thread::scope(|outer| {
+        // The heartbeat monitor runs beside the workers, not among them:
+        // protocol counters advance *during* a seed, so its records show
+        // progress even while every worker is deep inside a long run.
+        if let (Some(ctx), Some(o)) = (&hb_ctx, obs) {
+            let (shared, stop, last_seed) = (&shared, &stop_monitor, &last_seed);
+            let polls_at_start = o.session.core.polls_started.get();
+            let started = std::time::Instant::now();
+            outer.spawn(move || {
+                ctx.emit(o, shared, last_seed, polls_at_start, started);
+                while !stop.load(Ordering::Relaxed) {
+                    let mut slept = std::time::Duration::ZERO;
+                    while slept < hb_interval && !stop.load(Ordering::Relaxed) {
+                        let step = std::time::Duration::from_millis(25);
+                        std::thread::sleep(step);
+                        slept += step;
                     }
+                    ctx.emit(o, shared, last_seed, polls_at_start, started);
                 }
+                // One closing record so the file always ends with the
+                // sweep's final state.
+                ctx.emit(o, shared, last_seed, polls_at_start, started);
             });
         }
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Profilers are single-threaded (`Rc`): each worker
+                    // grows its own tree under a `worker-chunk` root and
+                    // merges it into the shared one on the way out.
+                    let wprof = obs.and_then(|o| o.profiler.map(|_| Profiler::shared()));
+                    let ins = match obs {
+                        Some(o) => o.session.instruments(wprof.clone()),
+                        None => Instruments::default(),
+                    };
+                    if let Some(o) = obs {
+                        o.session.sweep_chunks.inc();
+                    }
+                    let chunk = Span::enter(&wprof, "worker-chunk");
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&seed) = todo.get(i) else {
+                            break;
+                        };
+                        let summary = if ins.is_off() {
+                            run_once(scenario, seed)
+                        } else {
+                            run_once_observed(scenario, seed, &ins).0
+                        };
+                        let mut plan = shared
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        plan.record(seed, summary);
+                        last_seed.store(seed, Ordering::Relaxed);
+                        if let Some(o) = obs {
+                            o.session.sweep_seeds.inc();
+                        }
+                        let done = done_here.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(hook) = &crash_hook {
+                            // Test-only fault injection: dies here, holding the
+                            // lock, leaving a torn temp file — the worst-case
+                            // `kill -9` mid-checkpoint-write.
+                            hook.maybe_crash(done, checkpoint, &plan.to_json());
+                        }
+                        if let Some(path) = checkpoint {
+                            // Best-effort mid-run persistence; a failing disk must
+                            // not kill the sweep, but it must not be silent either
+                            // (the caller re-verifies the final file).
+                            if let Err(e) = write_checkpoint(path, &plan.to_json()) {
+                                eprintln!(
+                                    "warning: checkpoint write to {} failed: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                    drop(chunk);
+                    if let (Some(wp), Some(merged)) = (wprof, obs.and_then(|o| o.profiler)) {
+                        merged
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .absorb(&wp.borrow());
+                    }
+                });
+            }
+        });
+        stop_monitor.store(true, Ordering::Relaxed);
     });
 
     let report = shared

@@ -1,0 +1,174 @@
+//! Sweep worker heartbeats: periodic JSONL liveness records.
+//!
+//! Heartbeat files are append-only telemetry (`heartbeat-<shard>.jsonl`
+//! under the `--telemetry` directory). They carry enough state for a
+//! supervisor — `sweep dispatch` or `sweep status` — to compute
+//! progress, rate, and ETA without touching checkpoints. Appends are
+//! best-effort: a lost heartbeat costs liveness information, never
+//! results, so there is no fsync here.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// One heartbeat record; serialized as a single JSON line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heartbeat {
+    /// Wall-clock milliseconds since the unix epoch at emission.
+    pub unix_ms: u64,
+    /// Scenario name the shard is sweeping.
+    pub scenario: String,
+    /// Scale label the sweep runs at (e.g. `quick`).
+    pub scale: String,
+    /// One-based shard index, matching the checkpoint file name (1 for
+    /// an unsharded sweep).
+    pub shard: u32,
+    /// Total shard count (1 for an unsharded sweep).
+    pub shards: u32,
+    /// Seeds completed so far by this shard.
+    pub seeds_done: u64,
+    /// Seeds this shard is responsible for in total.
+    pub seeds_total: u64,
+    /// The most recently completed seed (0 before the first finishes).
+    pub last_seed: u64,
+    /// Polls opened so far — advances *during* a seed, not just between
+    /// seeds, which is what lets a supervisor tell slow from stalled.
+    pub polls: u64,
+    /// Engine events executed across finished run loops.
+    pub events: u64,
+    /// Poll throughput since the shard started, polls per wall second.
+    pub polls_per_sec: f64,
+    /// Current resident set size (VmRSS) in KiB, 0 when unavailable.
+    pub vm_rss_kb: u64,
+    /// Live closures in the event arena after the last seed.
+    pub arena_live: u64,
+    /// Total slots in the event arena after the last seed.
+    pub arena_total: u64,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Heartbeat {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"unix_ms\": {}, \"scenario\": ", self.unix_ms);
+        push_escaped(&mut out, &self.scenario);
+        out.push_str(", \"scale\": ");
+        push_escaped(&mut out, &self.scale);
+        let _ = write!(
+            out,
+            ", \"shard\": {}, \"shards\": {}, \"seeds_done\": {}, \
+             \"seeds_total\": {}, \"last_seed\": {}, \"polls\": {}, \"events\": {}, \
+             \"polls_per_sec\": {}, \"vm_rss_kb\": {}, \"arena_live\": {}, \
+             \"arena_total\": {}}}",
+            self.shard,
+            self.shards,
+            self.seeds_done,
+            self.seeds_total,
+            self.last_seed,
+            self.polls,
+            self.events,
+            self.polls_per_sec,
+            self.vm_rss_kb,
+            self.arena_live,
+            self.arena_total,
+        );
+        out
+    }
+
+    /// Appends the record (plus newline) to `path`, creating the file
+    /// if needed.
+    pub fn append_to(&self, path: &Path) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut line = self.to_json_line();
+        line.push('\n');
+        f.write_all(line.as_bytes())
+    }
+}
+
+/// Current resident set size in KiB, read from `/proc/self/status`
+/// (`VmRSS`). Returns 0 on platforms without procfs.
+pub fn current_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let hb = Heartbeat {
+            unix_ms: 1000,
+            scenario: "att\"ack".into(),
+            scale: "quick".into(),
+            shard: 2,
+            shards: 4,
+            seeds_done: 3,
+            seeds_total: 10,
+            last_seed: 7,
+            polls: 42,
+            events: 99,
+            polls_per_sec: 6.25,
+            vm_rss_kb: 2048,
+            arena_live: 5,
+            arena_total: 64,
+        };
+        let line = hb.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"scenario\": \"att\\\"ack\""));
+        assert!(line.contains("\"seeds_done\": 3"));
+        assert!(line.contains("\"polls_per_sec\": 6.25"));
+        assert!(line.contains("\"scale\": \"quick\""));
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let dir = std::env::temp_dir().join(format!("obs-hb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heartbeat-0.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut hb = Heartbeat::default();
+        for i in 0..3 {
+            hb.seeds_done = i;
+            hb.append_to(&path).unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rss_reads_on_linux() {
+        // On Linux this must be non-zero; elsewhere 0 is acceptable.
+        if cfg!(target_os = "linux") {
+            assert!(current_rss_kb() > 0);
+        }
+    }
+}

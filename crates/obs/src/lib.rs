@@ -1,0 +1,21 @@
+//! Observability layer for the LOCKSS reproduction: a deterministic
+//! metrics registry, a profiling span tree, and sweep heartbeat records.
+//!
+//! Everything in this crate is strictly *out-of-band*: nothing here may
+//! influence simulation results. Instrumented code holds pre-registered
+//! handles behind an `Option`, so a run without observability pays one
+//! null-check per site — the same discipline as `TraceSink` in
+//! `lockss-core`. The crate is dependency-free (std only) so that even
+//! the leaf `lockss-sim` crate can depend on it.
+
+#![deny(missing_docs)]
+
+mod clock;
+mod heartbeat;
+mod profile;
+mod registry;
+
+pub use clock::{unix_ms_now, utc_timestamp};
+pub use heartbeat::{current_rss_kb, Heartbeat};
+pub use profile::{Profiler, SharedProfiler, Span};
+pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry, RegistryBuilder};

@@ -22,7 +22,49 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::mem::{self, MaybeUninit};
 
+use lockss_obs::{Counter, Gauge, RegistryBuilder};
+
 use crate::time::{Duration, SimTime};
+
+/// Pre-registered metric handles for one engine (see `lockss-obs`).
+///
+/// The engine publishes into these when a run loop *exits* — never per
+/// event — so an instrumented engine pays one null-check per `run_until`
+/// call, and an un-instrumented one pays nothing in the hot loop.
+/// Metrics are strictly out-of-band: they never influence event order.
+#[derive(Clone)]
+pub struct EngineObs {
+    /// Events executed, accumulated across run loops (and, when the
+    /// registry is shared, across every engine in a sweep).
+    pub events_executed: Counter,
+    /// Events still queued when the last run loop exited.
+    pub events_queued: Gauge,
+    /// Live arena slots when the last run loop exited.
+    pub arena_live: Gauge,
+    /// High-water mark of arena slots across all observed engines.
+    pub arena_total: Gauge,
+}
+
+impl EngineObs {
+    /// Registers the engine's metrics on `b` and returns the handles.
+    pub fn register(b: &mut RegistryBuilder) -> EngineObs {
+        EngineObs {
+            events_executed: b.counter(
+                "engine_events_executed_total",
+                "Events executed by the discrete-event engine",
+            ),
+            events_queued: b.gauge(
+                "engine_events_queued",
+                "Events queued when the last run loop exited",
+            ),
+            arena_live: b.gauge(
+                "engine_arena_live",
+                "Live event-arena slots when the last run loop exited",
+            ),
+            arena_total: b.gauge("engine_arena_total", "High-water mark of event-arena slots"),
+        }
+    }
+}
 
 /// A boxed event body: runs against the world and may schedule more events.
 ///
@@ -242,6 +284,9 @@ pub struct Engine<W> {
     /// Set by [`Engine::request_stop`] from inside an event; cleared when a
     /// run loop is entered.
     stop_requested: bool,
+    /// Metric handles published when a run loop exits; `None` costs one
+    /// null-check per run loop, nothing per event.
+    obs: Option<Box<EngineObs>>,
 }
 
 impl<W> Default for Engine<W> {
@@ -273,6 +318,24 @@ impl<W> Engine<W> {
             arena: EventArena::with_capacity(events),
             horizon: None,
             stop_requested: false,
+            obs: None,
+        }
+    }
+
+    /// Installs metric handles; the engine publishes into them whenever
+    /// a run loop exits.
+    pub fn set_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(Box::new(obs));
+    }
+
+    /// Publishes end-of-loop engine state into the installed handles.
+    fn publish_obs(&self, ran: u64) {
+        if let Some(o) = &self.obs {
+            o.events_executed.add(ran);
+            o.events_queued.set(self.queue.len() as u64);
+            let (live, total) = self.arena_occupancy();
+            o.arena_live.set(live as u64);
+            o.arena_total.raise(total as u64);
         }
     }
 
@@ -364,11 +427,15 @@ impl<W> Engine<W> {
             let cell = self.arena.take(key.slot);
             cell.invoke(world, self);
             if self.stop_requested {
-                return self.executed - before;
+                let ran = self.executed - before;
+                self.publish_obs(ran);
+                return ran;
             }
         }
         self.now = self.now.max(until);
-        self.executed - before
+        let ran = self.executed - before;
+        self.publish_obs(ran);
+        ran
     }
 
     /// Runs all queued events to exhaustion (use with care: self-rescheduling
@@ -386,7 +453,9 @@ impl<W> Engine<W> {
                 break;
             }
         }
-        self.executed - before
+        let ran = self.executed - before;
+        self.publish_obs(ran);
+        ran
     }
 }
 
@@ -568,6 +637,30 @@ mod tests {
             1,
             "dropping the engine must drop queued closures"
         );
+    }
+
+    /// Installed metric handles are published when a run loop exits and
+    /// never perturb event order.
+    #[test]
+    fn obs_publishes_at_loop_exit() {
+        let mut b = RegistryBuilder::new();
+        let obs = EngineObs::register(&mut b);
+        let handles = obs.clone();
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.set_obs(obs);
+        for i in 0..5 {
+            eng.schedule_at(SimTime(i), move |w: &mut Vec<u32>, _| w.push(i as u32));
+        }
+        let mut w = Vec::new();
+        eng.run_until(&mut w, SimTime(3));
+        assert_eq!(w, vec![0, 1, 2]);
+        assert_eq!(handles.events_executed.get(), 3);
+        assert_eq!(handles.events_queued.get(), 2);
+        assert_eq!(handles.arena_total.get(), 5);
+        eng.run_until(&mut w, SimTime(100));
+        assert_eq!(handles.events_executed.get(), 5);
+        assert_eq!(handles.events_queued.get(), 0);
+        assert_eq!(handles.arena_live.get(), 0);
     }
 
     /// Closures larger than the inline payload run correctly through the

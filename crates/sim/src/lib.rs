@@ -18,7 +18,7 @@ pub mod rng;
 pub mod time;
 pub mod weighted;
 
-pub use engine::{Engine, EventFn};
+pub use engine::{Engine, EngineObs, EventFn};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHasher};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};

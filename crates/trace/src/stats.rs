@@ -174,6 +174,93 @@ impl TraceStats {
     pub fn admission_count(&self, verdict: AdmissionVerdict) -> u64 {
         self.admissions[verdict.code() as usize]
     }
+
+    /// Renders the stats as a machine-readable JSON document (strings
+    /// escaped by the workspace's own [`lockss_sim::json`] grammar, the
+    /// same one that parses it back). Field order is fixed, so the same
+    /// trace always renders the same bytes.
+    pub fn to_json(&self) -> String {
+        use lockss_sim::json::escape;
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"format\": \"lockss-trace-stats-v1\",\n");
+        let _ = writeln!(
+            out,
+            "  \"meta\": {{\"scenario\": \"{}\", \"scale\": \"{}\", \"seed\": {}, \
+             \"run_length_ms\": {}}},",
+            escape(&self.meta.scenario),
+            escape(&self.meta.scale),
+            self.meta.seed,
+            self.meta.run_length_ms
+        );
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(
+            out,
+            "  \"last_event_day\": {},",
+            self.last_event_at.as_days_f64()
+        );
+        out.push_str("  \"kinds\": {");
+        for (i, (kind, count)) in self.kind_counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {count}", kind.label());
+        }
+        out.push_str("},\n");
+        let s = &self.summary;
+        let _ = writeln!(
+            out,
+            "  \"polls\": {{\"started\": {}, \"concluded\": {}, \"wins\": {}, \"losses\": {}, \
+             \"inconclusive\": {}, \"inquorate\": {}, \"mean_duration_days\": {}, \
+             \"mean_votes\": {}, \"mean_invites\": {}, \"repairs\": {}}},",
+            s.polls_started,
+            s.polls_concluded,
+            s.wins,
+            s.losses,
+            s.inconclusive,
+            s.inquorate,
+            s.mean_poll_duration
+                .map_or("null".to_string(), |d| d.as_days_f64().to_string()),
+            s.mean_votes,
+            s.mean_invites,
+            s.repairs
+        );
+        out.push_str("  \"admissions\": {");
+        for code in 0..5u8 {
+            if code > 0 {
+                out.push_str(", ");
+            }
+            let verdict = AdmissionVerdict::from_code(code).expect("code in range");
+            let _ = write!(
+                out,
+                "\"{}\": {}",
+                verdict.label(),
+                self.admissions[code as usize]
+            );
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"suppressed_sends\": {},", self.suppressed_sends);
+        out.push_str("  \"phases\": [");
+        for (i, seg) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"label\": \"{}\", \"start_day\": {}, \"events\": {}, \
+                 \"polls_concluded\": {}}}",
+                escape(&seg.label),
+                seg.start.as_days_f64(),
+                seg.events,
+                seg.polls_concluded
+            );
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
 }
 
 impl std::fmt::Display for TraceStats {
@@ -382,6 +469,48 @@ mod tests {
         assert_eq!(stats.phases[1].start, t(40));
         assert_eq!(stats.phases[1].events, 4);
         assert_eq!(stats.phases[1].polls_concluded, 1);
+    }
+
+    #[test]
+    fn json_stats_parse_back_with_the_same_numbers() {
+        let stats = trace_stats(&build_trace()).unwrap();
+        let text = stats.to_json();
+        let v = lockss_sim::json::parse(&text).unwrap();
+        let f = v.as_object("stats").unwrap();
+        let get = |k: &str| lockss_sim::json::get(f, k).unwrap();
+        assert_eq!(
+            get("format").as_str("format").unwrap(),
+            "lockss-trace-stats-v1"
+        );
+        assert_eq!(get("events").as_u64("events").unwrap(), 11);
+        let kinds = get("kinds").as_object("kinds").unwrap();
+        assert_eq!(
+            lockss_sim::json::get(kinds, "poll-start")
+                .unwrap()
+                .as_u64("c")
+                .unwrap(),
+            2
+        );
+        let polls = get("polls").as_object("polls").unwrap();
+        assert_eq!(
+            lockss_sim::json::get(polls, "wins")
+                .unwrap()
+                .as_u64("w")
+                .unwrap(),
+            1
+        );
+        let phases = get("phases").as_array("phases").unwrap();
+        assert_eq!(phases.len(), 2);
+        let p1 = phases[1].as_object("phase").unwrap();
+        assert_eq!(
+            lockss_sim::json::get(p1, "label")
+                .unwrap()
+                .as_str("l")
+                .unwrap(),
+            "admission-flood"
+        );
+        // Deterministic: same trace, same bytes.
+        assert_eq!(text, trace_stats(&build_trace()).unwrap().to_json());
     }
 
     #[test]

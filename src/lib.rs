@@ -12,6 +12,8 @@
 //! - [`adversary`]: pipe stoppage, admission flood, brute force, churn
 //!   storm, sybil ramp, and composite campaigns;
 //! - [`metrics`]: the §6.1 evaluation metrics and trace-derived timelines;
+//! - [`obs`]: out-of-band observability — metrics registry, profiling
+//!   spans, sweep heartbeats;
 //! - [`trace`]: structured event-trace record, replay verification, diff,
 //!   and stats over deterministic runs;
 //! - [`experiments`]: the scenario registry and runner regenerating every
@@ -44,6 +46,7 @@ pub use lockss_effort as effort;
 pub use lockss_experiments as experiments;
 pub use lockss_metrics as metrics;
 pub use lockss_net as net;
+pub use lockss_obs as obs;
 pub use lockss_sim as sim;
 pub use lockss_storage as storage;
 pub use lockss_trace as trace;
