@@ -26,7 +26,11 @@
 //! - [`ChurnStorm`]: mass departure/re-arrival synchronized with the poll
 //!   cadence (the §9 "more dynamic environment", sharpened into an attack);
 //! - [`SybilRamp`]: an admission flood that escalates its victim set over
-//!   time, minting a fresh sybil identity per invitation.
+//!   time, minting a fresh sybil identity per invitation;
+//! - [`MobileTakeover`]: a migrating Byzantine compromise with a fixed
+//!   concurrency budget — compromised peers vote from pre-corruption
+//!   shadows and poison the repairs they serve; cure restores loyalty but
+//!   not data, so the §4.3 repair machinery must heal the damage.
 //!
 //! And composition: [`Compose`] runs any number of the above against one
 //! world, concurrently or phased by per-child start offsets, so campaigns
@@ -37,6 +41,7 @@ pub mod admission_flood;
 pub mod brute_force;
 pub mod churn_storm;
 pub mod compose;
+pub mod mobile_takeover;
 pub mod pipe_stoppage;
 pub mod sybil_ramp;
 pub mod vote_flood;
@@ -45,6 +50,7 @@ pub use admission_flood::AdmissionFlood;
 pub use brute_force::{BruteForce, Defection};
 pub use churn_storm::ChurnStorm;
 pub use compose::Compose;
+pub use mobile_takeover::MobileTakeover;
 pub use pipe_stoppage::PipeStoppage;
 pub use sybil_ramp::SybilRamp;
 pub use vote_flood::VoteFlood;

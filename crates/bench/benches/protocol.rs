@@ -3,6 +3,7 @@
 
 use std::hint::black_box;
 
+use lockss_adversary::MobileTakeover;
 use lockss_bench::Harness;
 use lockss_core::realproto::{run_real_exchange, RealParams, RealPoller, RealVoter};
 use lockss_core::types::Identity;
@@ -107,6 +108,22 @@ fn bench_world(h: &mut Harness) {
         eng.run_until(&mut world, SimTime::ZERO + Duration::from_days(30));
         black_box(eng.executed())
     });
+    // The compromise/cure/poisoned-repair machinery under a weekly
+    // migration: holds the mobile-adversary overhead on the same world
+    // shape as the plain simulate bench above.
+    h.bench(
+        "world/simulate 30 days mobile-takeover, 50 peers x 5 AUs",
+        || {
+            let mut world = World::new(sim_config(50, 5));
+            world.install_adversary(Box::new(
+                MobileTakeover::new(8).with_period(Duration::from_days(7)),
+            ));
+            let mut eng: Engine<World> = Engine::new();
+            world.start(&mut eng);
+            eng.run_until(&mut world, SimTime::ZERO + Duration::from_days(30));
+            black_box(eng.executed())
+        },
+    );
 }
 
 fn main() {

@@ -48,6 +48,13 @@ pub struct CoreObs {
     pub peer_joins: Counter,
     /// Provenance-tagged adversary decision points.
     pub adversary_actions: Counter,
+    /// Loyal peers taken over by the mobile adversary.
+    pub compromises: Counter,
+    /// Compromised peers restored to loyal behavior (replica still damaged).
+    pub cures: Counter,
+    /// Repair blocks applied from compromised servers (no heal: the block
+    /// stays or becomes damaged).
+    pub poisoned_repairs: Counter,
 }
 
 impl CoreObs {
@@ -108,6 +115,18 @@ impl CoreObs {
             adversary_actions: b.counter(
                 "adversary_actions_total",
                 "Provenance-tagged adversary decision points",
+            ),
+            compromises: b.counter(
+                "peer_compromises_total",
+                "Loyal peers taken over by the mobile adversary",
+            ),
+            cures: b.counter(
+                "peer_cures_total",
+                "Compromised peers restored to loyal behavior",
+            ),
+            poisoned_repairs: b.counter(
+                "poisoned_repairs_total",
+                "Repair blocks applied from compromised servers",
             ),
         }
     }

@@ -29,6 +29,10 @@ use crate::voter::{VoterKey, VoterSession};
 #[derive(Clone, Debug)]
 pub struct AuState {
     pub replica: Replica,
+    /// While the peer is compromised, the lying view it votes from: a
+    /// snapshot of the replica taken at compromise time, *before* the
+    /// adversary corrupted it. `None` whenever the peer is loyal.
+    pub shadow: Option<Replica>,
     pub known: KnownPeers,
     pub admission: AdmissionControl,
     pub reflist: RefList,
@@ -41,6 +45,7 @@ impl AuState {
     pub fn new(reflist: RefList) -> AuState {
         AuState {
             replica: Replica::pristine(),
+            shadow: None,
             known: KnownPeers::new(),
             admission: AdmissionControl::new(),
             reflist,
@@ -84,6 +89,11 @@ pub struct PeerTable {
     voting: Vec<BTreeMap<VoterKey, VoterSession>>,
     /// Each peer's private randomness stream.
     rng: Vec<SimRng>,
+    /// True while the mobile adversary occupies this peer: it votes from
+    /// the corrupted shadow replicas and serves poisoned repairs. Flipped
+    /// only by [`crate::world::World::compromise_peer`] /
+    /// [`crate::world::World::cure_peer`].
+    compromised: Vec<bool>,
     /// Flattened per-AU state, peer-major.
     au: Vec<AuState>,
 }
@@ -105,6 +115,7 @@ impl PeerTable {
             ledger: Vec::with_capacity(peers),
             voting: Vec::with_capacity(peers),
             rng: Vec::with_capacity(peers),
+            compromised: Vec::with_capacity(peers),
             au: Vec::with_capacity(peers * n_aus),
         }
     }
@@ -129,6 +140,7 @@ impl PeerTable {
         self.ledger.push(EffortLedger::new());
         self.voting.push(BTreeMap::new());
         self.rng.push(rng);
+        self.compromised.push(false);
         self.au.extend(per_au);
         index
     }
@@ -249,6 +261,23 @@ impl PeerTable {
         &mut self.rng[p]
     }
 
+    /// True while the mobile adversary occupies this peer.
+    #[inline]
+    pub fn is_compromised(&self, p: usize) -> bool {
+        self.compromised[p]
+    }
+
+    /// Flips the compromise flag; the world's transition methods own the
+    /// shadow-replica and metrics bookkeeping around this.
+    pub(crate) fn set_compromised(&mut self, p: usize, value: bool) {
+        self.compromised[p] = value;
+    }
+
+    /// Peers currently compromised.
+    pub fn compromised_count(&self) -> usize {
+        self.compromised.iter().filter(|c| **c).count()
+    }
+
     /// Number of this peer's replicas currently damaged.
     pub fn damaged_replicas(&self, p: usize) -> usize {
         self.aus(p)
@@ -352,6 +381,20 @@ mod tests {
         assert_eq!(occ.reflist_entries, 1);
         assert_eq!(occ.aus_per_peer, 2);
         assert_eq!(occ.known_entries, 0);
+    }
+
+    #[test]
+    fn compromise_flag_starts_false_and_flips() {
+        let mut t = table_with_two_aus();
+        assert_eq!(t.compromised_count(), 0);
+        assert!(!t.is_compromised(1));
+        t.set_compromised(1, true);
+        assert!(t.is_compromised(1));
+        assert_eq!(t.compromised_count(), 1);
+        t.set_compromised(1, false);
+        assert_eq!(t.compromised_count(), 0);
+        // Shadow replicas start absent on every cell.
+        assert!(t.aus(0).iter().all(|a| a.shadow.is_none()));
     }
 
     #[test]

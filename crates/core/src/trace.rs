@@ -47,11 +47,18 @@ pub enum TraceEventKind {
     PeerJoin = 9,
     /// A named phase boundary was recorded in the run metrics.
     PhaseMark = 10,
+    /// The mobile adversary took over a loyal peer.
+    Compromise = 11,
+    /// A compromised peer was cured: loyal again, replica still damaged.
+    Cure = 12,
+    /// A repair block served by a compromised peer was applied: the target
+    /// block stays (or becomes) damaged instead of healing.
+    PoisonedRepair = 13,
 }
 
 impl TraceEventKind {
     /// All kinds, in code order.
-    pub const ALL: [TraceEventKind; 10] = [
+    pub const ALL: [TraceEventKind; 13] = [
         TraceEventKind::PollStart,
         TraceEventKind::PollOutcome,
         TraceEventKind::MessageSend,
@@ -62,6 +69,9 @@ impl TraceEventKind {
         TraceEventKind::AdversaryAction,
         TraceEventKind::PeerJoin,
         TraceEventKind::PhaseMark,
+        TraceEventKind::Compromise,
+        TraceEventKind::Cure,
+        TraceEventKind::PoisonedRepair,
     ];
 
     /// The wire code.
@@ -87,6 +97,9 @@ impl TraceEventKind {
             TraceEventKind::AdversaryAction => "adversary-action",
             TraceEventKind::PeerJoin => "peer-join",
             TraceEventKind::PhaseMark => "phase-mark",
+            TraceEventKind::Compromise => "compromise",
+            TraceEventKind::Cure => "cure",
+            TraceEventKind::PoisonedRepair => "poisoned-repair",
         }
     }
 }
@@ -369,6 +382,36 @@ pub enum TraceEvent {
         /// The phase label.
         label: String,
     },
+    /// The mobile adversary took over a loyal peer: shadow replicas were
+    /// snapshotted and the real replicas corrupted.
+    Compromise {
+        /// The victim's peer index.
+        peer: u32,
+        /// Blocks newly corrupted across the victim's replicas.
+        corrupted: u64,
+    },
+    /// A compromised peer returned to loyal behavior (cure ≠ heal: the
+    /// replica damage persists until the repair machinery removes it).
+    Cure {
+        /// The cured peer's index.
+        peer: u32,
+        /// Damaged blocks left behind across the peer's replicas.
+        residual: u64,
+    },
+    /// A repair block served by a compromised peer landed at a poller: the
+    /// block stays (or becomes) damaged instead of healing.
+    PoisonedRepair {
+        /// The repairing poller's peer index.
+        peer: u32,
+        /// Archival unit index.
+        au: u32,
+        /// The poll that planned the repair.
+        poll: u64,
+        /// The poisoned block index.
+        block: u64,
+        /// The compromised serving peer's index.
+        server: u32,
+    },
 }
 
 impl TraceEvent {
@@ -385,6 +428,9 @@ impl TraceEvent {
             TraceEvent::AdversaryAction { .. } => TraceEventKind::AdversaryAction,
             TraceEvent::PeerJoin { .. } => TraceEventKind::PeerJoin,
             TraceEvent::PhaseMark { .. } => TraceEventKind::PhaseMark,
+            TraceEvent::Compromise { .. } => TraceEventKind::Compromise,
+            TraceEvent::Cure { .. } => TraceEventKind::Cure,
+            TraceEvent::PoisonedRepair { .. } => TraceEventKind::PoisonedRepair,
         }
     }
 }
@@ -459,6 +505,22 @@ impl std::fmt::Display for TraceEvent {
             } => write!(f, "adversary ch{channel} {label} x{magnitude}"),
             TraceEvent::PeerJoin { peer } => write!(f, "peer-join peer#{peer}"),
             TraceEvent::PhaseMark { label } => write!(f, "phase-mark '{label}'"),
+            TraceEvent::Compromise { peer, corrupted } => {
+                write!(f, "compromise peer#{peer} ({corrupted} blocks corrupted)")
+            }
+            TraceEvent::Cure { peer, residual } => {
+                write!(f, "cure peer#{peer} ({residual} blocks still damaged)")
+            }
+            TraceEvent::PoisonedRepair {
+                peer,
+                au,
+                poll,
+                block,
+                server,
+            } => write!(
+                f,
+                "poisoned-repair peer#{peer} au{au} poll{poll} block{block} from peer#{server}"
+            ),
         }
     }
 }
@@ -572,5 +634,26 @@ mod tests {
             suppressed: true,
         };
         assert!(e.to_string().contains("SUPPRESSED"));
+        let e = TraceEvent::Compromise {
+            peer: 4,
+            corrupted: 6,
+        };
+        assert_eq!(e.kind(), TraceEventKind::Compromise);
+        assert!(e.to_string().contains("compromise peer#4"));
+        let e = TraceEvent::Cure {
+            peer: 4,
+            residual: 3,
+        };
+        assert_eq!(e.kind(), TraceEventKind::Cure);
+        assert!(e.to_string().contains("3 blocks still damaged"));
+        let e = TraceEvent::PoisonedRepair {
+            peer: 2,
+            au: 1,
+            poll: 7,
+            block: 9,
+            server: 5,
+        };
+        assert_eq!(e.kind(), TraceEventKind::PoisonedRepair);
+        assert!(e.to_string().contains("from peer#5"));
     }
 }

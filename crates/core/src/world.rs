@@ -37,6 +37,30 @@ use crate::voter::{VoterSession, VoterStage};
 /// Engine alias: all events run against the world.
 pub type Eng = Engine<World>;
 
+/// Deterministic counters for the mobile-adversary compromise machinery.
+///
+/// Plain protocol state, not observability: the fuzzer's accounting oracle
+/// reads these off the world after untraced runs (concurrent compromises
+/// never exceed the budget, cures never exceed compromises, poisoned
+/// repairs never exceed repairs served), so they must exist whether or not
+/// a trace sink or metric registry is installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompromiseStats {
+    /// Takeover transitions performed ([`World::compromise_peer`]).
+    pub compromises: u64,
+    /// Cure transitions performed ([`World::cure_peer`]).
+    pub cures: u64,
+    /// Poisoned repair blocks applied at pollers.
+    pub poisoned_repairs: u64,
+    /// All repair blocks applied at pollers, poisoned or clean — the
+    /// denominator for `poisoned_repairs`.
+    pub repairs_served: u64,
+    /// Peers compromised right now.
+    pub concurrent: usize,
+    /// High-water mark of concurrently compromised peers.
+    pub max_concurrent: usize,
+}
+
 /// The complete simulation state.
 pub struct World {
     /// The run's configuration. Treat as immutable once the world is
@@ -69,6 +93,8 @@ pub struct World {
     /// Profiler shared with the runner, for spans around poll evaluation.
     /// Strictly out-of-band: wall-clock only, never read by the protocol.
     profiler: Option<SharedProfiler>,
+    /// Mobile-adversary transition counters (see [`CompromiseStats`]).
+    compromise: CompromiseStats,
     next_poll_id: u64,
     n_loyal: usize,
     /// Network node → loyal peer index (nodes absent here belong to the
@@ -137,6 +163,7 @@ impl World {
             trace_sink: None,
             obs: None,
             profiler: None,
+            compromise: CompromiseStats::default(),
             next_poll_id: 0,
             n_loyal: nodes.len(),
             node_to_peer,
@@ -367,6 +394,96 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Mobile-adversary compromise state (takeover / cure).
+    // ------------------------------------------------------------------
+
+    /// The mobile-adversary transition counters.
+    pub fn compromise_stats(&self) -> &CompromiseStats {
+        &self.compromise
+    }
+
+    /// The mobile adversary takes over loyal peer `p`: each replica is
+    /// snapshotted into a lying shadow (the pre-corruption view the peer
+    /// votes from while compromised, hiding the takeover from pollers) and
+    /// `blocks_per_au` of its real blocks are then corrupted. While
+    /// compromised the peer also serves poisoned repairs — see
+    /// [`World::poller_on_repair`]'s poison branch.
+    ///
+    /// Returns false (and changes nothing) if the peer is already
+    /// compromised; budget accounting stays exact either way.
+    pub fn compromise_peer(&mut self, eng: &mut Eng, p: usize, blocks_per_au: u64) -> bool {
+        if self.peers.is_compromised(p) {
+            return false;
+        }
+        self.peers.set_compromised(p, true);
+        self.compromise.compromises += 1;
+        self.compromise.concurrent += 1;
+        self.compromise.max_concurrent = self
+            .compromise
+            .max_concurrent
+            .max(self.compromise.concurrent);
+        let blocks = self.cfg.au_spec.blocks() as usize;
+        let now = eng.now();
+        let mut corrupted = 0u64;
+        for au in 0..self.cfg.n_aus {
+            // The corruption targets are drawn from the world stream, like
+            // the bit-rot damage process.
+            let picks: Vec<u64> = (0..blocks_per_au)
+                .map(|_| self.rng.below(blocks) as u64)
+                .collect();
+            let au_state = self.peers.au_mut(p, au);
+            au_state.shadow = Some(au_state.replica.clone());
+            let was_intact = au_state.replica.is_intact();
+            for block in picks {
+                if au_state.replica.damage(block) {
+                    corrupted += 1;
+                }
+            }
+            if was_intact && !au_state.replica.is_intact() {
+                self.metrics.damage.on_damaged(now);
+                self.metrics.timeline.add(now, RunMetrics::KIND_DAMAGE);
+            }
+        }
+        if let Some(o) = self.obs() {
+            o.compromises.inc();
+        }
+        self.trace(eng, || TraceEvent::Compromise {
+            peer: p as u32,
+            corrupted,
+        });
+        true
+    }
+
+    /// Cures peer `p`: loyal behavior is restored (shadows dropped, honest
+    /// votes, honest repairs) but the replica damage the takeover left
+    /// behind persists — healing it is the §4.3 repair machinery's job,
+    /// which is exactly the recovery dynamic the mobile scenarios measure.
+    ///
+    /// Returns false (and changes nothing) if the peer is not compromised.
+    pub fn cure_peer(&mut self, eng: &mut Eng, p: usize) -> bool {
+        if !self.peers.is_compromised(p) {
+            return false;
+        }
+        self.peers.set_compromised(p, false);
+        self.compromise.cures += 1;
+        self.compromise.concurrent -= 1;
+        let mut residual = 0u64;
+        for au in 0..self.cfg.n_aus {
+            let au_state = self.peers.au_mut(p, au);
+            au_state.shadow = None;
+            residual += au_state.replica.damaged_count() as u64;
+        }
+        if let Some(o) = self.obs() {
+            o.cures.inc();
+        }
+        self.trace(eng, || TraceEvent::Cure {
+            peer: p as u32,
+            residual,
+        });
+        true
+    }
+
+    // ------------------------------------------------------------------
     // Messaging.
     // ------------------------------------------------------------------
 
@@ -442,7 +559,9 @@ impl World {
             Message::RepairRequest { poll, block, .. } => {
                 self.voter_on_repair_request(eng, p, poll, block)
             }
-            Message::Repair { au, poll, block } => self.poller_on_repair(eng, p, au, poll, block),
+            Message::Repair { au, poll, block } => {
+                self.poller_on_repair(eng, p, from, au, poll, block)
+            }
             Message::EvaluationReceipt { poll, valid, .. } => {
                 self.voter_on_receipt(eng, p, poll, valid)
             }
@@ -872,8 +991,20 @@ impl World {
         });
     }
 
-    /// A Repair block arrived at the poller (§4.3).
-    fn poller_on_repair(&mut self, eng: &mut Eng, p: usize, au: AuId, id: PollId, block: u64) {
+    /// A Repair block arrived at the poller (§4.3). `from` is the serving
+    /// node: a block handed over by a *currently compromised* peer is
+    /// poison — applying it leaves the target block damaged (and damages
+    /// it if it was intact, the frivolous-repair infection vector). The
+    /// apply effort is charged either way; the poller cannot tell.
+    fn poller_on_repair(
+        &mut self,
+        eng: &mut Eng,
+        p: usize,
+        from: NodeId,
+        au: AuId,
+        id: PollId,
+        block: u64,
+    ) {
         if !self.poll_is_current(p, au, id) {
             return;
         }
@@ -881,27 +1012,59 @@ impl World {
         let cost = self.costs.repair_apply;
         self.charge_loyal(p, Purpose::ApplyRepair, cost);
         let _ = now;
-        let became_intact = {
-            let au_state = self.peers.au_mut(p, au.index());
-            let was_intact = au_state.replica.is_intact();
-            au_state.replica.repair(block);
-            !was_intact && au_state.replica.is_intact()
-        };
-        if let Some(o) = self.obs() {
-            o.repairs_applied.inc();
-        }
-        self.trace(eng, || TraceEvent::Repair {
-            peer: p as u32,
-            au: au.0,
-            poll: id.0,
-            block,
-            intact_after: became_intact,
-        });
-        if became_intact {
-            self.metrics.damage.on_repaired(eng.now());
-            self.metrics
-                .timeline
-                .add(eng.now(), RunMetrics::KIND_REPAIR);
+        self.compromise.repairs_served += 1;
+        let server = self.loyal_peer_of_node(from);
+        let poisoned = server
+            .map(|s| self.peers.is_compromised(s))
+            .unwrap_or(false);
+        if poisoned {
+            let server = server.expect("poisoned implies a loyal-table server") as u32;
+            let newly_damaged = {
+                let au_state = self.peers.au_mut(p, au.index());
+                let was_intact = au_state.replica.is_intact();
+                au_state.replica.damage(block);
+                was_intact && !au_state.replica.is_intact()
+            };
+            self.compromise.poisoned_repairs += 1;
+            if let Some(o) = self.obs() {
+                o.poisoned_repairs.inc();
+            }
+            self.trace(eng, || TraceEvent::PoisonedRepair {
+                peer: p as u32,
+                au: au.0,
+                poll: id.0,
+                block,
+                server,
+            });
+            if newly_damaged {
+                self.metrics.damage.on_damaged(eng.now());
+                self.metrics
+                    .timeline
+                    .add(eng.now(), RunMetrics::KIND_DAMAGE);
+            }
+        } else {
+            let became_intact = {
+                let au_state = self.peers.au_mut(p, au.index());
+                let was_intact = au_state.replica.is_intact();
+                au_state.replica.repair(block);
+                !was_intact && au_state.replica.is_intact()
+            };
+            if let Some(o) = self.obs() {
+                o.repairs_applied.inc();
+            }
+            self.trace(eng, || TraceEvent::Repair {
+                peer: p as u32,
+                au: au.0,
+                poll: id.0,
+                block,
+                intact_after: became_intact,
+            });
+            if became_intact {
+                self.metrics.damage.on_repaired(eng.now());
+                self.metrics
+                    .timeline
+                    .add(eng.now(), RunMetrics::KIND_REPAIR);
+            }
         }
         let done = {
             let poll = self
@@ -1481,9 +1644,16 @@ impl World {
         let (damage, nominations, from, me) = {
             let from = self.peers.node(p);
             let me = self.peers.identity(p);
+            let compromised = self.peers.is_compromised(p);
             let nominations_k = self.cfg.protocol.nominations;
             let (au_state, rng) = self.peers.au_and_rng_mut(p, au.index());
-            let damage = au_state.replica.snapshot();
+            // A compromised peer votes from the lying shadow snapshot —
+            // hiding its corruption and volunteering as a repair candidate
+            // for blocks it will then poison.
+            let damage = match &au_state.shadow {
+                Some(shadow) if compromised => shadow.snapshot(),
+                _ => au_state.replica.snapshot(),
+            };
             let noms = au_state.reflist.nominate(nominations_k, rng);
             (damage, noms, from, me)
         };
@@ -1685,6 +1855,66 @@ mod tests {
         let a = world.alloc_poll_id();
         let b = world.alloc_poll_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn compromise_and_cure_transitions() {
+        let mut world = World::new(small_config(21));
+        let mut eng = Eng::new();
+        assert_eq!(world.compromise_stats(), &CompromiseStats::default());
+
+        assert!(world.compromise_peer(&mut eng, 3, 2));
+        assert!(world.peers.is_compromised(3));
+        // Double takeover is a no-op: budget accounting stays exact.
+        assert!(!world.compromise_peer(&mut eng, 3, 2));
+        let s = *world.compromise_stats();
+        assert_eq!((s.compromises, s.concurrent, s.max_concurrent), (1, 1, 1));
+        // Shadows snapshot the pre-corruption view; the real replicas are
+        // corrupted underneath them.
+        assert!(world.peers.aus(3).iter().all(|a| a.shadow.is_some()));
+        assert!(
+            world.peers.aus(3).iter().any(|a| !a.replica.is_intact()),
+            "takeover must corrupt"
+        );
+        assert!(world
+            .peers
+            .aus(3)
+            .iter()
+            .all(|a| a.shadow.as_ref().unwrap().is_intact()));
+
+        assert!(world.cure_peer(&mut eng, 3));
+        assert!(!world.peers.is_compromised(3));
+        assert!(!world.cure_peer(&mut eng, 3));
+        let s = *world.compromise_stats();
+        assert_eq!((s.cures, s.concurrent, s.max_concurrent), (1, 0, 1));
+        // Cure ≠ heal: shadows are gone but the damage persists.
+        assert!(world.peers.aus(3).iter().all(|a| a.shadow.is_none()));
+        assert!(world.peers.damaged_replicas(3) > 0);
+    }
+
+    #[test]
+    fn compromised_votes_lie_and_repairs_poison() {
+        // Drive a full run with a statically compromised peer set and
+        // check the poison plumbing end to end via the world counters.
+        let cfg = small_config(23);
+        let mut world = World::new(cfg);
+        let mut eng = Eng::new();
+        world.start(&mut eng);
+        for p in 0..6 {
+            world.compromise_peer(&mut eng, p, 2);
+        }
+        let end = SimTime::ZERO + Duration::from_days(240);
+        eng.run_until(&mut world, end);
+        let s = *world.compromise_stats();
+        assert_eq!(s.compromises, 6);
+        assert_eq!(s.max_concurrent, 6);
+        assert!(
+            s.poisoned_repairs > 0,
+            "compromised repair candidates must have poisoned at least one block"
+        );
+        // Poison keeps the compromised peers' corruption in place: damage
+        // accumulates instead of healing away.
+        assert!(world.peers.total_damaged() > 0);
     }
 
     /// A 10k-peer world builds quickly and stays sparse: construction is

@@ -40,7 +40,9 @@ use lockss_experiments::sweep::{
     parse_shard_arg, render_status, run_sweep_observed, run_sweep_shard_observed, DispatchPlan,
     ShardTag,
 };
-use lockss_experiments::{Scale, ScenarioEntry, ScenarioRegistry, ScenarioSpec};
+use lockss_experiments::{
+    run_recovery_study, RecoveryStudy, Scale, ScenarioEntry, ScenarioRegistry, ScenarioSpec,
+};
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
 use lockss_obs::{unix_ms_now, Profiler};
@@ -80,6 +82,13 @@ fn usage() -> ! {
          \x20                          the per-shard command lines instead of running\n\
          \x20 sweep status <dir>       render campaign progress from the checkpoints\n\
          \x20                          (and heartbeat telemetry) under <dir>\n\
+         \x20 sweep recovery           mobile-takeover recovery threshold study: one\n\
+         \x20                          row per --budgets entry with time-to-heal\n\
+         \x20                          p50/p90 and a heals/data-loss verdict over\n\
+         \x20                          --seeds; byte-identical for any --threads;\n\
+         \x20                          --attack-days / --heal-window reshape the\n\
+         \x20                          campaign; report lands at --out (default\n\
+         \x20                          results/recovery-threshold.txt)\n\
          \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
          \x20                          event-for-event equivalence\n\
          \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
@@ -251,6 +260,9 @@ fn main() {
                 }
                 let telemetry = flag_value(&args, "--telemetry").unwrap_or_else(|| dir.clone());
                 sweep_status(Path::new(&dir), Path::new(&telemetry));
+            }
+            Some("recovery") => {
+                sweep_recovery(&args);
             }
             Some(name) if !name.starts_with("--") => {
                 let name = name.to_string();
@@ -591,6 +603,57 @@ fn sweep_status(dir: &Path, telemetry: &Path) {
         std::process::exit(1);
     });
     print!("{}", render_status(&statuses, unix_ms_now()));
+}
+
+/// Runs the post-compromise recovery threshold study: one row per
+/// mobile-takeover concurrency budget, reporting time-to-heal quantiles
+/// and a heals/data-loss verdict. Byte-deterministic for any --threads.
+fn sweep_recovery(args: &[String]) {
+    let mut study = RecoveryStudy::default();
+    if let Some(arg) = flag_value(args, "--budgets") {
+        study.budgets = arg
+            .split(',')
+            .map(|b| {
+                b.trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|b| *b > 0)
+                    .unwrap_or_else(|| fail("--budgets wants positive integers, e.g. 1,2,4,8"))
+            })
+            .collect();
+        if study.budgets.is_empty() {
+            fail("--budgets wants at least one budget");
+        }
+    }
+    if let Some(arg) = flag_value(args, "--seeds") {
+        study.seeds = parse_seed_range(&arg).unwrap_or_else(|e| fail(&e));
+    }
+    for (flag, slot) in [
+        ("--attack-days", &mut study.attack_days),
+        ("--heal-window", &mut study.heal_window_days),
+        ("--period", &mut study.period_days),
+    ] {
+        if let Some(arg) = flag_value(args, flag) {
+            *slot = arg
+                .parse::<u64>()
+                .ok()
+                .filter(|d| *d > 0)
+                .unwrap_or_else(|| fail(&format!("{flag} wants a positive day count")));
+        }
+    }
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| s.parse().expect("--threads N"))
+        .unwrap_or_else(default_threads);
+    let out = flag_value(args, "--out").unwrap_or_else(|| "results/recovery-threshold.txt".into());
+    let rendered = run_recovery_study(&study, threads).render();
+    print!("{rendered}");
+    if let Some(dir) = Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if std::fs::write(&out, &rendered).is_err() {
+        fail(&format!("writing {out}"));
+    }
+    println!("wrote {out}");
 }
 
 /// Runs a seed sweep of one registered scenario across a worker pool —

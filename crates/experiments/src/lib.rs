@@ -23,6 +23,7 @@ pub mod cache;
 pub mod fuzz;
 pub mod layering;
 pub mod obs;
+pub mod recovery;
 pub mod registry;
 pub mod runner;
 pub mod scale;
@@ -32,6 +33,7 @@ pub mod sweep;
 pub mod sweeps;
 
 pub use obs::{heartbeat_path, ObsSession, SweepObs, Telemetry};
+pub use recovery::{run_recovery_study, RecoveryReport, RecoveryStudy};
 pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use runner::{run_scenario, Instruments, MeasuredPoint};
 pub use scale::Scale;

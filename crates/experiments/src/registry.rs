@@ -59,7 +59,7 @@ impl ScenarioEntry {
 /// The standard corpus, in catalog order. Each file is the canonical
 /// encoding of its spec (`ScenarioSpec::to_json`); the registry tests
 /// reject a file that drifts from it.
-pub const STANDARD_SCENARIOS: [(&str, &str); 18] = [
+pub const STANDARD_SCENARIOS: [(&str, &str); 21] = [
     ("baseline", include_str!("../../../scenarios/baseline.json")),
     (
         "baseline-large",
@@ -106,6 +106,14 @@ pub const STANDARD_SCENARIOS: [(&str, &str); 18] = [
         include_str!("../../../scenarios/sybil-ramp.json"),
     ),
     (
+        "mobile-takeover-light",
+        include_str!("../../../scenarios/mobile-takeover-light.json"),
+    ),
+    (
+        "mobile-takeover-heavy",
+        include_str!("../../../scenarios/mobile-takeover-heavy.json"),
+    ),
+    (
         "stoppage-then-flood",
         include_str!("../../../scenarios/stoppage-then-flood.json"),
     ),
@@ -116,6 +124,10 @@ pub const STANDARD_SCENARIOS: [(&str, &str); 18] = [
     (
         "stoppage-escalation",
         include_str!("../../../scenarios/stoppage-escalation.json"),
+    ),
+    (
+        "mobile-recovery-race",
+        include_str!("../../../scenarios/mobile-recovery-race.json"),
     ),
     (
         "scale-10k-baseline",

@@ -1,7 +1,8 @@
 //! Scenario description: a world configuration plus an attack.
 
 use lockss_adversary::{
-    AdmissionFlood, BruteForce, ChurnStorm, Compose, Defection, PipeStoppage, SybilRamp, VoteFlood,
+    AdmissionFlood, BruteForce, ChurnStorm, Compose, Defection, MobileTakeover, PipeStoppage,
+    SybilRamp, VoteFlood,
 };
 use lockss_core::{Adversary, WorldConfig};
 use lockss_effort::CostModel;
@@ -58,6 +59,14 @@ pub enum AttackSpec {
         step: f64,
         /// Days between escalation steps.
         step_days: u64,
+    },
+    /// Migrating Byzantine compromise with a fixed concurrency budget;
+    /// cure restores loyalty but not data.
+    MobileTakeover {
+        /// Maximum concurrent compromises.
+        budget: u32,
+        /// Migration period in days; `None` syncs to the poll cadence.
+        period_days: Option<u64>,
     },
     /// A composite campaign: members run against the same world, each
     /// starting at its own offset.
@@ -123,6 +132,16 @@ impl AttackSpec {
                     AttackSpec::SybilRamp { step, step_days } => {
                         Box::new(SybilRamp::new(*step, *step_days))
                     }
+                    AttackSpec::MobileTakeover {
+                        budget,
+                        period_days,
+                    } => {
+                        let mut adv = MobileTakeover::new(*budget);
+                        if let Some(days) = period_days {
+                            adv = adv.with_period(Duration::from_days(*days));
+                        }
+                        Box::new(adv)
+                    }
                     AttackSpec::None | AttackSpec::Compose(_) => unreachable!("handled above"),
                 };
                 out.push((start, adversary));
@@ -182,6 +201,13 @@ impl AttackSpec {
             AttackSpec::SybilRamp { step, step_days } => {
                 format!("sybil-ramp +{}%/{}d", (step * 100.0).round(), step_days)
             }
+            AttackSpec::MobileTakeover {
+                budget,
+                period_days,
+            } => match period_days {
+                Some(days) => format!("mobile-takeover B={budget} every {days}d"),
+                None => format!("mobile-takeover B={budget} synced"),
+            },
             AttackSpec::Compose(members) => {
                 let parts: Vec<String> = members
                     .iter()
@@ -351,6 +377,30 @@ mod tests {
         .build()
         .expect("votes");
         assert_eq!(v.name(), "vote-flood");
+        let m = AttackSpec::MobileTakeover {
+            budget: 3,
+            period_days: Some(45),
+        }
+        .build()
+        .expect("mobile");
+        assert_eq!(m.name(), "mobile-takeover");
+    }
+
+    #[test]
+    fn mobile_takeover_labels_show_cadence() {
+        let synced = AttackSpec::MobileTakeover {
+            budget: 5,
+            period_days: None,
+        }
+        .label();
+        assert!(synced.contains("B=5"), "{synced}");
+        assert!(synced.contains("synced"), "{synced}");
+        let fixed = AttackSpec::MobileTakeover {
+            budget: 2,
+            period_days: Some(45),
+        }
+        .label();
+        assert!(fixed.contains("45d"), "{fixed}");
     }
 
     #[test]

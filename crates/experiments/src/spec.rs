@@ -200,6 +200,19 @@ fn push_attack(out: &mut String, attack: &AttackSpec, indent: usize) {
             "{{\"kind\": \"sybil-ramp\", \"step\": {}, \"step_days\": {step_days}}}",
             fmt_f64(*step)
         )),
+        AttackSpec::MobileTakeover {
+            budget,
+            period_days,
+        } => out.push_str(&match period_days {
+            None => format!(
+                "{{\"kind\": \"mobile-takeover\", \"budget\": {budget}, \
+                 \"cadence\": \"synced\"}}"
+            ),
+            Some(days) => format!(
+                "{{\"kind\": \"mobile-takeover\", \"budget\": {budget}, \
+                 \"cadence\": \"fixed\", \"period_days\": {days}}}"
+            ),
+        }),
         AttackSpec::Compose(members) => {
             out.push_str("{\n");
             out.push_str(&format!("{inner}\"kind\": \"compose\",\n"));
@@ -426,6 +439,18 @@ fn validate_attack(attack: &AttackSpec) -> Result<(), String> {
             unit(*step, "step")?;
             if *step_days == 0 {
                 return Err("sybil-ramp step_days must be positive".into());
+            }
+            Ok(())
+        }
+        AttackSpec::MobileTakeover {
+            budget,
+            period_days,
+        } => {
+            if *budget == 0 {
+                return Err("mobile-takeover budget must be positive".into());
+            }
+            if *period_days == Some(0) {
+                return Err("mobile-takeover period_days must be positive".into());
             }
             Ok(())
         }
@@ -675,6 +700,35 @@ fn decode_attack(v: &Value, path: &str) -> Result<AttackSpec, SpecError> {
                 step_days: u64_field(fields, "step_days", &sub("step_days"))?,
             })
         }
+        "mobile-takeover" => {
+            only(&["kind", "budget", "cadence", "period_days"])?;
+            let budget = u64_field(fields, "budget", &sub("budget"))?;
+            let budget = u32::try_from(budget)
+                .map_err(|_| field_err(&sub("budget"), "does not fit in u32"))?;
+            let cadence = str_field(fields, "cadence", &sub("cadence"))?;
+            let period_days = match cadence {
+                "synced" => {
+                    if fields.iter().any(|(k, _)| k == "period_days") {
+                        return Err(field_err(
+                            &sub("period_days"),
+                            "dangling migration cadence: \"synced\" takes no period_days",
+                        ));
+                    }
+                    None
+                }
+                "fixed" => Some(u64_field(fields, "period_days", &sub("period_days"))?),
+                other => {
+                    return Err(field_err(
+                        &sub("cadence"),
+                        format!("unknown migration cadence '{other}' (synced, fixed)"),
+                    ))
+                }
+            };
+            Ok(AttackSpec::MobileTakeover {
+                budget,
+                period_days,
+            })
+        }
         "compose" => {
             only(&["kind", "members"])?;
             let members_path = sub("members");
@@ -699,7 +753,7 @@ fn decode_attack(v: &Value, path: &str) -> Result<AttackSpec, SpecError> {
             &sub("kind"),
             format!(
                 "unknown attack kind '{other}' (none, pipe-stoppage, admission-flood, \
-                 brute-force, vote-flood, churn-storm, sybil-ramp, compose)"
+                 brute-force, vote-flood, churn-storm, sybil-ramp, mobile-takeover, compose)"
             ),
         )),
     }
@@ -775,6 +829,14 @@ mod tests {
             AttackSpec::SybilRamp {
                 step: 0.25,
                 step_days: 45,
+            },
+            AttackSpec::MobileTakeover {
+                budget: 5,
+                period_days: None,
+            },
+            AttackSpec::MobileTakeover {
+                budget: 2,
+                period_days: Some(45),
             },
             AttackSpec::Compose(vec![phased(
                 10,
@@ -906,6 +968,66 @@ mod tests {
         let err = ScenarioSpec::from_json(&doc).unwrap_err();
         assert_eq!(err.path, "attack.members[1].attack.kind");
         assert!(err.message.contains("unknown attack kind"), "{err}");
+    }
+
+    fn mobile(attack_json: &str) -> Result<ScenarioSpec, SpecError> {
+        let spec = ScenarioSpec {
+            name: "mobile-x".into(),
+            description: "d".into(),
+            paper_ref: "p".into(),
+            world: WorldSpec::default(),
+            attack: AttackSpec::None,
+        };
+        let doc = spec.to_json().replace("{\"kind\": \"none\"}", attack_json);
+        ScenarioSpec::from_json(&doc)
+    }
+
+    #[test]
+    fn mobile_takeover_rejects_unknown_budget_field() {
+        let err = mobile(
+            "{\"kind\": \"mobile-takeover\", \"budget\": 3, \"cadence\": \"synced\", \
+             \"budgett\": 4}",
+        )
+        .unwrap_err();
+        assert_eq!(err.path, "attack.budgett");
+        assert!(err.message.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn mobile_takeover_rejects_dangling_cadence() {
+        // "synced" with a period: the period dangles.
+        let err = mobile(
+            "{\"kind\": \"mobile-takeover\", \"budget\": 3, \"cadence\": \"synced\", \
+             \"period_days\": 45}",
+        )
+        .unwrap_err();
+        assert_eq!(err.path, "attack.period_days");
+        assert!(err.message.contains("dangling"), "{err}");
+        // "fixed" without a period: the cadence dangles.
+        let err = mobile("{\"kind\": \"mobile-takeover\", \"budget\": 3, \"cadence\": \"fixed\"}")
+            .unwrap_err();
+        assert!(err.message.contains("missing field 'period_days'"), "{err}");
+        // Neither cadence word parses.
+        let err = mobile("{\"kind\": \"mobile-takeover\", \"budget\": 3, \"cadence\": \"weekly\"}")
+            .unwrap_err();
+        assert_eq!(err.path, "attack.cadence");
+        assert!(err.message.contains("unknown migration cadence"), "{err}");
+    }
+
+    #[test]
+    fn mobile_takeover_zero_budget_fails_validate() {
+        let spec =
+            mobile("{\"kind\": \"mobile-takeover\", \"budget\": 0, \"cadence\": \"synced\"}")
+                .expect("schema-valid");
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("budget must be positive"), "{err}");
+        let spec = mobile(
+            "{\"kind\": \"mobile-takeover\", \"budget\": 3, \"cadence\": \"fixed\", \
+             \"period_days\": 0}",
+        )
+        .expect("schema-valid");
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("period_days must be positive"), "{err}");
     }
 
     #[test]

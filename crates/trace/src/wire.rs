@@ -235,6 +235,27 @@ pub fn put_event(buf: &mut Vec<u8>, event: &TraceEvent) {
         TraceEvent::PhaseMark { label } => {
             put_str(buf, label);
         }
+        TraceEvent::Compromise { peer, corrupted } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, *corrupted);
+        }
+        TraceEvent::Cure { peer, residual } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, *residual);
+        }
+        TraceEvent::PoisonedRepair {
+            peer,
+            au,
+            poll,
+            block,
+            server,
+        } => {
+            put_varint(buf, u64::from(*peer));
+            put_varint(buf, u64::from(*au));
+            put_varint(buf, *poll);
+            put_varint(buf, *block);
+            put_varint(buf, u64::from(*server));
+        }
     }
 }
 
@@ -310,6 +331,21 @@ pub fn get_event(cur: &mut Cursor<'_>, kind: TraceEventKind) -> Result<TraceEven
             peer: cur.varint_u32()?,
         },
         TraceEventKind::PhaseMark => TraceEvent::PhaseMark { label: cur.str()? },
+        TraceEventKind::Compromise => TraceEvent::Compromise {
+            peer: cur.varint_u32()?,
+            corrupted: cur.varint()?,
+        },
+        TraceEventKind::Cure => TraceEvent::Cure {
+            peer: cur.varint_u32()?,
+            residual: cur.varint()?,
+        },
+        TraceEventKind::PoisonedRepair => TraceEvent::PoisonedRepair {
+            peer: cur.varint_u32()?,
+            au: cur.varint_u32()?,
+            poll: cur.varint()?,
+            block: cur.varint()?,
+            server: cur.varint_u32()?,
+        },
     })
 }
 
@@ -433,6 +469,21 @@ mod tests {
             TraceEvent::PeerJoin { peer: 101 },
             TraceEvent::PhaseMark {
                 label: "admission-flood".into(),
+            },
+            TraceEvent::Compromise {
+                peer: 42,
+                corrupted: 6,
+            },
+            TraceEvent::Cure {
+                peer: 42,
+                residual: 1 << 40,
+            },
+            TraceEvent::PoisonedRepair {
+                peer: 7,
+                au: 2,
+                poll: 31,
+                block: 499,
+                server: 42,
             },
         ];
         for event in events {

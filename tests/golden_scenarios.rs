@@ -236,13 +236,19 @@ mod legacy {
 
 #[test]
 fn spec_corpus_covers_exactly_the_legacy_registry() {
+    // Scenarios added after the refactor (the mobile-takeover family) may
+    // interleave, but every pre-refactor scenario must still be present,
+    // in the legacy registration order.
     let registry = ScenarioRegistry::standard();
-    let legacy_names: Vec<&str> = legacy::builders().iter().map(|(n, _)| *n).collect();
-    assert_eq!(
-        registry.names(),
-        legacy_names,
-        "corpus must list the pre-refactor scenarios in the same order"
-    );
+    let names = registry.names();
+    let mut cursor = names.iter();
+    for (legacy_name, _) in legacy::builders() {
+        assert!(
+            cursor.any(|n| *n == legacy_name),
+            "corpus must list pre-refactor scenario '{legacy_name}' in the legacy order \
+             (registry: {names:?})"
+        );
+    }
 }
 
 #[test]

@@ -34,3 +34,27 @@ fn catalog_names_resolve_in_the_registry() {
         assert!(registry.get(name).is_some());
     }
 }
+
+/// The mobile-takeover scenario family is registered, carries its
+/// mobile-adversary paper references, and shows up in the catalog table.
+#[test]
+fn mobile_family_is_cataloged_with_paper_refs() {
+    let registry = ScenarioRegistry::standard();
+    let md = registry.catalog_markdown();
+    for name in [
+        "mobile-takeover-light",
+        "mobile-takeover-heavy",
+        "mobile-recovery-race",
+    ] {
+        let entry = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("'{name}' missing from the registry"));
+        assert!(
+            entry.paper_ref().contains("§4.3"),
+            "'{name}' paper_ref must cite the repair machinery (§4.3), got '{}'",
+            entry.paper_ref()
+        );
+        let row = format!("| `{name}` | {} |", entry.paper_ref());
+        assert!(md.contains(&row), "catalog row for '{name}' is stale");
+    }
+}

@@ -93,6 +93,8 @@ fn attacked_traces_carry_adversary_provenance() {
         ("pipe-stoppage", "pipe-stoppage/stop"),
         ("brute-force-intro", "brute-force/poll"),
         ("churn-storm", "churn-storm/depart"),
+        ("mobile-takeover-light", "mobile-takeover/compromise"),
+        ("mobile-takeover-light", "mobile-takeover/cure"),
     ] {
         let (_, s) = shrunken_registry_jobs()
             .into_iter()
@@ -115,6 +117,36 @@ fn attacked_traces_carry_adversary_provenance() {
             "scenario '{name}' missing '{expected_label}' provenance"
         );
     }
+}
+
+/// The compromise lifecycle lands in the trace as first-class events:
+/// takeovers, cures, and (under a heavy enough campaign) poisoned
+/// repairs, all of which survive the wire round-trip.
+#[test]
+fn mobile_takeover_traces_carry_the_compromise_lifecycle() {
+    use lockss::core::TraceEventKind;
+    let (_, s) = shrunken_registry_jobs()
+        .into_iter()
+        .find(|(n, _)| *n == "mobile-takeover-heavy")
+        .expect("registered");
+    let (_, _, trace) = run_once_recorded(&s, 7, &meta_for("mobile-takeover-heavy", 7, &s));
+    let stats = trace_stats(&trace).expect("stats decode");
+    assert!(
+        stats.count(TraceEventKind::Compromise) > 0,
+        "heavy takeover recorded no compromises"
+    );
+    assert!(
+        stats.count(TraceEventKind::Cure) > 0,
+        "migrations must cure the previous victim set"
+    );
+    assert!(
+        stats.count(TraceEventKind::Cure) <= stats.count(TraceEventKind::Compromise),
+        "cures can only undo compromises"
+    );
+    assert!(
+        stats.count(TraceEventKind::PoisonedRepair) > 0,
+        "a budget-8 takeover must poison at least one repair in 150 days"
+    );
 }
 
 #[test]
