@@ -74,6 +74,9 @@ impl TraceEventKind {
         TraceEventKind::PoisonedRepair,
     ];
 
+    /// Number of registered kinds (codes run `1..=COUNT`).
+    pub const COUNT: usize = Self::ALL.len();
+
     /// The wire code.
     pub fn code(self) -> u8 {
         self as u8
@@ -82,6 +85,14 @@ impl TraceEventKind {
     /// Decodes a wire code.
     pub fn from_code(code: u8) -> Option<TraceEventKind> {
         Self::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
+    /// This kind's bit in a kind bitmap (bit `code - 1`), the presence
+    /// mask the block-columnar trace format keeps per block so readers
+    /// can skip whole blocks — and whole payload columns — by kind.
+    /// Kind codes are append-only and capped at 64 by this encoding.
+    pub fn bit(self) -> u64 {
+        1u64 << (self.code() - 1)
     }
 
     /// Short human-readable label.
@@ -555,6 +566,17 @@ mod tests {
         }
         assert_eq!(TraceEventKind::from_code(0), None);
         assert_eq!(TraceEventKind::from_code(200), None);
+    }
+
+    #[test]
+    fn kind_bits_are_distinct_and_dense() {
+        let mut mask = 0u64;
+        for kind in TraceEventKind::ALL {
+            assert_eq!(mask & kind.bit(), 0, "{kind} bit collides");
+            mask |= kind.bit();
+        }
+        assert_eq!(mask, (1u64 << TraceEventKind::COUNT) - 1);
+        assert_eq!(TraceEventKind::COUNT, TraceEventKind::ALL.len());
     }
 
     #[test]

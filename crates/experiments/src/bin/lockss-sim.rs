@@ -15,7 +15,10 @@
 //! cargo run --release --bin lockss-sim -- fuzz --seeds 1..200
 //! cargo run --release --bin lockss-sim -- replay t.bin
 //! cargo run --release --bin lockss-sim -- trace diff a.bin b.bin
-//! cargo run --release --bin lockss-sim -- trace stats t.bin
+//! cargo run --release --bin lockss-sim -- trace stats traces/*.bin
+//! cargo run --release --bin lockss-sim -- trace convert old-v1.bin new-v2.bin
+//! cargo run --release --bin lockss-sim -- trace export t.bin --csv timeline.csv
+//! cargo run --release --bin lockss-sim -- sweep baseline --record traces/
 //! ```
 //!
 //! `run` executes the scenario (plus its matched no-attack baseline when an
@@ -23,11 +26,16 @@
 //! report, and writes a JSON summary to `results/scenario-<name>.json`.
 //! Output is a pure function of `(name, scale, seeds)` — the same
 //! invocation reproduces the same bytes, which is what makes the trace
-//! verbs sound: `--record` captures the full causal event stream, `replay`
+//! verbs sound: `--record` captures the full causal event stream (one
+//! file per `run`, a directory of per-seed traces per `sweep`), `replay`
 //! re-drives the recorded scenario and verifies event-for-event
 //! equivalence (a perturbed `--seed` shows the first divergence instead),
-//! `trace diff` aligns two recordings, and `trace stats` rebuilds
-//! per-poll/per-phase timelines from one.
+//! `trace diff` aligns two recordings, `trace stats` rebuilds
+//! per-poll/per-phase timelines (aggregating across many traces), `trace
+//! convert` migrates `LTRC1` recordings to the block-columnar `LTRC2`
+//! wire, and `trace export` renders a CSV timeline. The analytics decode
+//! blocks on a worker pool and render byte-identical output at any
+//! `--threads` count.
 
 use lockss_experiments::fuzz::run_fuzz;
 use lockss_experiments::obs::{ObsSession, SweepObs, Telemetry};
@@ -46,7 +54,9 @@ use lockss_experiments::{
 use lockss_metrics::table::{ratio, sci};
 use lockss_metrics::{PhaseSummary, Summary, Table};
 use lockss_obs::{unix_ms_now, Profiler};
-use lockss_trace::{diff_traces, trace_stats, Trace, TraceMeta};
+use lockss_trace::{
+    diff_traces_threaded, export_csv, trace_stats_threaded, AggregateStats, Trace, TraceMeta,
+};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -91,9 +101,16 @@ fn usage() -> ! {
          \x20                          results/recovery-threshold.txt)\n\
          \x20 replay <trace>           re-run a recorded trace's scenario and verify\n\
          \x20                          event-for-event equivalence\n\
-         \x20 trace diff <a> <b>       align two traces and summarize where they fork\n\
-         \x20 trace stats <trace>      per-poll/per-phase timelines from a trace\n\
-         \x20                          (--json: machine-readable stats)\n\
+         \x20 trace diff <a> <b>       align two traces (either wire) and summarize\n\
+         \x20                          where they fork; blocks decode in parallel\n\
+         \x20 trace stats <trace>...   per-poll/per-phase timelines from one trace, or\n\
+         \x20                          an aggregate table over many (e.g. a recorded\n\
+         \x20                          sweep directory); --json: machine-readable\n\
+         \x20 trace convert <in> <out> rewrite a trace in the block-columnar LTRC2\n\
+         \x20                          wire (LTRC1 stays readable everywhere)\n\
+         \x20 trace export <trace>     dense CSV timeline of the event stream\n\
+         \x20                          (--csv <path>: write instead of stdout;\n\
+         \x20                          --bucket-days <N>: row width, default 1)\n\
          \x20 bench diff <base> <new>..  compare bench reports mean-vs-mean with a\n\
          \x20                          noise band; --gate exits 1 on a >25%\n\
          \x20                          regression of the named hot benches;\n\
@@ -142,7 +159,11 @@ fn usage() -> ! {
          \x20                                 heartbeat directory when it differs from\n\
          \x20                                 the checkpoint directory\n\
          \x20 --mem-report                    print peak RSS and arena/table occupancy\n\
-         \x20 --record <path>                 record the run's event trace (one seed)\n\
+         \x20 --record <path>                 run: record the run's event trace (one\n\
+         \x20                                 seed); sweep: directory for per-seed\n\
+         \x20                                 traces (trace-<name>-s<seed>.bin)\n\
+         \x20 --threads <N>                   trace stats/diff/export: decoder threads\n\
+         \x20                                 (output is identical at any count)\n\
          \x20 --out <dir>                     fuzz: reproducer directory (default\n\
          \x20                                 results/fuzz)\n\
          \x20 --json                          print the JSON summary to stdout"
@@ -286,6 +307,7 @@ fn main() {
                     metrics_out: flag_value(&args, "--metrics-out"),
                     telemetry: flag_value(&args, "--telemetry"),
                 };
+                let record = flag_value(&args, "--record").map(PathBuf::from);
                 sweep_cmd(
                     &registry,
                     &name,
@@ -298,6 +320,7 @@ fn main() {
                     json,
                     mem,
                     &obs,
+                    record.as_deref(),
                 );
             }
             _ => usage(),
@@ -354,25 +377,73 @@ fn main() {
         },
         Some("trace") => match args.get(1).map(String::as_str) {
             Some("diff") => {
-                let (a, b) = match (args.get(2), args.get(3)) {
-                    (Some(a), Some(b)) => (a.clone(), b.clone()),
-                    _ => usage(),
-                };
-                let diff = diff_traces(&load_trace(&a), &load_trace(&b))
-                    .unwrap_or_else(|e| fail(&format!("diffing: {e}")));
+                let paths = operands(&args[2..], &["--threads"]);
+                let [a, b] = paths.as_slice() else { usage() };
+                let diff =
+                    diff_traces_threaded(&load_trace(a), &load_trace(b), trace_threads(&args))
+                        .unwrap_or_else(|e| fail(&format!("diffing: {e}")));
                 print!("{diff}");
             }
             Some("stats") => {
-                let path = args.get(2).cloned().unwrap_or_else(|| usage());
-                if path.starts_with("--") {
+                let paths = operands(&args[2..], &["--threads"]);
+                if paths.is_empty() {
                     usage();
                 }
-                let stats = trace_stats(&load_trace(&path))
-                    .unwrap_or_else(|e| fail(&format!("stats: {e}")));
-                if args.iter().any(|a| a == "--json") {
-                    print!("{}", stats.to_json());
+                let threads = trace_threads(&args);
+                let json = args.iter().any(|a| a == "--json");
+                if let [path] = paths.as_slice() {
+                    let stats = trace_stats_threaded(&load_trace(path), threads)
+                        .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+                    if json {
+                        print!("{}", stats.to_json());
+                    } else {
+                        print!("{stats}");
+                    }
                 } else {
-                    print!("{stats}");
+                    let per_trace = paths
+                        .iter()
+                        .map(|path| {
+                            let stats = trace_stats_threaded(&load_trace(path), threads)
+                                .unwrap_or_else(|e| fail(&format!("stats: {path}: {e}")));
+                            (path.clone(), stats)
+                        })
+                        .collect();
+                    let agg = AggregateStats::new(per_trace);
+                    if json {
+                        print!("{}", agg.to_json());
+                    } else {
+                        print!("{agg}");
+                    }
+                }
+            }
+            Some("convert") => {
+                let paths = operands(&args[2..], &[]);
+                let [input, output] = paths.as_slice() else {
+                    usage()
+                };
+                trace_convert(input, output);
+            }
+            Some("export") => {
+                let paths = operands(&args[2..], &["--threads", "--csv", "--bucket-days"]);
+                let [path] = paths.as_slice() else { usage() };
+                let bucket_days: u64 = flag_value(&args, "--bucket-days")
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| fail("--bucket-days wants a day count"))
+                    })
+                    .unwrap_or(1);
+                let csv = export_csv(&load_trace(path), trace_threads(&args), bucket_days)
+                    .unwrap_or_else(|e| fail(&format!("exporting: {e}")));
+                match flag_value(&args, "--csv") {
+                    Some(out) => {
+                        if let Some(dir) = Path::new(&out).parent() {
+                            let _ = std::fs::create_dir_all(dir);
+                        }
+                        std::fs::write(&out, &csv)
+                            .unwrap_or_else(|e| fail(&format!("writing {out}: {e}")));
+                        println!("wrote {out} ({} rows)", csv.lines().count() - 1);
+                    }
+                    None => print!("{csv}"),
                 }
             }
             _ => usage(),
@@ -677,6 +748,7 @@ fn sweep_cmd(
     json_out: bool,
     mem: bool,
     obs: &SweepObsFlags,
+    record: Option<&Path>,
 ) {
     let entry = resolve(registry, name);
     let scenario = entry.build(scale);
@@ -730,6 +802,12 @@ fn sweep_cmd(
             .as_deref()
             .map(|d| Telemetry::new(Path::new(d))),
     });
+    if let Some(dir) = record {
+        println!(
+            "recording per-seed traces under {} (resumed seeds are not re-recorded)",
+            dir.display()
+        );
+    }
     let report = match shard {
         Some(tag) => run_sweep_shard_observed(
             &scenario,
@@ -740,6 +818,7 @@ fn sweep_cmd(
             Some(&path),
             resume,
             sweep_obs.as_ref(),
+            record,
         ),
         None => run_sweep_observed(
             &scenario,
@@ -750,6 +829,7 @@ fn sweep_cmd(
             Some(&path),
             resume,
             sweep_obs.as_ref(),
+            record,
         ),
     };
 
@@ -1000,6 +1080,56 @@ fn mem_report(scenario: &lockss_experiments::Scenario, seed: u64) {
 
 fn load_trace(path: &str) -> Trace {
     Trace::read_from(Path::new(path)).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+}
+
+/// Collects the bare (non-flag) operands from `args`, skipping the value
+/// token after any flag listed in `value_flags`.
+fn operands(args: &[String], value_flags: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if value_flags.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") {
+            out.push(args[i].clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Worker threads for the trace analytics (`--threads N`, default: all
+/// cores). The rendered output is byte-identical at any count.
+fn trace_threads(args: &[String]) -> usize {
+    flag_value(args, "--threads")
+        .map(|s| s.parse().expect("--threads N"))
+        .unwrap_or_else(default_threads)
+}
+
+/// Rewrites a trace in the block-columnar `LTRC2` wire (a v2 input is
+/// copied verbatim) and reports the size change.
+fn trace_convert(input: &str, output: &str) {
+    let trace = load_trace(input);
+    let from_wire = trace.wire();
+    let from_len = trace.as_bytes().len();
+    let converted = trace
+        .to_v2()
+        .unwrap_or_else(|e| fail(&format!("converting {input}: {e}")));
+    converted
+        .write_to(Path::new(output))
+        .unwrap_or_else(|e| fail(&format!("writing {output}: {e}")));
+    let to_len = converted.as_bytes().len();
+    println!(
+        "converted {input} ({} event(s)): {from_wire} {from_len} bytes -> {} {to_len} bytes \
+         ({:.2}x), content hash {}",
+        converted.events(),
+        converted.wire(),
+        from_len as f64 / to_len.max(1) as f64,
+        converted.content_hash()
+    );
+    println!("wrote {output}");
 }
 
 /// Re-drives a recorded trace's scenario and verifies equivalence. Exits 0

@@ -29,9 +29,11 @@ use lockss_obs::{current_rss_kb, unix_ms_now, Heartbeat, Profiler, Span};
 use lockss_sim::json;
 use lockss_sim::Duration;
 
+use lockss_trace::TraceMeta;
+
 use super::shard::{CrashHook, ShardTag};
 use crate::obs::{heartbeat_path, SweepObs};
-use crate::runner::{run_once, run_once_observed, Instruments};
+use crate::runner::{run_once, run_once_observed, run_once_recorded_observed, Instruments};
 use crate::scenario::Scenario;
 
 /// The checkpoint/report format tag. Any file carrying a different tag
@@ -346,13 +348,19 @@ pub fn run_sweep(
     resume: Option<SweepReport>,
 ) -> SweepReport {
     run_sweep_observed(
-        scenario, name, scale, seeds, threads, checkpoint, resume, None,
+        scenario, name, scale, seeds, threads, checkpoint, resume, None, None,
     )
 }
 
 /// [`run_sweep`] with observability hooks: workers bump the session's
 /// counters and profile into per-worker trees, and a monitor thread
 /// appends heartbeats while they run.
+///
+/// With `record`, each *freshly executed* seed also writes its sealed
+/// event trace to `<record>/trace-<scenario>-s<seed>.bin` (recording
+/// never perturbs the summary, so resume invariance holds). Seeds
+/// already present in `resume` are reused verbatim and are **not**
+/// re-recorded — rerun with `--fresh` to capture a complete trace set.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep_observed(
     scenario: &Scenario,
@@ -363,9 +371,10 @@ pub fn run_sweep_observed(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
     obs: Option<&SweepObs<'_>>,
+    record: Option<&Path>,
 ) -> SweepReport {
     let plan = SweepReport::new(name, scale, seeds.to_vec());
-    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs)
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs, record)
 }
 
 /// Runs one shard of a campaign: the seed slice is computed from the
@@ -381,12 +390,12 @@ pub fn run_sweep_shard(
     resume: Option<SweepReport>,
 ) -> SweepReport {
     run_sweep_shard_observed(
-        scenario, name, scale, shard, threads, checkpoint, resume, None,
+        scenario, name, scale, shard, threads, checkpoint, resume, None, None,
     )
 }
 
-/// [`run_sweep_shard`] with observability hooks (see
-/// [`run_sweep_observed`]).
+/// [`run_sweep_shard`] with observability hooks and optional per-seed
+/// trace recording (see [`run_sweep_observed`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep_shard_observed(
     scenario: &Scenario,
@@ -397,9 +406,10 @@ pub fn run_sweep_shard_observed(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
     obs: Option<&SweepObs<'_>>,
+    record: Option<&Path>,
 ) -> SweepReport {
     let plan = SweepReport::new_shard(name, scale, shard);
-    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs)
+    run_sweep_plan(scenario, plan, threads, checkpoint, resume, obs, record)
 }
 
 /// Everything a heartbeat needs that doesn't change while the sweep
@@ -455,6 +465,7 @@ impl HeartbeatCtx {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sweep_plan(
     scenario: &Scenario,
     mut plan: SweepReport,
@@ -462,6 +473,7 @@ fn run_sweep_plan(
     checkpoint: Option<&Path>,
     resume: Option<SweepReport>,
     obs: Option<&SweepObs<'_>>,
+    record: Option<&Path>,
 ) -> SweepReport {
     if let Some(mut prior) = resume {
         let seeds = plan.seeds.clone();
@@ -493,6 +505,19 @@ fn run_sweep_plan(
         .and_then(|o| o.telemetry.as_ref())
         .map(|t| t.interval)
         .unwrap_or_default();
+
+    // Trace identity is frozen before the plan moves into the lock; the
+    // directory is created up front so a bad path warns once, not per seed.
+    let record_ctx = record.map(|dir| {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "warning: cannot create trace directory {}: {e}",
+                dir.display()
+            );
+        }
+        (dir, plan.scenario.clone(), plan.scale.clone())
+    });
+    let run_length_ms = scenario.run_length.as_millis();
 
     let shared = Mutex::new(plan);
     let done_here = AtomicUsize::new(0);
@@ -544,10 +569,32 @@ fn run_sweep_plan(
                         let Some(&seed) = todo.get(i) else {
                             break;
                         };
-                        let summary = if ins.is_off() {
-                            run_once(scenario, seed)
-                        } else {
-                            run_once_observed(scenario, seed, &ins).0
+                        let summary = match &record_ctx {
+                            Some((dir, name, scale)) => {
+                                // Recording never perturbs the run, so the
+                                // summary stays byte-identical to the
+                                // untraced path (resume invariance holds).
+                                let meta = TraceMeta {
+                                    scenario: name.clone(),
+                                    scale: scale.clone(),
+                                    seed,
+                                    run_length_ms,
+                                };
+                                let (summary, _, trace) =
+                                    run_once_recorded_observed(scenario, seed, &meta, &ins);
+                                let path = dir.join(format!("trace-{name}-s{seed}.bin"));
+                                // Best-effort like checkpoints: a failing
+                                // disk must not kill the sweep.
+                                if let Err(e) = trace.write_to(&path) {
+                                    eprintln!(
+                                        "warning: trace write to {} failed: {e}",
+                                        path.display()
+                                    );
+                                }
+                                summary
+                            }
+                            None if ins.is_off() => run_once(scenario, seed),
+                            None => run_once_observed(scenario, seed, &ins).0,
                         };
                         let mut plan = shared
                             .lock()

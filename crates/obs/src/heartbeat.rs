@@ -12,6 +12,11 @@ use std::fs::OpenOptions;
 use std::io::{self, Write as _};
 use std::path::Path;
 
+/// Format tag stamped on every heartbeat line. Consumers parse by key
+/// and must ignore keys they do not know, so adding fields is a
+/// same-version change; removing or re-typing one bumps the version.
+pub const FORMAT: &str = "lockss-heartbeat-v1";
+
 /// One heartbeat record; serialized as a single JSON line.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Heartbeat {
@@ -69,7 +74,11 @@ impl Heartbeat {
     /// Renders the record as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(256);
-        let _ = write!(out, "{{\"unix_ms\": {}, \"scenario\": ", self.unix_ms);
+        let _ = write!(
+            out,
+            "{{\"format\": \"{FORMAT}\", \"unix_ms\": {}, \"scenario\": ",
+            self.unix_ms
+        );
         push_escaped(&mut out, &self.scenario);
         out.push_str(", \"scale\": ");
         push_escaped(&mut out, &self.scale);
@@ -142,6 +151,7 @@ mod tests {
         let line = hb.to_json_line();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(!line.contains('\n'));
+        assert!(line.contains("\"format\": \"lockss-heartbeat-v1\""));
         assert!(line.contains("\"scenario\": \"att\\\"ack\""));
         assert!(line.contains("\"seeds_done\": 3"));
         assert!(line.contains("\"polls_per_sec\": 6.25"));

@@ -16,6 +16,8 @@ mod profile;
 mod registry;
 
 pub use clock::{unix_ms_now, utc_timestamp};
-pub use heartbeat::{current_rss_kb, Heartbeat};
-pub use profile::{Profiler, SharedProfiler, Span};
-pub use registry::{Counter, Gauge, Histogram, MetricKind, Registry, RegistryBuilder};
+pub use heartbeat::{current_rss_kb, Heartbeat, FORMAT as HEARTBEAT_FORMAT};
+pub use profile::{Profiler, SharedProfiler, Span, FORMAT as PROFILE_FORMAT};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricKind, Registry, RegistryBuilder, FORMAT as METRICS_FORMAT,
+};

@@ -16,6 +16,10 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::Instant;
 
+/// Format tag stamped on every [`Profiler::to_json`] document. Span
+/// names are not part of the contract; the document shape is.
+pub const FORMAT: &str = "lockss-profile-v1";
+
 /// A profiler shared between the runner and the world it drives.
 ///
 /// `Rc<RefCell<..>>` because the run path is single-threaded; sweep
@@ -146,7 +150,7 @@ impl Profiler {
 
     /// Renders the tree as a `lockss-profile-v1` JSON document.
     pub fn to_json(&self, name: &str) -> String {
-        let mut out = String::from("{\n  \"format\": \"lockss-profile-v1\",\n");
+        let mut out = format!("{{\n  \"format\": \"{FORMAT}\",\n");
         let _ = write!(out, "  \"name\": {:?},\n  \"spans\": [", name);
         for (i, &r) in self.roots.iter().enumerate() {
             if i > 0 {

@@ -12,6 +12,11 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Format tag stamped on every [`Registry::to_json`] document. New
+/// metrics may appear under the same version; renaming or re-typing an
+/// existing metric bumps it.
+pub const FORMAT: &str = "lockss-metrics-v1";
+
 /// What kind of metric a registered name refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
@@ -245,7 +250,7 @@ impl Registry {
     /// `{"buckets": [[le, count], ...], "count": n, "sum": s}` with the
     /// overflow bucket keyed `"+Inf"`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"format\": \"lockss-metrics-v1\",\n  \"metrics\": {");
+        let mut out = format!("{{\n  \"format\": \"{FORMAT}\",\n  \"metrics\": {{");
         for (i, m) in self.metrics.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -1,0 +1,637 @@
+//! The LTRC2 block-columnar codec: block bodies, column framing, and the
+//! trailer index.
+//!
+//! An LTRC2 trace groups events into fixed-budget blocks. Inside each
+//! block the record stream is transposed into parallel columns — one
+//! byte of kind code per event, delta-coded varint time and engine-
+//! ordinal columns, and one column *per payload field* of every event
+//! kind present — because same-shaped bytes sitting next to each other
+//! is what makes the [`crate::lz`] pass bite: a burst of message-sends
+//! for one poll puts thousands of near-identical poll ids, AU ids, enum
+//! codes, and flags each in their own column (which LZ collapses to
+//! almost nothing) while the genuinely high-entropy peer-id fields pay
+//! for only their own bytes. Delta state resets at every block
+//! boundary, so any block decodes independently of its neighbours:
+//! that independence is what the parallel analytics in
+//! [`crate::parallel`] and the seek/skip reader paths are built on.
+//!
+//! Block body layout (after the per-block framing in the container):
+//!
+//! ```text
+//! varint n_events
+//! varint base_at        absolute ms of the first event
+//! varint base_seq       engine ordinal of the first event
+//! varint kind_bitmap    bit (code-1) set per kind present
+//! column kinds          n_events kind-code bytes
+//! column time-delta     n_events varints, cumulative from base_at (first 0)
+//! column ordinal-delta  n_events varints, cumulative from base_seq (first 0)
+//! payload(k)            for each kind k present, ascending code order:
+//!   varint n_fields     == the field count of k's payload schema
+//!   column field(k,0..) one column per payload field, schema order
+//! ```
+//!
+//! Every column is framed `u8 encoding · varint raw_len · varint
+//! stored_len · stored bytes`, where encoding 0 is raw (stored_len ==
+//! raw_len), encoding 1 is [`crate::lz`], and encodings 2/3 first
+//! re-code the column's varint values as `v0 · zigzag(v[i] - v[i-1])…`
+//! (2 stores the delta stream verbatim, 3 LZ-compresses it). The delta
+//! re-code is what collapses near-monotone value columns — poll ids,
+//! engine-ordinal deltas — that raw LZ barely touches; the encoder
+//! tries every applicable encoding and keeps whichever stores fewest
+//! bytes, ties to the lowest code, so encoding stays deterministic.
+//! The trailer index keeps,
+//! per block: file offset, body length, event count, kind bitmap, the
+//! block's time range, and a SHA-256 digest of the body — all under the
+//! whole-file seal, so per-block integrity rolls up into the one
+//! content hash.
+
+use lockss_core::trace::TraceEventKind;
+use lockss_crypto::sha256::sha256;
+use lockss_sim::SimTime;
+
+use crate::format::TraceRecord;
+use crate::lz;
+use crate::wire::{
+    field_count, field_is_varint, get_event_fields, put_event_fields, put_varint, Cursor,
+    TraceError,
+};
+
+/// Column encoding byte: bytes stored verbatim.
+const ENC_RAW: u8 = 0;
+/// Column encoding byte: bytes stored LZ-compressed.
+const ENC_LZ: u8 = 1;
+/// Column encoding byte: zigzag-delta varint re-code, stored verbatim.
+const ENC_DELTA: u8 = 2;
+/// Column encoding byte: zigzag-delta varint re-code, LZ-compressed.
+const ENC_DELTA_LZ: u8 = 3;
+
+/// One block's entry in the trailer index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// File offset of the block's `0x01` marker byte.
+    pub offset: u64,
+    /// Length of the framed block body in bytes.
+    pub body_len: u64,
+    /// Number of events in the block.
+    pub n_events: u64,
+    /// Bit `code - 1` set for every event kind present in the block.
+    pub kind_bitmap: u64,
+    /// Simulated time of the block's first event, in milliseconds.
+    pub first_at_ms: u64,
+    /// Simulated time of the block's last event, in milliseconds.
+    pub last_at_ms: u64,
+    /// SHA-256 digest of the block body.
+    pub digest: [u8; 32],
+}
+
+/// Re-codes a canonical varint stream as `varint v0 · zigzag varint
+/// (v[i] - v[i-1])…` (wrapping subtraction, so the full u64 range is
+/// lossless). Returns `None` if `raw` is not a canonical varint stream,
+/// in which case the transform must not be used.
+fn zigzag_delta(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut cur = Cursor::new(raw);
+    let mut out = Vec::with_capacity(raw.len());
+    let mut prev = 0u64;
+    let mut first = true;
+    while !cur.at_end() {
+        let v = cur.varint().ok()?;
+        if first {
+            put_varint(&mut out, v);
+            first = false;
+        } else {
+            let d = v.wrapping_sub(prev) as i64;
+            put_varint(&mut out, ((d << 1) ^ (d >> 63)) as u64);
+        }
+        prev = v;
+    }
+    Some(out)
+}
+
+/// Inverts [`zigzag_delta`], rebuilding the original varint stream.
+fn undo_zigzag_delta(bytes: &[u8]) -> Result<Vec<u8>, ()> {
+    let mut cur = Cursor::new(bytes);
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut prev = 0u64;
+    let mut first = true;
+    while !cur.at_end() {
+        let z = cur.varint().map_err(|_| ())?;
+        let v = if first {
+            first = false;
+            z
+        } else {
+            let d = ((z >> 1) as i64) ^ -((z & 1) as i64);
+            prev.wrapping_add(d as u64)
+        };
+        put_varint(&mut out, v);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Appends one column with the `encoding · raw_len · stored_len · bytes`
+/// framing. `delta_ok` marks the column as a canonical varint stream,
+/// letting the encoder also try the zigzag-delta re-code; whichever of
+/// the four encodings stores fewest bytes wins (ties to the lower
+/// encoding code, so the choice is deterministic).
+fn put_column_opts(out: &mut Vec<u8>, raw: &[u8], delta_ok: bool) {
+    let packed = lz::compress(raw);
+    let (mut enc, mut basis_len, mut stored) = if packed.len() < raw.len() {
+        (ENC_LZ, raw.len(), packed)
+    } else {
+        (ENC_RAW, raw.len(), raw.to_vec())
+    };
+    if delta_ok {
+        if let Some(delta) = zigzag_delta(raw) {
+            debug_assert_eq!(undo_zigzag_delta(&delta).as_deref(), Ok(raw));
+            let dpacked = lz::compress(&delta);
+            if dpacked.len() < delta.len() && dpacked.len() < stored.len() {
+                (enc, basis_len, stored) = (ENC_DELTA_LZ, delta.len(), dpacked);
+            } else if delta.len() < stored.len() {
+                (enc, basis_len, stored) = (ENC_DELTA, delta.len(), delta);
+            }
+        }
+    }
+    out.push(enc);
+    put_varint(out, basis_len as u64);
+    put_varint(out, stored.len() as u64);
+    out.extend_from_slice(&stored);
+}
+
+/// Reads one framed column, attributing any failure to `column` in
+/// `block` for the diagnostic.
+fn get_column(
+    cur: &mut Cursor<'_>,
+    block: u64,
+    column: &'static str,
+) -> Result<Vec<u8>, TraceError> {
+    let bad = || TraceError::BadColumn { block, column };
+    let enc = cur.u8().map_err(|_| bad())?;
+    let raw_len = cur.varint().map_err(|_| bad())? as usize;
+    let stored_len = cur.varint().map_err(|_| bad())? as usize;
+    let stored = cur.bytes(stored_len).map_err(|_| bad())?;
+    match enc {
+        ENC_RAW | ENC_DELTA => {
+            if stored_len != raw_len {
+                return Err(bad());
+            }
+            if enc == ENC_RAW {
+                Ok(stored.to_vec())
+            } else {
+                undo_zigzag_delta(stored).map_err(|_| bad())
+            }
+        }
+        ENC_LZ => lz::decompress(stored, raw_len).map_err(|_| bad()),
+        ENC_DELTA_LZ => {
+            let delta = lz::decompress(stored, raw_len).map_err(|_| bad())?;
+            undo_zigzag_delta(&delta).map_err(|_| bad())
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Skips one framed column without decompressing it. Used by masked
+/// decoding to step over payload columns of unwanted kinds.
+fn skip_column(cur: &mut Cursor<'_>, block: u64, column: &'static str) -> Result<(), TraceError> {
+    let bad = || TraceError::BadColumn { block, column };
+    let enc = cur.u8().map_err(|_| bad())?;
+    if enc > ENC_DELTA_LZ {
+        return Err(bad());
+    }
+    cur.varint().map_err(|_| bad())?;
+    let stored_len = cur.varint().map_err(|_| bad())? as usize;
+    cur.bytes(stored_len).map_err(|_| bad())?;
+    Ok(())
+}
+
+/// Encodes a run of records (one block's worth) into a block body.
+///
+/// The records must be in emission order; the encoder transposes them
+/// into columns. Deterministic: the same records always produce the
+/// same bytes, which both the content hash and the digest-based diff
+/// fast path rely on.
+pub fn encode_block_body(records: &[TraceRecord]) -> Vec<u8> {
+    let mut kinds = Vec::with_capacity(records.len());
+    let mut d_at = Vec::with_capacity(records.len());
+    let mut d_seq = Vec::with_capacity(records.len());
+    let mut payloads: Vec<Vec<Vec<u8>>> = TraceEventKind::ALL
+        .iter()
+        .map(|k| vec![Vec::new(); field_count(*k)])
+        .collect();
+    let mut bitmap = 0u64;
+
+    let base_at = records.first().map_or(0, |r| r.at.as_millis());
+    let base_seq = records.first().map_or(0, |r| r.seq);
+    let mut prev_at = base_at;
+    let mut prev_seq = base_seq;
+    for record in records {
+        let kind = record.event.kind();
+        bitmap |= kind.bit();
+        kinds.push(kind.code());
+        put_varint(&mut d_at, record.at.as_millis() - prev_at);
+        put_varint(&mut d_seq, record.seq - prev_seq);
+        prev_at = record.at.as_millis();
+        prev_seq = record.seq;
+        put_event_fields(&mut payloads[kind.code() as usize - 1], &record.event);
+    }
+
+    let mut body = Vec::with_capacity(records.len() * 4 + 64);
+    put_varint(&mut body, records.len() as u64);
+    put_varint(&mut body, base_at);
+    put_varint(&mut body, base_seq);
+    put_varint(&mut body, bitmap);
+    put_column_opts(&mut body, &kinds, true);
+    put_column_opts(&mut body, &d_at, true);
+    put_column_opts(&mut body, &d_seq, true);
+    for kind in TraceEventKind::ALL {
+        if bitmap & kind.bit() != 0 {
+            let cols = &payloads[kind.code() as usize - 1];
+            put_varint(&mut body, cols.len() as u64);
+            for (i, col) in cols.iter().enumerate() {
+                put_column_opts(&mut body, col, field_is_varint(kind, i));
+            }
+        }
+    }
+    body
+}
+
+/// Builds the index entry for a block body placed at `offset`.
+pub fn block_entry(offset: u64, body: &[u8], records: &[TraceRecord]) -> BlockEntry {
+    let mut bitmap = 0u64;
+    for record in records {
+        bitmap |= record.event.kind().bit();
+    }
+    BlockEntry {
+        offset,
+        body_len: body.len() as u64,
+        n_events: records.len() as u64,
+        kind_bitmap: bitmap,
+        first_at_ms: records.first().map_or(0, |r| r.at.as_millis()),
+        last_at_ms: records.last().map_or(0, |r| r.at.as_millis()),
+        digest: sha256(body),
+    }
+}
+
+/// Decodes a full block body back into records. `block` is the block's
+/// index, used only to attribute errors.
+pub fn decode_block_body(body: &[u8], block: u64) -> Result<Vec<TraceRecord>, TraceError> {
+    decode_block_body_masked(body, block, u64::MAX)
+}
+
+/// Decodes a block body, materialising only events whose kind bit is in
+/// `kind_mask`. Payload columns of excluded kinds are skipped without
+/// decompression; the structural columns are always read so positions
+/// stay exact.
+pub fn decode_block_body_masked(
+    body: &[u8],
+    block: u64,
+    kind_mask: u64,
+) -> Result<Vec<TraceRecord>, TraceError> {
+    let bad = |column: &'static str| TraceError::BadColumn { block, column };
+    let mut cur = Cursor::new(body);
+    let n = cur.varint().map_err(|_| bad("header"))? as usize;
+    let base_at = cur.varint().map_err(|_| bad("header"))?;
+    let base_seq = cur.varint().map_err(|_| bad("header"))?;
+    let bitmap = cur.varint().map_err(|_| bad("header"))?;
+
+    let kinds = get_column(&mut cur, block, "kinds")?;
+    if kinds.len() != n {
+        return Err(bad("kinds"));
+    }
+    let d_at = get_column(&mut cur, block, "time-delta")?;
+    let d_seq = get_column(&mut cur, block, "ordinal-delta")?;
+
+    // One column per payload field per kind present, ascending code
+    // order, each kind's group prefixed by its field count.
+    let mut payloads: Vec<Option<Vec<Vec<u8>>>> =
+        (0..TraceEventKind::COUNT).map(|_| None).collect();
+    for kind in TraceEventKind::ALL {
+        if bitmap & kind.bit() == 0 {
+            continue;
+        }
+        let n_cols = cur.varint().map_err(|_| bad("payload"))? as usize;
+        if n_cols != field_count(kind) {
+            return Err(bad("payload"));
+        }
+        if kind_mask & kind.bit() != 0 {
+            let cols = (0..n_cols)
+                .map(|_| get_column(&mut cur, block, "payload"))
+                .collect::<Result<Vec<_>, _>>()?;
+            payloads[kind.code() as usize - 1] = Some(cols);
+        } else {
+            for _ in 0..n_cols {
+                skip_column(&mut cur, block, "payload")?;
+            }
+        }
+    }
+    if !cur.at_end() {
+        return Err(bad("trailing bytes"));
+    }
+
+    let mut at_cur = Cursor::new(&d_at);
+    let mut seq_cur = Cursor::new(&d_seq);
+    let mut payload_curs: Vec<Option<Vec<Cursor<'_>>>> = payloads
+        .iter()
+        .map(|p| {
+            p.as_ref()
+                .map(|cols| cols.iter().map(|c| Cursor::new(c)).collect())
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(if kind_mask == u64::MAX { n } else { 0 });
+    let mut at = base_at;
+    let mut seq = base_seq;
+    for &code in &kinds {
+        let kind = TraceEventKind::from_code(code).ok_or(TraceError::UnknownKind(code))?;
+        if bitmap & kind.bit() == 0 {
+            return Err(bad("kinds"));
+        }
+        at += at_cur.varint().map_err(|_| bad("time-delta"))?;
+        seq += seq_cur.varint().map_err(|_| bad("ordinal-delta"))?;
+        if let Some(pcurs) = payload_curs[code as usize - 1].as_mut() {
+            let event = get_event_fields(pcurs, kind)?;
+            out.push(TraceRecord {
+                at: SimTime(at),
+                seq,
+                event,
+            });
+        }
+    }
+    if !at_cur.at_end() || !seq_cur.at_end() {
+        return Err(bad("time-delta"));
+    }
+    for pcurs in payload_curs.iter().flatten() {
+        if pcurs.iter().any(|c| !c.at_end()) {
+            return Err(TraceError::BadColumn {
+                block,
+                column: "payload",
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Appends the trailer index for `blocks`.
+pub fn put_index(buf: &mut Vec<u8>, blocks: &[BlockEntry]) {
+    put_varint(buf, blocks.len() as u64);
+    for b in blocks {
+        put_varint(buf, b.offset);
+        put_varint(buf, b.body_len);
+        put_varint(buf, b.n_events);
+        put_varint(buf, b.kind_bitmap);
+        put_varint(buf, b.first_at_ms);
+        put_varint(buf, b.last_at_ms);
+        buf.extend_from_slice(&b.digest);
+    }
+}
+
+/// Parses a trailer index written by [`put_index`].
+pub fn parse_index(cur: &mut Cursor<'_>) -> Result<Vec<BlockEntry>, TraceError> {
+    let n = cur
+        .varint()
+        .map_err(|_| TraceError::BadIndex("block count"))?;
+    let mut blocks = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let offset = cur.varint().map_err(|_| TraceError::BadIndex("offset"))?;
+        let body_len = cur
+            .varint()
+            .map_err(|_| TraceError::BadIndex("body length"))?;
+        let n_events = cur
+            .varint()
+            .map_err(|_| TraceError::BadIndex("event count"))?;
+        let kind_bitmap = cur
+            .varint()
+            .map_err(|_| TraceError::BadIndex("kind bitmap"))?;
+        let first_at_ms = cur
+            .varint()
+            .map_err(|_| TraceError::BadIndex("time range"))?;
+        let last_at_ms = cur
+            .varint()
+            .map_err(|_| TraceError::BadIndex("time range"))?;
+        let raw = cur.bytes(32).map_err(|_| TraceError::BadIndex("digest"))?;
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(raw);
+        blocks.push(BlockEntry {
+            offset,
+            body_len,
+            n_events,
+            kind_bitmap,
+            first_at_ms,
+            last_at_ms,
+            digest,
+        });
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::put_event;
+    use lockss_core::trace::{MsgKind, TraceEvent};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        (0..200u64)
+            .map(|i| TraceRecord {
+                at: SimTime(1_000 + i * 250),
+                seq: 10 + i * 3,
+                event: if i % 3 == 0 {
+                    TraceEvent::PollStart {
+                        peer: 3,
+                        au: 1,
+                        poll: 7 + i,
+                    }
+                } else {
+                    TraceEvent::MessageSend {
+                        from: 3,
+                        to: i as u32 % 17,
+                        kind: MsgKind::Vote,
+                        au: 1,
+                        poll: 7 + i,
+                        suppressed: i % 5 == 0,
+                    }
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_body_roundtrips() {
+        let records = sample_records();
+        let body = encode_block_body(&records);
+        let back = decode_block_body(&body, 0).expect("decodes");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let body = encode_block_body(&[]);
+        assert_eq!(decode_block_body(&body, 0).expect("decodes"), Vec::new());
+    }
+
+    #[test]
+    fn masked_decode_keeps_only_requested_kinds() {
+        let records = sample_records();
+        let body = encode_block_body(&records);
+        let mask = TraceEventKind::PollStart.bit();
+        let only_polls = decode_block_body_masked(&body, 0, mask).expect("decodes");
+        let expected: Vec<TraceRecord> = records
+            .iter()
+            .filter(|r| r.event.kind() == TraceEventKind::PollStart)
+            .cloned()
+            .collect();
+        assert_eq!(only_polls, expected);
+        assert!(!only_polls.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_reports_the_column() {
+        let records = sample_records();
+        let body = encode_block_body(&records);
+        let cut = &body[..body.len() / 2];
+        match decode_block_body(cut, 4) {
+            Err(TraceError::BadColumn { block: 4, .. }) => {}
+            other => panic!("expected BadColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let records = sample_records();
+        let mut body = encode_block_body(&records);
+        body.push(0xAA);
+        assert!(matches!(
+            decode_block_body(&body, 0),
+            Err(TraceError::BadColumn {
+                column: "trailing bytes",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        let records = sample_records();
+        let body = encode_block_body(&records);
+        let entries = vec![
+            block_entry(46, &body, &records),
+            BlockEntry {
+                offset: 9_000,
+                body_len: 17,
+                n_events: 1,
+                kind_bitmap: TraceEventKind::Cure.bit(),
+                first_at_ms: 5,
+                last_at_ms: 5,
+                digest: [7u8; 32],
+            },
+        ];
+        let mut buf = Vec::new();
+        put_index(&mut buf, &entries);
+        let parsed = parse_index(&mut Cursor::new(&buf)).expect("parses");
+        assert_eq!(parsed, entries);
+        assert_eq!(parsed[0].n_events, 200);
+        assert_eq!(parsed[0].first_at_ms, 1_000);
+        assert_eq!(parsed[0].last_at_ms, 1_000 + 199 * 250);
+    }
+
+    #[test]
+    fn truncated_index_is_diagnosed() {
+        let records = sample_records();
+        let body = encode_block_body(&records);
+        let entries = vec![block_entry(46, &body, &records)];
+        let mut buf = Vec::new();
+        put_index(&mut buf, &entries);
+        let cut = &buf[..buf.len() - 10];
+        assert!(matches!(
+            parse_index(&mut Cursor::new(cut)),
+            Err(TraceError::BadIndex(_))
+        ));
+    }
+
+    #[test]
+    fn columnar_body_beats_flat_encoding_on_repetitive_streams() {
+        // The same 200 records encoded flat (v1 style) for comparison.
+        let records = sample_records();
+        let mut flat = Vec::new();
+        let mut prev_at = 0u64;
+        let mut prev_seq = 0u64;
+        for r in &records {
+            flat.push(r.event.kind().code());
+            put_varint(&mut flat, r.at.as_millis() - prev_at);
+            put_varint(&mut flat, r.seq - prev_seq);
+            put_event(&mut flat, &r.event);
+            prev_at = r.at.as_millis();
+            prev_seq = r.seq;
+        }
+        let body = encode_block_body(&records);
+        assert!(
+            body.len() * 2 < flat.len(),
+            "columnar {} vs flat {}",
+            body.len(),
+            flat.len()
+        );
+    }
+
+    #[test]
+    fn zigzag_delta_inverts_exactly() {
+        // Monotone, wrapping, and adversarially jumpy value sequences
+        // all round-trip through the delta re-code.
+        for values in [
+            vec![0u64],
+            vec![7, 7, 7, 7],
+            vec![1, 2, 3, 1000, 5, u64::MAX, 0, u64::MAX / 2],
+            (0..500).map(|i| i * 37 % 1013).collect(),
+        ] {
+            let mut raw = Vec::new();
+            for &v in &values {
+                put_varint(&mut raw, v);
+            }
+            let delta = zigzag_delta(&raw).expect("canonical stream");
+            assert_eq!(undo_zigzag_delta(&delta).as_deref(), Ok(raw.as_slice()));
+        }
+        assert_eq!(zigzag_delta(&[]), Some(Vec::new()));
+        // A truncated varint is not a canonical stream.
+        assert_eq!(zigzag_delta(&[0x80]), None);
+    }
+
+    #[test]
+    fn monotone_varint_column_picks_a_delta_encoding() {
+        // Slowly-climbing 3-byte varints: raw LZ finds no 4-byte match,
+        // the delta re-code turns them into near-constant small values.
+        let mut raw = Vec::new();
+        for i in 0..2000u64 {
+            put_varint(&mut raw, 100_000 + i * 3);
+        }
+        let mut col = Vec::new();
+        put_column_opts(&mut col, &raw, true);
+        assert!(
+            col[0] == ENC_DELTA || col[0] == ENC_DELTA_LZ,
+            "encoding {}",
+            col[0]
+        );
+        assert!(
+            col.len() < raw.len() / 2,
+            "stored {} raw {}",
+            col.len(),
+            raw.len()
+        );
+        let mut cur = Cursor::new(&col);
+        assert_eq!(get_column(&mut cur, 0, "test").unwrap(), raw);
+        // And the same frame skips cleanly.
+        let mut cur = Cursor::new(&col);
+        skip_column(&mut cur, 0, "test").unwrap();
+        assert!(cur.at_end());
+    }
+
+    #[test]
+    fn delta_encoding_never_applies_to_string_columns() {
+        // A length-prefixed string column can hold non-canonical varint
+        // byte shapes; the encoder must stick to raw/LZ there.
+        use crate::wire::field_is_varint;
+        assert!(!field_is_varint(TraceEventKind::AdversaryAction, 1));
+        assert!(!field_is_varint(TraceEventKind::PhaseMark, 0));
+        assert!(field_is_varint(TraceEventKind::MessageSend, 4));
+        let mut col = Vec::new();
+        put_column_opts(&mut col, b"\x80\x00not-a-varint-stream", false);
+        assert!(col[0] == ENC_RAW || col[0] == ENC_LZ);
+    }
+}

@@ -12,12 +12,20 @@
 //! 3. **activity windows** — the 30-day window where the runs' event
 //!    activity differs the most, which localizes *when* behavior forked
 //!    even after the streams have long stopped aligning record-by-record.
+//!
+//! When both traces are block-columnar (v2), fork-finding skips the
+//! identical prefix without decoding a byte of it: the block encoder is
+//! deterministic and canonical, so two blocks with equal index digests
+//! hold equal records. Only the first differing block pair (and the
+//! tail past it) is decoded and compared record-by-record. The stats
+//! passes on both sides run block-parallel; the fold order is fixed, so
+//! the rendered diff is byte-identical at any thread count.
 
 use lockss_core::trace::TraceEventKind;
 use lockss_metrics::timeline::TimelineSummary;
 
-use crate::format::{Trace, TraceMeta, TraceRecord};
-use crate::stats::{trace_stats, TraceStats};
+use crate::format::{Trace, TraceMeta, TraceRecord, TraceWire};
+use crate::stats::{trace_stats_threaded, TraceStats};
 use crate::wire::TraceError;
 
 /// The first record index where two traces disagree.
@@ -64,18 +72,40 @@ impl TraceDiff {
     }
 }
 
-/// Compares two traces.
+/// Compares two traces single-threaded.
 pub fn diff_traces(a: &Trace, b: &Trace) -> Result<TraceDiff, TraceError> {
+    diff_traces_threaded(a, b, 1)
+}
+
+/// Compares two traces, decoding blocks on up to `threads` threads for
+/// the stats passes. The result is identical at any thread count.
+pub fn diff_traces_threaded(a: &Trace, b: &Trace, threads: usize) -> Result<TraceDiff, TraceError> {
     let first_fork = find_fork(a, b)?;
-    let sa = trace_stats(a)?;
-    let sb = trace_stats(b)?;
+    let sa = trace_stats_threaded(a, threads)?;
+    let sb = trace_stats_threaded(b, threads)?;
     Ok(summarize(sa, sb, first_fork))
 }
 
+/// Finds the first differing record. For a pair of v2 traces this
+/// first skips every leading block pair whose index digests match —
+/// equal digests mean equal bodies mean equal records — and only
+/// decodes from the first differing pair on. Mixed wires (or a v1
+/// pair) compare from the top.
 fn find_fork(a: &Trace, b: &Trace) -> Result<Option<Fork>, TraceError> {
-    let mut ra = a.records();
-    let mut rb = b.records();
-    let mut index = 0u64;
+    let (skip, mut index) = if a.wire() == TraceWire::V2 && b.wire() == TraceWire::V2 {
+        let (ba, bb) = (a.blocks(), b.blocks());
+        let mut i = 0usize;
+        let mut base = 0u64;
+        while i < ba.len() && i < bb.len() && ba[i].digest == bb[i].digest {
+            base += ba[i].n_events;
+            i += 1;
+        }
+        (i, base)
+    } else {
+        (0, 0)
+    };
+    let mut ra = a.records_from_block(skip);
+    let mut rb = b.records_from_block(skip);
     loop {
         let na = ra.next().transpose()?;
         let nb = rb.next().transpose()?;
@@ -183,6 +213,7 @@ impl std::fmt::Display for TraceDiff {
 mod tests {
     use super::*;
     use crate::format::{Recorder, TraceMeta};
+    use crate::legacy::RecorderV1;
     use lockss_core::trace::{PollConclusion, TraceEvent, TraceSink};
     use lockss_sim::{Duration, SimTime};
 
@@ -190,14 +221,7 @@ mod tests {
         SimTime::ZERO + Duration::from_days(days)
     }
 
-    fn trace_with(polls: &[(u64, u64, PollConclusion)], seed: u64) -> Trace {
-        let rec = Recorder::new(&TraceMeta {
-            scenario: "baseline".into(),
-            scale: "quick".into(),
-            seed,
-            run_length_ms: Duration::from_days(360).as_millis(),
-        });
-        let mut sink: Box<dyn TraceSink> = Box::new(rec.clone());
+    fn emit_polls(sink: &mut dyn TraceSink, polls: &[(u64, u64, PollConclusion)]) {
         let mut seq = 0;
         for (poll, start_day, conclusion) in polls {
             seq += 1;
@@ -223,6 +247,24 @@ mod tests {
                 },
             );
         }
+    }
+
+    fn meta_for(seed: u64) -> TraceMeta {
+        TraceMeta {
+            scenario: "baseline".into(),
+            scale: "quick".into(),
+            seed,
+            run_length_ms: Duration::from_days(360).as_millis(),
+        }
+    }
+
+    fn trace_with(polls: &[(u64, u64, PollConclusion)], seed: u64) -> Trace {
+        trace_with_budget(polls, seed, crate::format::DEFAULT_BLOCK_EVENTS)
+    }
+
+    fn trace_with_budget(polls: &[(u64, u64, PollConclusion)], seed: u64, budget: usize) -> Trace {
+        let rec = Recorder::with_block_events(&meta_for(seed), budget);
+        emit_polls(&mut rec.clone(), polls);
         rec.finish()
     }
 
@@ -273,5 +315,61 @@ mod tests {
         assert_eq!(fork.index, 2);
         assert!(fork.a.is_none());
         assert!(fork.b.is_some());
+    }
+
+    #[test]
+    fn digest_fast_path_matches_the_slow_path() {
+        // Many small blocks with a late fork: the fast path skips the
+        // aligned identical prefix by digest; mismatched budgets defeat
+        // the digest alignment and force the full stream compare. Both
+        // must find the same fork.
+        let shared: Vec<(u64, u64, PollConclusion)> = (0..40)
+            .map(|i| (i, i * 8 + 1, PollConclusion::Win))
+            .collect();
+        let mut forked = shared.clone();
+        forked[35].2 = PollConclusion::Loss;
+
+        let a_aligned = trace_with_budget(&shared, 1, 4);
+        let b_aligned = trace_with_budget(&forked, 1, 4);
+        assert!(a_aligned.blocks().len() > 10);
+        let fast = diff_traces(&a_aligned, &b_aligned).unwrap();
+
+        let b_misaligned = trace_with_budget(&forked, 1, 7);
+        let slow = diff_traces(&a_aligned, &b_misaligned).unwrap();
+
+        let fork_fast = fast.first_fork.unwrap();
+        let fork_slow = slow.first_fork.unwrap();
+        assert_eq!(fork_fast.index, 71, "poll 35's outcome record");
+        assert_eq!(fork_fast.index, fork_slow.index);
+        assert_eq!(fork_fast.a, fork_slow.a);
+        assert_eq!(fork_fast.b, fork_slow.b);
+    }
+
+    #[test]
+    fn threaded_diff_renders_identical_bytes_across_thread_counts() {
+        let shared: Vec<(u64, u64, PollConclusion)> = (0..40)
+            .map(|i| (i, i * 8 + 1, PollConclusion::Win))
+            .collect();
+        let mut forked = shared.clone();
+        forked[20].2 = PollConclusion::Inquorate;
+        let a = trace_with_budget(&shared, 1, 4);
+        let b = trace_with_budget(&forked, 1, 4);
+        let one = diff_traces_threaded(&a, &b, 1).unwrap().to_string();
+        for threads in [2, 4, 7] {
+            let many = diff_traces_threaded(&a, &b, threads).unwrap().to_string();
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mixed_wire_diff_compares_records_not_bytes() {
+        let polls = [(0, 1, PollConclusion::Win), (1, 40, PollConclusion::Loss)];
+        let v2 = trace_with(&polls, 1);
+        let v1_rec = RecorderV1::new(&meta_for(1));
+        emit_polls(&mut v1_rec.clone(), &polls);
+        let v1 = v1_rec.finish();
+        assert_ne!(v1.content_hash(), v2.content_hash());
+        let d = diff_traces(&v1, &v2).unwrap();
+        assert!(d.is_identical(), "same records, different wires");
     }
 }

@@ -1,18 +1,29 @@
-//! The trace container: header, delta-coded records, content-hash trailer.
+//! The trace container: header, block-columnar records, indexed trailer.
+//!
+//! Current wire format (`LTRC2`):
 //!
 //! ```text
-//! magic    "LTRC1\n"
+//! magic    "LTRC2\n"
 //! header   str scenario · str scale · varint seed · varint run_length_ms
-//! records  kind u8 (≥1) · varint Δtime_ms · varint Δengine_seq · payload
-//! end      0x00 · u64-le record count
-//! trailer  32-byte SHA-256 over everything above
+//! blocks   repeated: 0x01 · varint body_len · block body (see
+//!          [`crate::columnar`] for the column layout inside a body)
+//! end      0x00 · block index (offset, body length, event count, kind
+//!          bitmap, time range, SHA-256 digest per block)
+//! trailer  u64-le index offset · u64-le event count · 32-byte SHA-256
+//!          over everything above
 //! ```
 //!
-//! Timestamps and engine ordinals are monotone, so both are delta-coded
-//! against the previous record and almost always fit one varint byte. The
-//! trailing hash is the trace's *content hash*: byte-stable across runs
-//! and thread counts for a deterministic `(scenario, seed)`, which is what
-//! the golden-trace regression tests pin.
+//! The per-block digests sit inside the sealed region, so block-level
+//! integrity rolls up into the one trailing content hash — byte-stable
+//! across runs and thread counts for a deterministic `(scenario, seed)`,
+//! which is what the golden-trace regression tests pin. The index makes
+//! blocks independently addressable: readers seek, skip whole blocks by
+//! kind bitmap or time range, and decode blocks in parallel.
+//!
+//! The flat predecessor format (`LTRC1`, written by
+//! [`crate::legacy::RecorderV1`]) remains fully readable: [`Trace`]
+//! sniffs the magic and every reader path dispatches on the wire.
+//! `trace convert` migrates old files via [`Trace::to_v2`].
 
 use std::cell::RefCell;
 use std::path::Path;
@@ -22,13 +33,58 @@ use lockss_core::trace::{TraceEvent, TraceEventKind, TraceSink};
 use lockss_crypto::sha256::sha256;
 use lockss_sim::SimTime;
 
-use crate::wire::{get_event, put_event, put_str, put_varint, Cursor, TraceError};
+use crate::columnar::{
+    block_entry, decode_block_body, decode_block_body_masked, encode_block_body, parse_index,
+    put_index, BlockEntry,
+};
+use crate::wire::{get_event, put_str, put_varint, Cursor, TraceError};
 
-/// The file magic (format version 1).
-pub const MAGIC: &[u8; 6] = b"LTRC1\n";
+/// The file magic of the flat v1 format.
+pub const MAGIC_V1: &[u8; 6] = b"LTRC1\n";
 
-/// The end-of-records marker (kind codes start at 1).
-const END: u8 = 0;
+/// The file magic of the block-columnar v2 format.
+pub const MAGIC_V2: &[u8; 6] = b"LTRC2\n";
+
+/// The end-of-records marker (block markers and v1 kind codes start at 1).
+pub(crate) const END: u8 = 0;
+
+/// The start-of-block marker in a v2 stream.
+const BLOCK: u8 = 1;
+
+/// Default events per block: big enough to amortize column framing and
+/// feed the compressor, small enough that one decoded block (~65k
+/// records) bounds a reader's memory.
+pub const DEFAULT_BLOCK_EVENTS: usize = 65_536;
+
+/// Fixed trailer width shared by both wires: 8 bytes of u64-le (index
+/// offset in v2, end marker + low count bytes in v1 — see `events()`),
+/// then the u64-le event count, then the 32-byte seal.
+const COUNT_OFFSET_FROM_END: usize = 8 + 32;
+
+/// Which wire format a trace is encoded in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceWire {
+    /// Flat delta-coded records (`LTRC1`).
+    V1,
+    /// Block-columnar with a trailer index (`LTRC2`).
+    V2,
+}
+
+impl TraceWire {
+    /// The wire's version string, as it appears in the file magic.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceWire::V1 => "LTRC1",
+            TraceWire::V2 => "LTRC2",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Identifies the execution a trace captured.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,26 +137,52 @@ impl std::fmt::Display for TraceRecord {
 
 struct RecorderInner {
     buf: Vec<u8>,
-    prev_at: u64,
-    prev_seq: u64,
+    pending: Vec<TraceRecord>,
+    blocks: Vec<BlockEntry>,
     events: u64,
+    block_events: usize,
 }
 
-/// Records a run's event stream into the binary trace format.
+impl RecorderInner {
+    fn flush_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let body = encode_block_body(&self.pending);
+        let offset = self.buf.len() as u64;
+        self.buf.push(BLOCK);
+        put_varint(&mut self.buf, body.len() as u64);
+        self.buf.extend_from_slice(&body);
+        self.blocks.push(block_entry(offset, &body, &self.pending));
+        self.pending.clear();
+    }
+}
+
+/// Records a run's event stream into the block-columnar v2 format.
 ///
 /// The recorder is a shared handle (`Clone`): install one clone as the
 /// world's sink and keep the other to [`Recorder::finish`] the trace after
-/// the run. Single-threaded by design, like the runs it records.
+/// the run. Events buffer in emission order until the block budget fills,
+/// then transpose into one compressed block. Single-threaded by design,
+/// like the runs it records.
 #[derive(Clone)]
 pub struct Recorder {
     inner: Rc<RefCell<RecorderInner>>,
 }
 
 impl Recorder {
-    /// A recorder with the header already encoded.
+    /// A recorder with the header already encoded and the default block
+    /// budget.
     pub fn new(meta: &TraceMeta) -> Recorder {
+        Recorder::with_block_events(meta, DEFAULT_BLOCK_EVENTS)
+    }
+
+    /// A recorder flushing a block every `block_events` events (clamped
+    /// to at least 1). Small budgets are for tests that want many blocks
+    /// from few events; real recordings use [`Recorder::new`].
+    pub fn with_block_events(meta: &TraceMeta, block_events: usize) -> Recorder {
         let mut buf = Vec::with_capacity(64 * 1024);
-        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(MAGIC_V2);
         put_str(&mut buf, &meta.scenario);
         put_str(&mut buf, &meta.scale);
         put_varint(&mut buf, meta.seed);
@@ -108,9 +190,10 @@ impl Recorder {
         Recorder {
             inner: Rc::new(RefCell::new(RecorderInner {
                 buf,
-                prev_at: 0,
-                prev_seq: 0,
+                pending: Vec::new(),
+                blocks: Vec::new(),
                 events: 0,
+                block_events: block_events.max(1),
             })),
         }
     }
@@ -120,68 +203,160 @@ impl Recorder {
         self.inner.borrow().events
     }
 
-    /// Seals the trace: appends the end marker, the record count, and the
+    /// Seals the trace: flushes the last partial block, then appends the
+    /// end marker, block index, index offset, event count, and the
     /// content hash.
     pub fn finish(self) -> Trace {
         let mut inner = self.inner.borrow_mut();
-        let mut bytes = std::mem::take(&mut inner.buf);
+        inner.flush_block();
         let events = inner.events;
+        let blocks = std::mem::take(&mut inner.blocks);
+        let mut bytes = std::mem::take(&mut inner.buf);
         drop(inner);
+        let index_offset = bytes.len() as u64;
         bytes.push(END);
+        put_index(&mut bytes, &blocks);
+        bytes.extend_from_slice(&index_offset.to_le_bytes());
         bytes.extend_from_slice(&events.to_le_bytes());
         let digest = sha256(&bytes);
         bytes.extend_from_slice(&digest);
-        Trace { bytes }
+        Trace {
+            bytes,
+            wire: TraceWire::V2,
+            blocks,
+        }
     }
 }
 
 impl TraceSink for Recorder {
     fn record(&mut self, at: SimTime, seq: u64, event: &TraceEvent) {
         let mut inner = self.inner.borrow_mut();
-        let inner = &mut *inner;
-        inner.buf.push(event.kind().code());
-        let at = at.as_millis();
-        put_varint(&mut inner.buf, at - inner.prev_at);
-        put_varint(&mut inner.buf, seq - inner.prev_seq);
-        inner.prev_at = at;
-        inner.prev_seq = seq;
-        put_event(&mut inner.buf, event);
+        inner.pending.push(TraceRecord {
+            at,
+            seq,
+            event: event.clone(),
+        });
         inner.events += 1;
+        if inner.pending.len() >= inner.block_events {
+            inner.flush_block();
+        }
     }
 }
 
-/// A sealed, hash-verified trace.
+/// A sealed, hash-verified trace (either wire).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     bytes: Vec<u8>,
+    wire: TraceWire,
+    blocks: Vec<BlockEntry>,
 }
 
 impl Trace {
-    /// Bytes of trailer past the records: end marker + count + hash.
-    const TAIL: usize = 1 + 8 + 32;
+    /// Bytes of v1 trailer past the records: end marker + count + hash.
+    const TAIL_V1: usize = 1 + 8 + 32;
 
-    /// Validates raw bytes (magic, trailer hash, decodable header) into a
-    /// trace.
+    /// Bytes of v2 trailer past the index: index offset + count + hash.
+    const TAIL_V2: usize = 8 + 8 + 32;
+
+    /// Validates raw bytes (magic, trailer hash, decodable header and —
+    /// for v2 — a structurally sound block index) into a trace.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Trace, TraceError> {
-        if bytes.len() < MAGIC.len() + Trace::TAIL || &bytes[..MAGIC.len()] != MAGIC {
+        if bytes.len() < MAGIC_V1.len() {
             return Err(TraceError::BadMagic);
+        }
+        let wire = match &bytes[..MAGIC_V1.len()] {
+            m if m == MAGIC_V1 => TraceWire::V1,
+            m if m == MAGIC_V2 => TraceWire::V2,
+            _ => return Err(TraceError::BadMagic),
+        };
+        let min_len = MAGIC_V1.len()
+            + match wire {
+                TraceWire::V1 => Trace::TAIL_V1,
+                TraceWire::V2 => Trace::TAIL_V2,
+            };
+        if bytes.len() < min_len {
+            return Err(TraceError::Truncated);
         }
         let body_len = bytes.len() - 32;
         let digest = sha256(&bytes[..body_len]);
         if digest != bytes[body_len..] {
             return Err(TraceError::HashMismatch);
         }
-        let trace = Trace { bytes };
+        let blocks = match wire {
+            TraceWire::V1 => Vec::new(),
+            TraceWire::V2 => Trace::validate_v2(&bytes)?,
+        };
+        let trace = Trace {
+            bytes,
+            wire,
+            blocks,
+        };
         trace.meta()?; // header must decode
         Ok(trace)
     }
 
-    /// Number of records, read from the trailer in O(1).
+    /// Parses and structurally validates a v2 trailer index: every block
+    /// frame must sit inside the record region with a matching length,
+    /// and the per-block event counts must sum to the trailer count.
+    fn validate_v2(bytes: &[u8]) -> Result<Vec<BlockEntry>, TraceError> {
+        let tail = bytes.len() - Trace::TAIL_V2;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[tail..tail + 8]);
+        let index_offset = u64::from_le_bytes(raw) as usize;
+        if index_offset < MAGIC_V2.len() || index_offset >= tail {
+            return Err(TraceError::BadIndex("index offset out of range"));
+        }
+        if bytes[index_offset] != END {
+            return Err(TraceError::BadIndex("missing end marker"));
+        }
+        let mut cur = Cursor::new(&bytes[index_offset + 1..tail]);
+        let blocks = parse_index(&mut cur)?;
+        if !cur.at_end() {
+            return Err(TraceError::BadIndex("trailing bytes"));
+        }
+        let mut total = 0u64;
+        for (i, b) in blocks.iter().enumerate() {
+            let offset = b.offset as usize;
+            if offset >= index_offset || bytes[offset] != BLOCK {
+                return Err(TraceError::BadIndex("block offset"));
+            }
+            let mut frame = Cursor::new(&bytes[offset + 1..index_offset]);
+            let framed_len = frame
+                .varint()
+                .map_err(|_| TraceError::BadIndex("block frame"))?;
+            if framed_len != b.body_len {
+                return Err(TraceError::BadIndex("block frame"));
+            }
+            let end = offset + 1 + frame.pos() + b.body_len as usize;
+            if end > index_offset {
+                return Err(TraceError::TruncatedBlock { block: i as u64 });
+            }
+            total += b.n_events;
+        }
+        raw.copy_from_slice(&bytes[tail + 8..tail + 16]);
+        if total != u64::from_le_bytes(raw) {
+            return Err(TraceError::BadIndex("event count"));
+        }
+        Ok(blocks)
+    }
+
+    /// Number of records, read from the trailer in O(1). Both wires keep
+    /// the u64-le count at the same distance from the end.
     pub fn events(&self) -> u64 {
-        let start = self.bytes.len() - 32 - 8;
+        let start = self.bytes.len() - COUNT_OFFSET_FROM_END;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(&self.bytes[start..start + 8]);
         u64::from_le_bytes(raw)
+    }
+
+    /// Which wire format the trace is encoded in.
+    pub fn wire(&self) -> TraceWire {
+        self.wire
+    }
+
+    /// The block index (empty for a v1 trace, which has no blocks).
+    pub fn blocks(&self) -> &[BlockEntry] {
+        &self.blocks
     }
 
     /// The raw encoded bytes (header + records + trailer).
@@ -199,7 +374,7 @@ impl Trace {
 
     /// Decodes the header.
     pub fn meta(&self) -> Result<TraceMeta, TraceError> {
-        let mut cur = Cursor::new(&self.bytes[MAGIC.len()..self.bytes.len() - 32]);
+        let mut cur = Cursor::new(&self.bytes[MAGIC_V1.len()..self.bytes.len() - 32]);
         Ok(TraceMeta {
             scenario: cur.str()?,
             scale: cur.str()?,
@@ -208,14 +383,84 @@ impl Trace {
         })
     }
 
-    /// An iterator over the decoded records.
+    /// The framed body bytes of block `block`, digest-verified against
+    /// the index.
+    fn block_body(&self, block: usize) -> Result<&[u8], TraceError> {
+        let entry = self
+            .blocks
+            .get(block)
+            .ok_or(TraceError::BadIndex("block out of range"))?;
+        let block_u64 = block as u64;
+        let offset = entry.offset as usize;
+        let mut cur = Cursor::new(&self.bytes[offset..]);
+        let marker = cur
+            .u8()
+            .map_err(|_| TraceError::TruncatedBlock { block: block_u64 })?;
+        if marker != BLOCK {
+            return Err(TraceError::BadIndex("block offset"));
+        }
+        let len =
+            cur.varint()
+                .map_err(|_| TraceError::TruncatedBlock { block: block_u64 })? as usize;
+        let body = cur
+            .bytes(len)
+            .map_err(|_| TraceError::TruncatedBlock { block: block_u64 })?;
+        if sha256(body) != entry.digest {
+            return Err(TraceError::BadBlockChecksum { block: block_u64 });
+        }
+        Ok(body)
+    }
+
+    /// Decodes one block into records (v2 only; a v1 trace has no
+    /// blocks). The block body is digest-verified first, so a corrupt
+    /// block under a re-sealed file still diagnoses as
+    /// [`TraceError::BadBlockChecksum`].
+    pub fn decode_block(&self, block: usize) -> Result<Vec<TraceRecord>, TraceError> {
+        decode_block_body(self.block_body(block)?, block as u64)
+    }
+
+    /// Decodes one block keeping only events whose kind bit is in
+    /// `kind_mask`; payload columns of excluded kinds are skipped
+    /// without decompression.
+    pub fn decode_block_masked(
+        &self,
+        block: usize,
+        kind_mask: u64,
+    ) -> Result<Vec<TraceRecord>, TraceError> {
+        decode_block_body_masked(self.block_body(block)?, block as u64, kind_mask)
+    }
+
+    /// An iterator over the decoded records (either wire).
     pub fn records(&self) -> TraceReader<'_> {
-        TraceReader::new(self)
+        TraceReader::new(self, 0)
+    }
+
+    /// An iterator starting at the first record of block `from_block`
+    /// (v2 only; callers index into [`Trace::blocks`]). The diff fast
+    /// path uses this to resume a stream after skipping an identical
+    /// digest-verified prefix.
+    pub fn records_from_block(&self, from_block: usize) -> TraceReader<'_> {
+        debug_assert!(self.wire == TraceWire::V2 || from_block == 0);
+        TraceReader::new(self, from_block)
     }
 
     /// Decodes every record into memory.
     pub fn decode_all(&self) -> Result<Vec<TraceRecord>, TraceError> {
         self.records().collect()
+    }
+
+    /// Re-encodes the trace in the current v2 wire — migrating a v1
+    /// file, or re-blocking/re-coding a v2 one written by an older
+    /// encoder. The records, metadata, and O(1) event count are
+    /// preserved; the content hash changes if the bytes do.
+    pub fn to_v2(&self) -> Result<Trace, TraceError> {
+        let meta = self.meta()?;
+        let mut recorder = Recorder::new(&meta);
+        for rec in self.records() {
+            let r = rec?;
+            recorder.record(r.at, r.seq, &r.event);
+        }
+        Ok(recorder.finish())
     }
 
     /// Writes the trace to `path`, creating parent directories on demand.
@@ -235,9 +480,9 @@ impl Trace {
     }
 }
 
-/// Decodes one framed record (or the end marker) at the cursor,
+/// Decodes one flat v1 record (or the end marker) at the cursor,
 /// delta-accumulating against `prev_at`/`prev_seq`.
-fn decode_next(
+pub(crate) fn decode_next_v1(
     cur: &mut Cursor<'_>,
     prev_at: &mut u64,
     prev_seq: &mut u64,
@@ -257,98 +502,81 @@ fn decode_next(
     }))
 }
 
-/// Streaming decoder over a trace's records.
+enum ReaderState<'a> {
+    V1 {
+        cur: Cursor<'a>,
+        prev_at: u64,
+        prev_seq: u64,
+    },
+    V2 {
+        trace: &'a Trace,
+        next_block: usize,
+        buf: std::vec::IntoIter<TraceRecord>,
+    },
+}
+
+/// Streaming decoder over a trace's records, dispatching on the wire:
+/// flat scan for v1, block-at-a-time decode for v2 (memory bounded by
+/// one block either way).
 pub struct TraceReader<'a> {
-    cur: Cursor<'a>,
-    prev_at: u64,
-    prev_seq: u64,
+    state: ReaderState<'a>,
     done: bool,
 }
 
 impl<'a> TraceReader<'a> {
-    fn new(trace: &'a Trace) -> TraceReader<'a> {
-        let body = &trace.bytes[..trace.bytes.len() - 32];
-        let mut cur = Cursor::new(body);
-        // Skip the magic + header (validated at construction).
-        cur.skip_header();
-        TraceReader {
-            cur,
-            prev_at: 0,
-            prev_seq: 0,
-            done: false,
-        }
+    fn new(trace: &'a Trace, from_block: usize) -> TraceReader<'a> {
+        let state = match trace.wire {
+            TraceWire::V1 => {
+                let body = &trace.bytes[..trace.bytes.len() - 32];
+                let mut cur = Cursor::new(body);
+                // Skip the magic + header (validated at construction).
+                cur.skip_header();
+                ReaderState::V1 {
+                    cur,
+                    prev_at: 0,
+                    prev_seq: 0,
+                }
+            }
+            TraceWire::V2 => ReaderState::V2 {
+                trace,
+                next_block: from_block,
+                buf: Vec::new().into_iter(),
+            },
+        };
+        TraceReader { state, done: false }
     }
 
     fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
         if self.done {
             return Ok(None);
         }
-        let rec = decode_next(&mut self.cur, &mut self.prev_at, &mut self.prev_seq)?;
-        if rec.is_none() {
-            self.done = true;
-        }
-        Ok(rec)
-    }
-}
-
-/// A streaming decoder that *owns* its trace, for consumers that must be
-/// `'static` (the replay `Verifier` is installed as a boxed `TraceSink`
-/// and cannot borrow). Decodes one record at a time — O(1) memory no
-/// matter how large the trace — where [`Trace::decode_all`] materializes
-/// millions of records for a default-scale run.
-pub struct OwnedTraceReader {
-    trace: Trace,
-    pos: usize,
-    prev_at: u64,
-    prev_seq: u64,
-    done: bool,
-    decoded: u64,
-}
-
-impl OwnedTraceReader {
-    /// A reader positioned at the first record.
-    pub fn new(trace: Trace) -> OwnedTraceReader {
-        let mut cur = Cursor::new(&trace.bytes);
-        cur.skip_header();
-        let pos = cur.pos();
-        OwnedTraceReader {
-            trace,
-            pos,
-            prev_at: 0,
-            prev_seq: 0,
-            done: false,
-            decoded: 0,
-        }
-    }
-
-    /// Total records in the trace (from the trailer, O(1)).
-    pub fn total(&self) -> u64 {
-        self.trace.events()
-    }
-
-    /// Records decoded so far.
-    pub fn decoded(&self) -> u64 {
-        self.decoded
-    }
-
-    /// Decodes the next record, or `None` at the end marker.
-    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
-        if self.done {
-            return Ok(None);
-        }
-        let body_end = self.trace.bytes.len() - 32;
-        let mut cur = Cursor::new(&self.trace.bytes[self.pos..body_end]);
-        let rec = decode_next(&mut cur, &mut self.prev_at, &mut self.prev_seq)?;
-        self.pos += cur.pos();
-        match rec {
-            Some(r) => {
-                self.decoded += 1;
-                Ok(Some(r))
+        match &mut self.state {
+            ReaderState::V1 {
+                cur,
+                prev_at,
+                prev_seq,
+            } => {
+                let rec = decode_next_v1(cur, prev_at, prev_seq)?;
+                if rec.is_none() {
+                    self.done = true;
+                }
+                Ok(rec)
             }
-            None => {
-                self.done = true;
-                Ok(None)
-            }
+            ReaderState::V2 {
+                trace,
+                next_block,
+                buf,
+            } => loop {
+                if let Some(rec) = buf.next() {
+                    return Ok(Some(rec));
+                }
+                if *next_block >= trace.blocks.len() {
+                    self.done = true;
+                    return Ok(None);
+                }
+                *buf = trace.decode_block(*next_block)?.into_iter();
+                *next_block += 1;
+            },
         }
     }
 }
@@ -368,11 +596,113 @@ impl Iterator for TraceReader<'_> {
     }
 }
 
+enum OwnedState {
+    V1 {
+        pos: usize,
+        prev_at: u64,
+        prev_seq: u64,
+    },
+    V2 {
+        next_block: usize,
+        buf: std::vec::IntoIter<TraceRecord>,
+    },
+}
+
+/// A streaming decoder that *owns* its trace, for consumers that must be
+/// `'static` (the replay `Verifier` is installed as a boxed `TraceSink`
+/// and cannot borrow). Decodes incrementally — one flat record (v1) or
+/// one block (v2) at a time, so memory stays bounded no matter how large
+/// the trace — where [`Trace::decode_all`] materializes millions of
+/// records for a default-scale run.
+pub struct OwnedTraceReader {
+    trace: Trace,
+    state: OwnedState,
+    done: bool,
+    decoded: u64,
+}
+
+impl OwnedTraceReader {
+    /// A reader positioned at the first record.
+    pub fn new(trace: Trace) -> OwnedTraceReader {
+        let state = match trace.wire {
+            TraceWire::V1 => {
+                let mut cur = Cursor::new(&trace.bytes);
+                cur.skip_header();
+                OwnedState::V1 {
+                    pos: cur.pos(),
+                    prev_at: 0,
+                    prev_seq: 0,
+                }
+            }
+            TraceWire::V2 => OwnedState::V2 {
+                next_block: 0,
+                buf: Vec::new().into_iter(),
+            },
+        };
+        OwnedTraceReader {
+            trace,
+            state,
+            done: false,
+            decoded: 0,
+        }
+    }
+
+    /// Total records in the trace (from the trailer, O(1)).
+    pub fn total(&self) -> u64 {
+        self.trace.events()
+    }
+
+    /// Records decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Decodes the next record, or `None` at the end of the trace.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let rec = match &mut self.state {
+            OwnedState::V1 {
+                pos,
+                prev_at,
+                prev_seq,
+            } => {
+                let body_end = self.trace.bytes.len() - 32;
+                let mut cur = Cursor::new(&self.trace.bytes[*pos..body_end]);
+                let rec = decode_next_v1(&mut cur, prev_at, prev_seq)?;
+                *pos += cur.pos();
+                rec
+            }
+            OwnedState::V2 { next_block, buf } => loop {
+                if let Some(rec) = buf.next() {
+                    break Some(rec);
+                }
+                if *next_block >= self.trace.blocks.len() {
+                    break None;
+                }
+                *buf = self.trace.decode_block(*next_block)?.into_iter();
+                *next_block += 1;
+            },
+        };
+        match rec {
+            Some(r) => {
+                self.decoded += 1;
+                Ok(Some(r))
+            }
+            None => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
 impl Cursor<'_> {
     /// Skips the magic and the four header fields (only valid at offset 0
     /// of a validated trace body).
-    fn skip_header(&mut self) {
-        for _ in 0..MAGIC.len() {
+    pub(crate) fn skip_header(&mut self) {
+        for _ in 0..MAGIC_V1.len() {
             let _ = self.u8();
         }
         let _ = self.str();
@@ -385,6 +715,7 @@ impl Cursor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::legacy::RecorderV1;
     use lockss_core::trace::{MsgKind, PollConclusion};
     use lockss_sim::Duration;
 
@@ -448,6 +779,7 @@ mod tests {
     fn record_decode_roundtrip() {
         let records = sample_records();
         let trace = record_all(&records);
+        assert_eq!(trace.wire(), TraceWire::V2);
         assert_eq!(trace.meta().unwrap(), meta());
         let decoded = trace.decode_all().unwrap();
         assert_eq!(decoded, records);
@@ -509,7 +841,69 @@ mod tests {
     #[test]
     fn empty_trace_is_valid() {
         let trace = Recorder::new(&meta()).finish();
+        assert_eq!(trace.wire(), TraceWire::V2);
+        assert!(trace.blocks().is_empty());
+        assert_eq!(trace.events(), 0);
         assert_eq!(trace.decode_all().unwrap(), Vec::new());
         assert_eq!(trace.meta().unwrap().scenario, "baseline");
+    }
+
+    #[test]
+    fn small_block_budgets_split_the_stream() {
+        let records = sample_records();
+        let recorder = Recorder::with_block_events(&meta(), 2);
+        let mut sink: Box<dyn TraceSink> = Box::new(recorder.clone());
+        for r in &records {
+            sink.record(r.at, r.seq, &r.event);
+        }
+        let trace = recorder.finish();
+        assert_eq!(trace.blocks().len(), 2, "3 events at budget 2");
+        assert_eq!(trace.blocks()[0].n_events, 2);
+        assert_eq!(trace.blocks()[1].n_events, 1);
+        assert_eq!(trace.decode_all().unwrap(), records);
+        assert_eq!(trace.decode_block(1).unwrap(), records[2..]);
+        let first_at = trace.blocks()[0].first_at_ms;
+        let last_at = trace.blocks()[1].last_at_ms;
+        assert_eq!((first_at, last_at), (1_000, 90_000));
+    }
+
+    #[test]
+    fn legacy_v1_traces_still_read() {
+        let records = sample_records();
+        let recorder = RecorderV1::new(&meta());
+        let mut sink: Box<dyn TraceSink> = Box::new(recorder.clone());
+        for r in &records {
+            sink.record(r.at, r.seq, &r.event);
+        }
+        let v1 = recorder.finish();
+        assert_eq!(v1.wire(), TraceWire::V1);
+        assert!(v1.blocks().is_empty());
+        assert_eq!(v1.events(), records.len() as u64);
+        assert_eq!(v1.decode_all().unwrap(), records);
+        let mut owned = OwnedTraceReader::new(v1.clone());
+        let mut streamed = Vec::new();
+        while let Some(rec) = owned.next_record().unwrap() {
+            streamed.push(rec);
+        }
+        assert_eq!(streamed, records);
+
+        let v2 = v1.to_v2().unwrap();
+        assert_eq!(v2.wire(), TraceWire::V2);
+        assert_eq!(v2.events(), v1.events());
+        assert_eq!(v2.meta().unwrap(), v1.meta().unwrap());
+        assert_eq!(v2.decode_all().unwrap(), records);
+        assert_ne!(v2.content_hash(), v1.content_hash());
+    }
+
+    #[test]
+    fn masked_block_decode_filters_kinds() {
+        let records = sample_records();
+        let trace = record_all(&records);
+        let mask = TraceEventKind::PollOutcome.bit();
+        assert_eq!(trace.blocks().len(), 1);
+        assert_eq!(trace.blocks()[0].kind_bitmap & mask, mask);
+        let outcomes = trace.decode_block_masked(0, mask).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0], records[2]);
     }
 }

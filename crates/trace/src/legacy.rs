@@ -1,0 +1,122 @@
+//! The legacy flat v1 writer (`LTRC1`).
+//!
+//! ```text
+//! magic    "LTRC1\n"
+//! header   str scenario · str scale · varint seed · varint run_length_ms
+//! records  kind u8 (≥1) · varint Δtime_ms · varint Δengine_seq · payload
+//! end      0x00 · u64-le record count
+//! trailer  32-byte SHA-256 over everything above
+//! ```
+//!
+//! New recordings use the block-columnar [`crate::Recorder`]; this
+//! writer survives so tests and benches can produce v1 fixtures, keep
+//! the read path honest, and measure the v2 size and speed wins against
+//! the real predecessor rather than a synthetic one. The read side
+//! lives in [`crate::format`], which accepts both wires.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lockss_core::trace::{TraceEvent, TraceSink};
+use lockss_crypto::sha256::sha256;
+use lockss_sim::SimTime;
+
+use crate::format::{Trace, TraceMeta, MAGIC_V1};
+use crate::wire::{put_event, put_str, put_varint};
+
+struct RecorderV1Inner {
+    buf: Vec<u8>,
+    prev_at: u64,
+    prev_seq: u64,
+    events: u64,
+}
+
+/// Records a run's event stream into the flat v1 trace format.
+///
+/// Shared-handle discipline matches [`crate::Recorder`]: install one
+/// clone as the world's sink, keep the other to [`RecorderV1::finish`].
+#[derive(Clone)]
+pub struct RecorderV1 {
+    inner: Rc<RefCell<RecorderV1Inner>>,
+}
+
+impl RecorderV1 {
+    /// A recorder with the v1 header already encoded.
+    pub fn new(meta: &TraceMeta) -> RecorderV1 {
+        let mut buf = Vec::with_capacity(64 * 1024);
+        buf.extend_from_slice(MAGIC_V1);
+        put_str(&mut buf, &meta.scenario);
+        put_str(&mut buf, &meta.scale);
+        put_varint(&mut buf, meta.seed);
+        put_varint(&mut buf, meta.run_length_ms);
+        RecorderV1 {
+            inner: Rc::new(RefCell::new(RecorderV1Inner {
+                buf,
+                prev_at: 0,
+                prev_seq: 0,
+                events: 0,
+            })),
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.inner.borrow().events
+    }
+
+    /// Seals the trace: appends the end marker, the record count, and
+    /// the content hash.
+    pub fn finish(self) -> Trace {
+        let mut inner = self.inner.borrow_mut();
+        let mut bytes = std::mem::take(&mut inner.buf);
+        let events = inner.events;
+        drop(inner);
+        bytes.push(0); // END marker
+        bytes.extend_from_slice(&events.to_le_bytes());
+        let digest = sha256(&bytes);
+        bytes.extend_from_slice(&digest);
+        Trace::from_bytes(bytes).expect("a freshly sealed v1 trace validates")
+    }
+}
+
+impl TraceSink for RecorderV1 {
+    fn record(&mut self, at: SimTime, seq: u64, event: &TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.buf.push(event.kind().code());
+        let at = at.as_millis();
+        put_varint(&mut inner.buf, at - inner.prev_at);
+        put_varint(&mut inner.buf, seq - inner.prev_seq);
+        inner.prev_at = at;
+        inner.prev_seq = seq;
+        put_event(&mut inner.buf, event);
+        inner.events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWire;
+    use lockss_core::trace::TraceEvent;
+
+    #[test]
+    fn v1_writer_produces_a_valid_v1_trace() {
+        let meta = TraceMeta {
+            scenario: "baseline".into(),
+            scale: "quick".into(),
+            seed: 1,
+            run_length_ms: 1_000,
+        };
+        let recorder = RecorderV1::new(&meta);
+        let mut sink = recorder.clone();
+        sink.record(SimTime(5), 1, &TraceEvent::PeerJoin { peer: 9 });
+        let trace = recorder.finish();
+        assert_eq!(trace.wire(), TraceWire::V1);
+        assert_eq!(trace.events(), 1);
+        assert_eq!(trace.meta().unwrap(), meta);
+        let records = trace.decode_all().unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0].event, TraceEvent::PeerJoin { peer: 9 }));
+    }
+}

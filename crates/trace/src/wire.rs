@@ -31,6 +31,25 @@ pub enum TraceError {
     },
     /// The trailer hash does not match the content (corrupt or tampered).
     HashMismatch,
+    /// A block-columnar trace ended inside a block's framed body.
+    TruncatedBlock {
+        /// Zero-based index of the offending block.
+        block: u64,
+    },
+    /// A block body does not match its index digest (corrupt block).
+    BadBlockChecksum {
+        /// Zero-based index of the offending block.
+        block: u64,
+    },
+    /// The block index in the trailer is malformed.
+    BadIndex(&'static str),
+    /// A column inside a block body failed to decode.
+    BadColumn {
+        /// Zero-based index of the offending block.
+        block: u64,
+        /// Which column failed (`kinds`, `time-delta`, ...).
+        column: &'static str,
+    },
     /// Reading or writing the trace file failed.
     Io(std::io::Error),
 }
@@ -48,6 +67,16 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::HashMismatch => {
                 write!(f, "content hash mismatch: trace corrupt or tampered")
+            }
+            TraceError::TruncatedBlock { block } => {
+                write!(f, "trace truncated inside block {block}")
+            }
+            TraceError::BadBlockChecksum { block } => {
+                write!(f, "block {block} checksum mismatch: block corrupt")
+            }
+            TraceError::BadIndex(what) => write!(f, "malformed block index: {what}"),
+            TraceError::BadColumn { block, column } => {
+                write!(f, "malformed {column} column in block {block}")
             }
             TraceError::Io(e) => write!(f, "trace i/o: {e}"),
         }
@@ -144,6 +173,14 @@ impl<'a> Cursor<'a> {
     /// Reads a bool byte (0 or 1; anything nonzero reads as true).
     pub fn bool(&mut self) -> Result<bool, TraceError> {
         Ok(self.u8()? != 0)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(TraceError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
     }
 }
 
@@ -349,6 +386,254 @@ pub fn get_event(cur: &mut Cursor<'_>, kind: TraceEventKind) -> Result<TraceEven
     })
 }
 
+/// Upper bound on [`field_count`] across every event kind.
+#[cfg(test)]
+pub(crate) const MAX_FIELDS: usize = 6;
+
+/// Number of payload field columns `kind` occupies in the v2 block
+/// layout. Each field of a kind's payload lives in its own column so
+/// repetitive fields (poll ids, AU ids, enum codes, flags) compress
+/// independently of high-entropy ones (peer ids).
+pub(crate) fn field_count(kind: TraceEventKind) -> usize {
+    match kind {
+        TraceEventKind::PollStart => 3,
+        TraceEventKind::PollOutcome => 5,
+        TraceEventKind::MessageSend => 6,
+        TraceEventKind::Admission => 3,
+        TraceEventKind::Damage => 4,
+        TraceEventKind::Repair => 5,
+        TraceEventKind::AdversaryTimer => 2,
+        TraceEventKind::AdversaryAction => 3,
+        TraceEventKind::PeerJoin => 1,
+        TraceEventKind::PhaseMark => 1,
+        TraceEventKind::Compromise => 2,
+        TraceEventKind::Cure => 2,
+        TraceEventKind::PoisonedRepair => 5,
+    }
+}
+
+/// True when field `field` of `kind`'s payload is a canonical varint
+/// stream in the column layout (every field except the two
+/// length-prefixed strings), making the zigzag-delta column re-code
+/// lossless for it. Enum codes and flags are single bytes < 0x80, so
+/// they are canonical one-byte varints.
+pub(crate) fn field_is_varint(kind: TraceEventKind, field: usize) -> bool {
+    !matches!(
+        (kind, field),
+        (TraceEventKind::AdversaryAction, 1) | (TraceEventKind::PhaseMark, 0)
+    )
+}
+
+/// Appends each payload field of `event` to its own column buffer
+/// (`cols.len() == field_count(kind)`). Field order and per-field
+/// encodings match [`put_event`] exactly; only the destination differs.
+pub(crate) fn put_event_fields(cols: &mut [Vec<u8>], event: &TraceEvent) {
+    match event {
+        TraceEvent::PollStart { peer, au, poll } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], u64::from(*au));
+            put_varint(&mut cols[2], *poll);
+        }
+        TraceEvent::PollOutcome {
+            peer,
+            au,
+            poll,
+            conclusion,
+            votes,
+        } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], u64::from(*au));
+            put_varint(&mut cols[2], *poll);
+            cols[3].push(conclusion.code());
+            put_varint(&mut cols[4], u64::from(*votes));
+        }
+        TraceEvent::MessageSend {
+            from,
+            to,
+            kind,
+            au,
+            poll,
+            suppressed,
+        } => {
+            put_varint(&mut cols[0], u64::from(*from));
+            put_varint(&mut cols[1], u64::from(*to));
+            cols[2].push(kind.code());
+            put_varint(&mut cols[3], u64::from(*au));
+            put_varint(&mut cols[4], *poll);
+            cols[5].push(u8::from(*suppressed));
+        }
+        TraceEvent::Admission {
+            peer,
+            poller,
+            verdict,
+        } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], *poller);
+            cols[2].push(verdict.code());
+        }
+        TraceEvent::Damage {
+            peer,
+            au,
+            block,
+            was_intact,
+        } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], u64::from(*au));
+            put_varint(&mut cols[2], *block);
+            cols[3].push(u8::from(*was_intact));
+        }
+        TraceEvent::Repair {
+            peer,
+            au,
+            poll,
+            block,
+            intact_after,
+        } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], u64::from(*au));
+            put_varint(&mut cols[2], *poll);
+            put_varint(&mut cols[3], *block);
+            cols[4].push(u8::from(*intact_after));
+        }
+        TraceEvent::AdversaryTimer { channel, tag } => {
+            put_varint(&mut cols[0], *channel);
+            put_varint(&mut cols[1], *tag);
+        }
+        TraceEvent::AdversaryAction {
+            channel,
+            label,
+            magnitude,
+        } => {
+            put_varint(&mut cols[0], *channel);
+            put_str(&mut cols[1], label);
+            put_varint(&mut cols[2], *magnitude);
+        }
+        TraceEvent::PeerJoin { peer } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+        }
+        TraceEvent::PhaseMark { label } => {
+            put_str(&mut cols[0], label);
+        }
+        TraceEvent::Compromise { peer, corrupted } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], *corrupted);
+        }
+        TraceEvent::Cure { peer, residual } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], *residual);
+        }
+        TraceEvent::PoisonedRepair {
+            peer,
+            au,
+            poll,
+            block,
+            server,
+        } => {
+            put_varint(&mut cols[0], u64::from(*peer));
+            put_varint(&mut cols[1], u64::from(*au));
+            put_varint(&mut cols[2], *poll);
+            put_varint(&mut cols[3], *block);
+            put_varint(&mut cols[4], u64::from(*server));
+        }
+    }
+}
+
+/// Reassembles one event of `kind` by pulling the next value off each
+/// per-field column cursor (the decode mirror of [`put_event_fields`]).
+pub(crate) fn get_event_fields(
+    cols: &mut [Cursor<'_>],
+    kind: TraceEventKind,
+) -> Result<TraceEvent, TraceError> {
+    Ok(match kind {
+        TraceEventKind::PollStart => TraceEvent::PollStart {
+            peer: cols[0].varint_u32()?,
+            au: cols[1].varint_u32()?,
+            poll: cols[2].varint()?,
+        },
+        TraceEventKind::PollOutcome => TraceEvent::PollOutcome {
+            peer: cols[0].varint_u32()?,
+            au: cols[1].varint_u32()?,
+            poll: cols[2].varint()?,
+            conclusion: {
+                let code = cols[3].u8()?;
+                PollConclusion::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "poll conclusion",
+                    code,
+                })?
+            },
+            votes: cols[4].varint_u32()?,
+        },
+        TraceEventKind::MessageSend => TraceEvent::MessageSend {
+            from: cols[0].varint_u32()?,
+            to: cols[1].varint_u32()?,
+            kind: {
+                let code = cols[2].u8()?;
+                MsgKind::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "message kind",
+                    code,
+                })?
+            },
+            au: cols[3].varint_u32()?,
+            poll: cols[4].varint()?,
+            suppressed: cols[5].bool()?,
+        },
+        TraceEventKind::Admission => TraceEvent::Admission {
+            peer: cols[0].varint_u32()?,
+            poller: cols[1].varint()?,
+            verdict: {
+                let code = cols[2].u8()?;
+                AdmissionVerdict::from_code(code).ok_or(TraceError::UnknownCode {
+                    field: "admission verdict",
+                    code,
+                })?
+            },
+        },
+        TraceEventKind::Damage => TraceEvent::Damage {
+            peer: cols[0].varint_u32()?,
+            au: cols[1].varint_u32()?,
+            block: cols[2].varint()?,
+            was_intact: cols[3].bool()?,
+        },
+        TraceEventKind::Repair => TraceEvent::Repair {
+            peer: cols[0].varint_u32()?,
+            au: cols[1].varint_u32()?,
+            poll: cols[2].varint()?,
+            block: cols[3].varint()?,
+            intact_after: cols[4].bool()?,
+        },
+        TraceEventKind::AdversaryTimer => TraceEvent::AdversaryTimer {
+            channel: cols[0].varint()?,
+            tag: cols[1].varint()?,
+        },
+        TraceEventKind::AdversaryAction => TraceEvent::AdversaryAction {
+            channel: cols[0].varint()?,
+            label: cols[1].str()?,
+            magnitude: cols[2].varint()?,
+        },
+        TraceEventKind::PeerJoin => TraceEvent::PeerJoin {
+            peer: cols[0].varint_u32()?,
+        },
+        TraceEventKind::PhaseMark => TraceEvent::PhaseMark {
+            label: cols[0].str()?,
+        },
+        TraceEventKind::Compromise => TraceEvent::Compromise {
+            peer: cols[0].varint_u32()?,
+            corrupted: cols[1].varint()?,
+        },
+        TraceEventKind::Cure => TraceEvent::Cure {
+            peer: cols[0].varint_u32()?,
+            residual: cols[1].varint()?,
+        },
+        TraceEventKind::PoisonedRepair => TraceEvent::PoisonedRepair {
+            peer: cols[0].varint_u32()?,
+            au: cols[1].varint_u32()?,
+            poll: cols[2].varint()?,
+            block: cols[3].varint()?,
+            server: cols[4].varint_u32()?,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,9 +701,8 @@ mod tests {
         assert!(matches!(empty.u8(), Err(TraceError::Truncated)));
     }
 
-    #[test]
-    fn every_event_payload_roundtrips() {
-        let events = vec![
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
             TraceEvent::PollStart {
                 peer: 3,
                 au: 1,
@@ -485,14 +769,53 @@ mod tests {
                 block: 499,
                 server: 42,
             },
-        ];
-        for event in events {
+        ]
+    }
+
+    #[test]
+    fn every_event_payload_roundtrips() {
+        for event in sample_events() {
             let mut buf = Vec::new();
             put_event(&mut buf, &event);
             let mut cur = Cursor::new(&buf);
             let back = get_event(&mut cur, event.kind()).unwrap();
             assert_eq!(back, event);
             assert!(cur.at_end(), "trailing bytes after {event}");
+        }
+    }
+
+    #[test]
+    fn field_codec_roundtrips_and_agrees_with_the_flat_codec() {
+        // The sample list covers all 13 kinds; assert so a new kind can't
+        // silently skip this test.
+        assert_eq!(
+            sample_events().len(),
+            TraceEventKind::COUNT,
+            "sample must cover every kind"
+        );
+        for event in sample_events() {
+            let kind = event.kind();
+            let n = field_count(kind);
+            assert!(n <= MAX_FIELDS, "{kind:?}");
+            let mut cols: Vec<Vec<u8>> = vec![Vec::new(); n];
+            put_event_fields(&mut cols, &event);
+            assert!(
+                cols.iter().all(|c| !c.is_empty()),
+                "{kind:?}: every declared field column must be written"
+            );
+            // The columns hold exactly the flat encoding's bytes,
+            // redistributed: same total, and the same decoded event.
+            let mut flat = Vec::new();
+            put_event(&mut flat, &event);
+            let total: usize = cols.iter().map(Vec::len).sum();
+            assert_eq!(total, flat.len(), "{kind:?}");
+            let mut cursors: Vec<Cursor<'_>> = cols.iter().map(|c| Cursor::new(c)).collect();
+            let back = get_event_fields(&mut cursors, kind).unwrap();
+            assert_eq!(back, event);
+            assert!(
+                cursors.iter().all(Cursor::at_end),
+                "{kind:?}: trailing bytes in a field column"
+            );
         }
     }
 
